@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Repartitioning an adaptive simulation: migrate little or cut less?
+
+A mesh-based simulation partitions its mesh once, then refines cells
+where the physics gets interesting — vertex weights grow, the partition
+unbalances, and the runtime must repartition.  This example runs several
+adaptation steps and compares the two classic strategies at each one:
+
+* diffusive — fix the balance from the old partition (tiny migration),
+* scratch-remap — re-run GP-metis from scratch (best cut, huge migration).
+
+Run:  python examples/adaptive_repartitioning.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.apps import repartition
+from repro.graphs import CSRGraph, generators, imbalance
+
+
+def adapt_weights(graph: CSRGraph, step: int, rng) -> CSRGraph:
+    """Simulate AMR: a moving hot region gets 8x heavier cells."""
+    n = graph.num_vertices
+    vw = np.ones(n, dtype=np.int64)
+    center = (step * n // 6 + n // 10) % n
+    hot = (np.arange(n) >= center) & (np.arange(n) < center + n // 8)
+    vw[hot] = 8
+    return CSRGraph(
+        adjp=graph.adjp, adjncy=graph.adjncy, adjwgt=graph.adjwgt,
+        vwgt=vw, name=f"{graph.name}@t{step}",
+    )
+
+
+def main() -> None:
+    k = 16
+    mesh = generators.delaunay(12_000, seed=17)
+    rng = np.random.default_rng(0)
+    part = repro.partition(mesh, k, method="gp-metis").part
+    print(f"mesh: {mesh}, k={k}\n")
+    print(f"{'step':>4s} {'imb before':>11s} | {'strategy':>10s} {'cut':>7s} "
+          f"{'imb':>6s} {'migration':>10s}")
+
+    for step in range(1, 5):
+        adapted = adapt_weights(mesh, step, rng)
+        imb = imbalance(adapted, part, k)
+        for strategy in ("diffusive", "scratch"):
+            res = repartition(adapted, part, k, strategy=strategy)
+            print(f"{step:>4d} {imb:>11.3f} | {strategy:>10s} {res.cut:>7d} "
+                  f"{res.imbalance:>6.3f} {res.migration_fraction:>9.1%}")
+        # The simulation would keep the diffusive result.
+        part = repartition(adapted, part, k, strategy="diffusive").part
+        print()
+
+    print("diffusive repartitioning keeps migration in the low percent "
+          "range at a modest cut premium — the reason adaptive codes "
+          "almost never scratch-remap.")
+
+
+if __name__ == "__main__":
+    main()

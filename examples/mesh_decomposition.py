@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Mesh decomposition for a parallel FE solver.
+
+The paper's Sec. I motivates partitioning with task-interaction graphs:
+divide a computation's mesh so "each partition is computationally
+balanced and the total communication cost (edge cuts) among the
+partitions is minimized."  This example decomposes a finite-element slab
+(the ldoor family) for an 8-, 16- and 64-rank solver and reports what the
+solver would care about: per-rank load, halo (communication) volume, and
+the surface-to-volume ratio of the decomposition, comparing GP-metis
+against a naive block decomposition.
+
+Run:  python examples/mesh_decomposition.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.graphs import communication_volume, edge_cut, generators, partition_weights
+
+
+def naive_block_partition(graph, k: int) -> np.ndarray:
+    """What you get without a partitioner: contiguous index ranges."""
+    n = graph.num_vertices
+    per = -(-n // k)
+    return np.minimum(np.arange(n) // per, k - 1)
+
+
+def report(graph, part, k: int, label: str) -> None:
+    cut = edge_cut(graph, part)
+    vol = communication_volume(graph, part, k)
+    w = partition_weights(graph, part, k)
+    print(f"  {label:<12s} cut={cut:>8d}  comm-volume={vol:>7d}  "
+          f"load min/max={w.min()}/{w.max()}")
+
+
+def main() -> None:
+    mesh = generators.fe_matrix(12_000, avg_degree=48.0, seed=7)
+    print(f"FE mesh: {mesh}  (ldoor-family: element cliques, ~48 couplings/node)")
+
+    for k in (8, 16, 64):
+        print(f"\nk = {k} solver ranks")
+        naive = naive_block_partition(mesh, k)
+        report(mesh, naive, k, "naive-block")
+
+        res = repro.partition(mesh, k, method="gp-metis")
+        report(mesh, res.part, k, "gp-metis")
+
+        improvement = edge_cut(mesh, naive) / max(1, res.quality(mesh).cut)
+        print(f"  -> GP-metis cuts {improvement:.1f}x less halo traffic")
+
+    # A solver iterates: compute per rank ~ load, communicate ~ halo.
+    # Estimate a per-iteration speedup from the decomposition quality.
+    k = 64
+    res = repro.partition(mesh, k, method="gp-metis")
+    naive = naive_block_partition(mesh, k)
+    for label, part in (("naive-block", naive), ("gp-metis", res.part)):
+        w = partition_weights(mesh, part, k)
+        compute = float(w.max()) / (mesh.total_vertex_weight / k)
+        halo = communication_volume(mesh, part, k) / mesh.num_vertices
+        print(f"\n{label}: compute imbalance x{compute:.3f}, "
+              f"halo fraction {halo:.3f} of nodes per iteration")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Scaling GP-metis past one GPU's memory (the paper's future work).
+
+Sec. V: "partitioning of bigger graphs that do not fit to the global
+memory can be done on a cluster of GPUs.  This approach will be explored
+in future work."  This example (a) uses the memory planner to predict
+whether a graph fits one device, and (b) when it does not, runs the
+multi-GPU driver across 2-8 simulated devices and reports how the peer
+traffic and modeled time scale.
+
+Run:  python examples/multi_gpu_scaling.py
+"""
+
+from __future__ import annotations
+
+from repro.gpmetis import (
+    GPMetisOptions,
+    MultiGpuGPMetis,
+    MultiGpuOptions,
+    plan_device_memory,
+)
+from repro.graphs import generators
+from repro.runtime.machine import PAPER_MACHINE
+
+
+def main() -> None:
+    graph = generators.delaunay(30_000, seed=5)
+    # Shrink the simulated device so this graph genuinely does not fit —
+    # the laptop-scale stand-in for a 100M-vertex graph vs a real 6 GB card.
+    machine = PAPER_MACHINE.scaled_gpu_memory(int(graph.nbytes * 1.05))
+    print(f"graph: {graph}")
+    print(f"device memory: {machine.gpu.memory_bytes / 1e6:.1f} MB\n")
+
+    plan = plan_device_memory(graph, 64, GPMetisOptions(), machine.gpu)
+    print("memory plan for single-GPU GP-metis:")
+    print(f"  ladder (all levels kept): {plan.ladder_bytes / 1e6:8.2f} MB")
+    print(f"  contraction scratch     : {plan.scratch_bytes / 1e6:8.2f} MB")
+    print(f"  total                   : {plan.total_bytes / 1e6:8.2f} MB")
+    print(f"  fits one device?        : {plan.fits}")
+    print(f"  devices recommended     : {plan.recommended_devices}\n")
+
+    print(f"{'devices':>8s} {'modeled':>12s} {'peer traffic':>13s} "
+          f"{'mgpu levels':>12s} {'cut':>8s}")
+    for devices in (2, 4, 8):
+        p = MultiGpuGPMetis(MultiGpuOptions(num_devices=devices), machine=machine)
+        res = p.partition(graph, 64)
+        peer = res.clock.seconds_for(category="transfer_bytes")
+        print(
+            f"{devices:>8d} {res.modeled_seconds * 1e3:>10.2f}ms "
+            f"{peer * 1e3:>11.3f}ms {res.extras['multi_gpu_levels']:>12d} "
+            f"{res.quality(graph).cut:>8d}"
+        )
+
+    print("\nPeer halo exchanges grow with the device count while the "
+          "per-device sweep shrinks — the classic strong-scaling trade-off, "
+          "now across GPUs instead of MPI ranks.")
+
+
+if __name__ == "__main__":
+    main()

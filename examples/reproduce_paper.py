@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Reproduce the paper's full evaluation: Table I, Fig. 5, Tables II-III.
+
+Runs the complete Sec. IV protocol — the four input-graph analogues,
+k = 64, 3 % imbalance, all four partitioners — and prints every table
+and figure, followed by the qualitative shape checks from the paper's
+text.  This is the script behind EXPERIMENTS.md.
+
+Run:  python examples/reproduce_paper.py            (default bench scale)
+      python examples/reproduce_paper.py --scale 2  (2x larger graphs)
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.bench import (
+    DEFAULT_SCALES,
+    ExperimentConfig,
+    check_paper_shape,
+    render_fig5,
+    render_table1,
+    render_table2,
+    render_table3,
+    run_experiment,
+)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--scale", type=float, default=1.0,
+                    help="multiplier on the default per-dataset scales")
+    ap.add_argument("--k", type=int, default=64)
+    ap.add_argument("--repeats", type=int, default=1,
+                    help="paper uses min of 3; default 1 for speed")
+    args = ap.parse_args()
+
+    cfg = ExperimentConfig(
+        k=args.k,
+        repeats=args.repeats,
+        scales={name: s * args.scale for name, s in DEFAULT_SCALES.items()},
+    )
+    print(f"running the Sec. IV protocol: k={cfg.k}, ubfactor={cfg.ubfactor}, "
+          f"{len(cfg.datasets)} graphs x {len(cfg.methods)} methods ...\n")
+    t0 = time.perf_counter()
+    results = run_experiment(cfg, verbose=True)
+    print(f"\n(completed in {time.perf_counter() - t0:.1f} s wall)\n")
+
+    print(render_table1(results), "\n")
+    print(render_fig5(results), "\n")
+    print(render_table2(results), "\n")
+    print(render_table3(results), "\n")
+
+    print("Paper-shape checks (claims from Sec. IV's text):")
+    all_ok = True
+    for c in check_paper_shape(results):
+        mark = "PASS" if c.holds else "FAIL"
+        all_ok &= c.holds
+        print(f"  [{mark}] {c.claim}\n         {c.detail}")
+    raise SystemExit(0 if all_ok else 1)
+
+
+if __name__ == "__main__":
+    main()

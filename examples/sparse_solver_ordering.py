@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Fill-reducing ordering for a sparse direct solver via nested dissection.
+
+The partitioner's other classic job (and the reason Metis ships
+``ndmetis``): order a symmetric matrix so Cholesky factorisation creates
+less fill.  Compares natural, random, RCM, and partition-based
+nested-dissection orderings on a 2-D mesh matrix by exact symbolic
+fill-in.
+
+Run:  python examples/sparse_solver_ordering.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps import nested_dissection, symbolic_fill
+from repro.graphs import generators, rcm_order
+
+
+def main() -> None:
+    mesh = generators.grid2d(28, 28)
+    n = mesh.num_vertices
+    print(f"matrix graph: {mesh}  (a {n}x{n} SPD matrix pattern)\n")
+
+    orderings: dict[str, np.ndarray] = {
+        "natural": np.arange(n, dtype=np.int64),
+        "random": np.random.default_rng(0).permutation(n).astype(np.int64),
+        "rcm": rcm_order(mesh),
+    }
+    nd = nested_dissection(mesh, leaf_size=8)
+    orderings["nested-dissection"] = nd.iperm
+
+    print(f"{'ordering':<20s} {'fill-in':>10s} {'nnz(L)':>10s}")
+    base_nnz = mesh.num_edges + n
+    for name, iperm in orderings.items():
+        fill = symbolic_fill(mesh, iperm)
+        print(f"{name:<20s} {fill:>10d} {base_nnz + fill:>10d}")
+
+    print(
+        f"\nnested dissection used {len(nd.separator_sizes)} separators "
+        f"({nd.total_separator_vertices} vertices total); "
+        f"top separator sizes: {nd.separator_sizes[:5]}"
+    )
+    best = min(orderings, key=lambda k: symbolic_fill(mesh, orderings[k]))
+    print(f"best ordering: {best}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""GP-Metis reproduction: parallel multilevel graph partitioning on a
+(simulated) CPU-GPU architecture.
+
+Reproduces *Parallel Graph Partitioning on a CPU-GPU Architecture*
+(Goodarzi, Burtscher, Goswami; IPPS 2016): the GP-metis hybrid
+partitioner, its three comparators (serial Metis, ParMetis, mt-metis),
+and the evaluation harness for the paper's tables and figures — with the
+CUDA GPU, the 8-core CPU, and the MPI cluster replaced by calibrated
+simulators (see DESIGN.md for the substitution argument).
+
+Quick start::
+
+    import repro
+    g = repro.graphs.load_dataset("delaunay", scale=0.01)
+    result = repro.partition(g, k=64, method="gp-metis")
+    print(result.summary(g))
+"""
+
+from . import (
+    apps,
+    baselines,
+    bench,
+    exceptions,
+    gmetis,
+    gpmetis,
+    gpusim,
+    graphs,
+    jostle,
+    mtmetis,
+    parmetis,
+    ptscotch,
+    runtime,
+    serial,
+)
+from .api import PARTITIONERS, available_methods, make_partitioner, partition
+from .exceptions import (
+    CommunicationError,
+    DeviceMemoryError,
+    GraphFormatError,
+    InvalidGraphError,
+    InvalidParameterError,
+    KernelLaunchError,
+    PartitioningError,
+    ReproError,
+)
+from .gpmetis import GPMetis, GPMetisOptions
+from .graphs import CSRGraph, load_dataset
+from .mtmetis import MtMetis, MtMetisOptions
+from .parmetis import ParMetis, ParMetisOptions
+from .result import PartitionResult
+from .runtime import PAPER_MACHINE, MachineSpec
+from .serial import SerialMetis, SerialOptions
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "partition",
+    "make_partitioner",
+    "available_methods",
+    "PARTITIONERS",
+    "PartitionResult",
+    "CSRGraph",
+    "load_dataset",
+    "SerialMetis",
+    "SerialOptions",
+    "ParMetis",
+    "ParMetisOptions",
+    "MtMetis",
+    "MtMetisOptions",
+    "GPMetis",
+    "GPMetisOptions",
+    "MachineSpec",
+    "PAPER_MACHINE",
+    "ReproError",
+    "GraphFormatError",
+    "InvalidGraphError",
+    "PartitioningError",
+    "InvalidParameterError",
+    "DeviceMemoryError",
+    "KernelLaunchError",
+    "CommunicationError",
+    "graphs",
+    "serial",
+    "runtime",
+    "gpusim",
+    "mtmetis",
+    "parmetis",
+    "gpmetis",
+    "bench",
+    "exceptions",
+    "apps",
+    "baselines",
+    "ptscotch",
+    "jostle",
+    "gmetis",
+]

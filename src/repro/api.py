@@ -1,0 +1,129 @@
+"""High-level facade: one call to partition a graph with any method.
+
+>>> import repro
+>>> g = repro.graphs.generators.grid2d(64, 64)
+>>> result = repro.partition(g, k=8, method="gp-metis")
+>>> result.quality(g).cut  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .baselines.naive import BlockPartitioner, RandomPartitioner
+from .baselines.spectral import SpectralPartitioner
+from .exceptions import InvalidParameterError
+from .gpmetis.options import GPMetisOptions
+from .gmetis.partitioner import Gmetis, GmetisOptions
+from .gpmetis.partitioner import GPMetis
+from .graphs.csr import CSRGraph
+from .jostle.partitioner import Jostle, JostleOptions
+from .mtmetis.options import MtMetisOptions
+from .mtmetis.partitioner import MtMetis
+from .parmetis.options import ParMetisOptions
+from .parmetis.partitioner import ParMetis
+from .ptscotch.partitioner import PTScotch, PTScotchOptions
+from .result import PartitionResult
+from .runtime.machine import MachineSpec
+from .serial.options import SerialOptions
+from .serial.partitioner import SerialMetis
+
+__all__ = [
+    "partition",
+    "make_partitioner",
+    "available_methods",
+    "PARTITIONERS",
+    "SIMPLE_PARTITIONERS",
+]
+
+#: method name -> (partitioner class, options class)
+PARTITIONERS: dict[str, tuple[type, type]] = {
+    "metis": (SerialMetis, SerialOptions),
+    "parmetis": (ParMetis, ParMetisOptions),
+    "mt-metis": (MtMetis, MtMetisOptions),
+    "gp-metis": (GPMetis, GPMetisOptions),
+    "pt-scotch": (PTScotch, PTScotchOptions),
+    "jostle": (Jostle, JostleOptions),
+    "gmetis": (Gmetis, GmetisOptions),
+}
+
+#: Baselines without an options dataclass (ctor kwargs: ubfactor, seed).
+SIMPLE_PARTITIONERS: dict[str, type] = {
+    "spectral": SpectralPartitioner,
+    "random": RandomPartitioner,
+    "block": BlockPartitioner,
+}
+
+#: Accepted aliases (the paper's own naming included).
+_ALIASES = {
+    "serial": "metis",
+    "ptscotch": "pt-scotch",
+    "pt_scotch": "pt-scotch",
+    "gpmetis": "gp-metis",
+    "gp_metis": "gp-metis",
+    "mtmetis": "mt-metis",
+    "mt_metis": "mt-metis",
+}
+
+
+def available_methods() -> list[str]:
+    """The four paper methods followed by the non-multilevel baselines."""
+    return list(PARTITIONERS) + list(SIMPLE_PARTITIONERS)
+
+
+def make_partitioner(method: str, machine: MachineSpec | None = None, **options):
+    """Instantiate a partitioner by name with option overrides.
+
+    ``options`` are forwarded to the method's options dataclass; unknown
+    keys raise :class:`InvalidParameterError` listing the valid ones.
+    """
+    key = _ALIASES.get(method.lower(), method.lower())
+    if key in SIMPLE_PARTITIONERS:
+        try:
+            return SIMPLE_PARTITIONERS[key](machine=machine, **options)
+        except TypeError as exc:
+            raise InvalidParameterError(
+                f"bad options for {key!r}: {exc}; valid options: ubfactor, seed"
+            ) from None
+    if key not in PARTITIONERS:
+        raise InvalidParameterError(
+            f"unknown method {method!r}; available: {', '.join(available_methods())}"
+        )
+    cls, opts_cls = PARTITIONERS[key]
+    try:
+        opts = opts_cls(**options)
+    except TypeError as exc:
+        valid = ", ".join(opts_cls.__dataclass_fields__)
+        raise InvalidParameterError(
+            f"bad options for {key!r}: {exc}; valid options: {valid}"
+        ) from None
+    return cls(opts, machine=machine)
+
+
+def partition(
+    graph: CSRGraph,
+    k: int,
+    method: str = "gp-metis",
+    machine: MachineSpec | None = None,
+    **options,
+) -> PartitionResult:
+    """Partition ``graph`` into ``k`` parts.
+
+    Parameters
+    ----------
+    graph:
+        The input :class:`~repro.graphs.CSRGraph`.
+    k:
+        Number of partitions (the paper's evaluation uses 64).
+    method:
+        One of :func:`available_methods` — ``"metis"`` (serial baseline),
+        ``"parmetis"``, ``"mt-metis"``, or ``"gp-metis"`` (default, the
+        paper's contribution).
+    machine:
+        Optional hardware model override (defaults to the paper's
+        Xeon E5540 + GTX Titan testbed).
+    options:
+        Method-specific options, e.g. ``ubfactor=1.05``,
+        ``merge_strategy="sort"``, ``num_threads=16``.
+    """
+    return make_partitioner(method, machine=machine, **options).partition(graph, k)

@@ -1,0 +1,25 @@
+"""Downstream applications of the partitioner (the paper's Sec. I uses)."""
+
+from .nested_dissection import (
+    NestedDissectionResult,
+    fill_in_upper_bound,
+    nested_dissection,
+    symbolic_fill,
+    vertex_separator_from_bisection,
+)
+from .repartition import RepartitionResult, migration_volume, repartition
+from .scheduling import Schedule, random_task_graph, schedule_tasks
+
+__all__ = [
+    "nested_dissection",
+    "NestedDissectionResult",
+    "vertex_separator_from_bisection",
+    "symbolic_fill",
+    "fill_in_upper_bound",
+    "repartition",
+    "RepartitionResult",
+    "migration_volume",
+    "schedule_tasks",
+    "Schedule",
+    "random_task_graph",
+]

@@ -1,0 +1,12 @@
+"""Non-multilevel baselines (pre-multilevel techniques + sanity anchors)."""
+
+from .naive import BlockPartitioner, RandomPartitioner
+from .spectral import SpectralPartitioner, fiedler_vector, spectral_bisect
+
+__all__ = [
+    "SpectralPartitioner",
+    "fiedler_vector",
+    "spectral_bisect",
+    "RandomPartitioner",
+    "BlockPartitioner",
+]

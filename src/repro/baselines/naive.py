@@ -1,0 +1,88 @@
+"""Trivial baselines: random and block partitioning.
+
+These anchor the benchmark suite — any heuristic worth running must beat
+them on cut (random) while matching their balance (both are perfectly
+balanced by construction on unit weights).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..graphs.csr import CSRGraph
+from ..result import PartitionResult
+from ..runtime.clock import SimClock
+from ..runtime.machine import PAPER_MACHINE, MachineSpec
+from ..runtime.trace import Trace
+
+__all__ = ["RandomPartitioner", "BlockPartitioner"]
+
+
+class _TrivialBase:
+    def __init__(
+        self, ubfactor: float = 1.03, seed: int = 1,
+        machine: MachineSpec | None = None,
+    ) -> None:
+        if ubfactor < 1.0:
+            raise InvalidParameterError("ubfactor must be >= 1.0")
+        self.ubfactor = ubfactor
+        self.seed = seed
+        self.machine = machine or PAPER_MACHINE
+
+    def _labels(self, graph: CSRGraph, k: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def partition(self, graph: CSRGraph, k: int) -> PartitionResult:
+        if k < 1:
+            raise InvalidParameterError(f"k must be >= 1, got {k}")
+        clock = SimClock()
+        clock.set_phase("assign")
+        t0 = time.perf_counter()
+        part = self._labels(graph, k)
+        clock.charge(
+            "compute",
+            self.machine.cpu.vertex_seconds(graph.num_vertices),
+            count=float(graph.num_vertices),
+            detail="label assignment",
+        )
+        return PartitionResult(
+            method=self.name,  # type: ignore[attr-defined]
+            graph_name=graph.name,
+            k=k,
+            part=part,
+            clock=clock,
+            trace=Trace(),
+            wall_seconds=time.perf_counter() - t0,
+        )
+
+
+class RandomPartitioner(_TrivialBase):
+    """Balanced random assignment: shuffle, then deal round-robin."""
+
+    name = "random"
+
+    def _labels(self, graph: CSRGraph, k: int) -> np.ndarray:
+        rng = np.random.default_rng(self.seed)
+        order = rng.permutation(graph.num_vertices)
+        part = np.empty(graph.num_vertices, dtype=np.int64)
+        part[order] = np.arange(graph.num_vertices, dtype=np.int64) % k
+        return part
+
+
+class BlockPartitioner(_TrivialBase):
+    """Contiguous index ranges — what a naive code does without a
+    partitioner.  Quality depends entirely on the input labeling's
+    locality (good for BFS/RCM-ordered meshes, terrible for shuffled
+    ones), which the coalescing ablation exploits."""
+
+    name = "block"
+
+    def _labels(self, graph: CSRGraph, k: int) -> np.ndarray:
+        n = graph.num_vertices
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        per = -(-n // k)
+        return np.minimum(np.arange(n, dtype=np.int64) // per, k - 1)

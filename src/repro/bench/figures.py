@@ -1,0 +1,43 @@
+"""Renderer for Fig. 5 (speedup over serial Metis) as ASCII bars + CSV."""
+
+from __future__ import annotations
+
+from .harness import ExperimentResults
+
+__all__ = ["fig5_series", "render_fig5", "fig5_csv"]
+
+_SERIES = ("parmetis", "mt-metis", "gp-metis")
+
+
+def fig5_series(results: ExperimentResults, paper_scale: bool = True) -> dict[str, dict[str, float]]:
+    """Speedup-over-Metis per (method, graph) — the Fig. 5 data."""
+    return {
+        m: {
+            ds: results.speedup(ds, m, paper_scale=paper_scale)
+            for ds in results.config.datasets
+        }
+        for m in _SERIES
+    }
+
+
+def render_fig5(results: ExperimentResults, paper_scale: bool = True, width: int = 40) -> str:
+    """ASCII bar chart of the Fig. 5 speedups."""
+    series = fig5_series(results, paper_scale=paper_scale)
+    peak = max(max(v.values()) for v in series.values())
+    scale_label = "paper-scale model" if paper_scale else "bench-scale model"
+    lines = [f"Fig. 5 — Speedup over serial Metis ({scale_label})"]
+    for ds in results.config.datasets:
+        lines.append(f"  {ds}:")
+        for m in _SERIES:
+            s = series[m][ds]
+            bar = "#" * max(1, int(round(s / peak * width)))
+            lines.append(f"    {m:>9s} {bar} {s:.2f}x")
+    return "\n".join(lines)
+
+
+def fig5_csv(results: ExperimentResults, paper_scale: bool = True) -> str:
+    series = fig5_series(results, paper_scale=paper_scale)
+    lines = ["graph," + ",".join(_SERIES)]
+    for ds in results.config.datasets:
+        lines.append(ds + "," + ",".join(f"{series[m][ds]:.4f}" for m in _SERIES))
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Profiling helpers ("no optimization without measuring").
+
+Wraps cProfile around a partitioner run and reports the hotspots as a
+structured table, so contributors follow the measure-first workflow when
+touching the vectorised kernels.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from dataclasses import dataclass
+from io import StringIO
+
+from ..graphs.csr import CSRGraph
+
+__all__ = ["Hotspot", "profile_partition", "hotspot_table"]
+
+
+@dataclass(frozen=True)
+class Hotspot:
+    """One profiled function's aggregate cost."""
+
+    function: str
+    calls: int
+    total_seconds: float   # excluding sub-calls
+    cumulative_seconds: float
+
+
+def profile_partition(
+    partitioner, graph: CSRGraph, k: int, top: int = 15
+) -> tuple[object, list[Hotspot]]:
+    """Run ``partitioner.partition(graph, k)`` under cProfile.
+
+    Returns ``(result, hotspots)`` with the top functions by internal
+    time.  The wall-clock overhead of profiling is substantial; use for
+    diagnosis, never inside benchmarks.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = partitioner.partition(graph, k)
+    finally:
+        profiler.disable()
+
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("tottime")
+    hotspots: list[Hotspot] = []
+    for func, (cc, nc, tt, ct, _callers) in stats.stats.items():  # type: ignore[attr-defined]
+        filename, line, name = func
+        short = f"{filename.rsplit('/', 1)[-1]}:{line}({name})"
+        hotspots.append(
+            Hotspot(
+                function=short,
+                calls=int(nc),
+                total_seconds=float(tt),
+                cumulative_seconds=float(ct),
+            )
+        )
+    hotspots.sort(key=lambda h: h.total_seconds, reverse=True)
+    return result, hotspots[:top]
+
+
+def hotspot_table(hotspots: list[Hotspot]) -> str:
+    """Format hotspots as an aligned text table."""
+    out = StringIO()
+    out.write(f"{'function':<52s} {'calls':>8s} {'tottime':>9s} {'cumtime':>9s}\n")
+    for h in hotspots:
+        out.write(
+            f"{h.function[:52]:<52s} {h.calls:>8d} "
+            f"{h.total_seconds:>9.4f} {h.cumulative_seconds:>9.4f}\n"
+        )
+    return out.getvalue().rstrip()

@@ -1,0 +1,110 @@
+"""Markdown report generation for experiment runs.
+
+Produces an EXPERIMENTS.md-style document from an
+:class:`~repro.bench.harness.ExperimentResults`, so `python -m repro
+bench --output report.md` (and CI jobs) can archive reproducible
+snapshots of the evaluation.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .calibrate import check_paper_shape
+from .figures import fig5_csv, fig5_series
+from .harness import ExperimentResults
+from .tables import table1_rows, table2_rows, table3_rows
+
+__all__ = ["markdown_report", "write_report"]
+
+
+def _md_table(header: list[str], rows: list[list[str]]) -> str:
+    out = ["| " + " | ".join(header) + " |", "|" + "---|" * len(header)]
+    out += ["| " + " | ".join(r) + " |" for r in rows]
+    return "\n".join(out)
+
+
+def markdown_report(results: ExperimentResults, title: str = "Experiment report") -> str:
+    """Render the full evaluation as a standalone markdown document."""
+    cfg = results.config
+    lines: list[str] = [
+        f"# {title}",
+        "",
+        f"Protocol: k = {cfg.k}, ubfactor = {cfg.ubfactor}, "
+        f"{len(cfg.datasets)} graphs x {len(cfg.methods)} methods, "
+        f"repeats = {cfg.repeats}, seed = {cfg.seed}.",
+        "",
+        "## Table I — input graphs",
+        "",
+    ]
+
+    rows = [
+        [
+            r["graph"],
+            f"{r['paper_vertices']:,}",
+            f"{r['paper_edges']:,}",
+            f"{r['bench_vertices']:,}",
+            f"{r['bench_edges']:,}",
+            f"{r['bench_avg_degree']:.1f}",
+        ]
+        for r in table1_rows(results)
+    ]
+    lines.append(
+        _md_table(
+            ["graph", "paper |V|", "paper |E|", "bench |V|", "bench |E|", "deg"],
+            rows,
+        )
+    )
+
+    lines += ["", "## Fig. 5 — speedup over serial Metis (paper-scale model)", ""]
+    series = fig5_series(results)
+    rows = [
+        [ds] + [f"{series[m][ds]:.2f}x" for m in ("parmetis", "mt-metis", "gp-metis")]
+        for ds in cfg.datasets
+    ]
+    lines.append(_md_table(["graph", "ParMetis", "mt-metis", "GP-metis"], rows))
+
+    lines += ["", "## Table II — modeled runtime (seconds, paper scale)", ""]
+    rows = [
+        [
+            r["graph"],
+            f"{r['metis']:.2f}",
+            f"{r['parmetis']:.2f}",
+            f"{r['mt-metis']:.2f}",
+            f"{r['gp-metis']:.2f}",
+        ]
+        for r in table2_rows(results)
+    ]
+    lines.append(_md_table(["graph", "Metis", "ParMetis", "mt-metis", "GP-metis"], rows))
+
+    lines += ["", "## Table III — edge-cut ratio vs Metis", ""]
+    rows = [
+        [
+            r["graph"],
+            f"{r['metis_cut']:,}",
+            f"{r['parmetis']:.3f}",
+            f"{r['mt-metis']:.3f}",
+            f"{r['gp-metis']:.3f}",
+        ]
+        for r in table3_rows(results)
+    ]
+    lines.append(
+        _md_table(["graph", "Metis cut", "ParMetis", "mt-metis", "GP-metis"], rows)
+    )
+
+    lines += ["", "## Paper-shape checks", ""]
+    for c in check_paper_shape(results):
+        mark = "x" if c.holds else " "
+        lines.append(f"- [{mark}] {c.claim} — {c.detail}")
+
+    lines += ["", "## Raw Fig. 5 data (CSV)", "", "```csv", fig5_csv(results), "```", ""]
+    return "\n".join(lines)
+
+
+def write_report(results: ExperimentResults, path, title: str | None = None) -> None:
+    """Write the markdown report to ``path``."""
+    doc = markdown_report(
+        results, title or f"Experiment report ({time.strftime('%Y-%m-%d')})"
+    )
+    with open(path, "w") as f:
+        f.write(doc)

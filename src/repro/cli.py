@@ -1,0 +1,212 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the classic ``gpmetis`` binary plus this repo's extras:
+
+* ``partition`` — partition a graph file (Metis/.gr/.npz) into k parts,
+  write a Metis ``.part`` file, print quality and modeled time;
+* ``generate`` — build a synthetic graph (Table I analogues or any
+  generator family) and write it to a file;
+* ``bench`` — run the paper's evaluation grid and print the tables;
+* ``info`` — print a graph file's statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import api
+from .bench import (
+    DEFAULT_SCALES,
+    ExperimentConfig,
+    check_paper_shape,
+    render_fig5,
+    render_table1,
+    render_table2,
+    render_table3,
+    run_experiment,
+)
+from .graphs import (
+    PAPER_DATASETS,
+    evaluate_partition,
+    load_dataset,
+    read_graph,
+    save_npz,
+    write_metis,
+    write_partition,
+)
+from .graphs import generators as gen
+
+__all__ = ["main", "build_parser"]
+
+_GENERATORS = {
+    "grid2d": lambda n, seed: gen.grid2d(int(n**0.5) or 1, int(n**0.5) or 1),
+    "delaunay": gen.delaunay,
+    "rgg": gen.random_geometric,
+    "road": gen.road_network,
+    "bubble": gen.bubble_mesh,
+    "fe": gen.fe_matrix,
+    "rmat": lambda n, seed: gen.rmat(max(1, int(n).bit_length() - 1), seed=seed),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    pp = sub.add_parser("partition", help="partition a graph file")
+    pp.add_argument("graph", help="input .graph/.metis/.gr/.npz file")
+    pp.add_argument("-k", type=int, default=64, help="number of partitions")
+    pp.add_argument(
+        "--method", default="gp-metis", choices=api.available_methods(),
+    )
+    pp.add_argument("--ubfactor", type=float, default=1.03)
+    pp.add_argument("--seed", type=int, default=1)
+    pp.add_argument("-o", "--output", help="write a Metis .part file here")
+
+    pg = sub.add_parser("generate", help="generate a synthetic graph")
+    group = pg.add_mutually_exclusive_group(required=True)
+    group.add_argument("--dataset", choices=list(PAPER_DATASETS),
+                       help="a Table I analogue")
+    group.add_argument("--family", choices=list(_GENERATORS),
+                       help="a generator family")
+    pg.add_argument("-n", type=int, default=10_000, help="vertices (family mode)")
+    pg.add_argument("--scale", type=float, default=0.01, help="scale (dataset mode)")
+    pg.add_argument("--seed", type=int, default=0)
+    pg.add_argument("-o", "--output", required=True,
+                    help="output file (.graph or .npz)")
+
+    pb = sub.add_parser("bench", help="run the paper's evaluation grid")
+    pb.add_argument("-k", type=int, default=64)
+    pb.add_argument("--scale", type=float, default=1.0,
+                    help="multiplier on the default dataset scales")
+    pb.add_argument("--repeats", type=int, default=1)
+    pb.add_argument("-o", "--output", help="write a markdown report here")
+
+    pi = sub.add_parser("info", help="print a graph file's statistics")
+    pi.add_argument("graph")
+
+    pa = sub.add_parser("analyze", help="structural profile + cut bounds")
+    pa.add_argument("graph")
+    pa.add_argument("-k", type=int, default=64,
+                    help="partition count for the cut lower bounds")
+    return p
+
+
+def _cmd_partition(args) -> int:
+    graph = read_graph(args.graph)
+    print(f"input: {graph}")
+    t0 = time.perf_counter()
+    result = api.partition(
+        graph, args.k, method=args.method, ubfactor=args.ubfactor, seed=args.seed
+    )
+    wall = time.perf_counter() - t0
+    q = evaluate_partition(graph, result.part, args.k)
+    print(f"method={args.method} k={args.k}")
+    print(f"edge cut      : {q.cut}")
+    print(f"imbalance     : {q.imbalance:.4f} (tolerance {args.ubfactor})")
+    print(f"comm volume   : {q.comm_volume}")
+    print(f"modeled time  : {result.modeled_seconds:.6f} s (simulated testbed)")
+    print(f"wall time     : {wall:.3f} s (this Python process)")
+    if args.output:
+        write_partition(result.part, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    if args.dataset:
+        graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    else:
+        graph = _GENERATORS[args.family](args.n, args.seed)
+    print(f"generated: {graph}")
+    if str(args.output).endswith(".npz"):
+        save_npz(graph, args.output)
+    else:
+        write_metis(graph, args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    cfg = ExperimentConfig(
+        k=args.k,
+        repeats=args.repeats,
+        scales={name: s * args.scale for name, s in DEFAULT_SCALES.items()},
+    )
+    results = run_experiment(cfg, verbose=True)
+    print()
+    for block in (
+        render_table1(results),
+        render_fig5(results),
+        render_table2(results),
+        render_table3(results),
+    ):
+        print(block)
+        print()
+    failed = [c for c in check_paper_shape(results) if not c.holds]
+    for c in check_paper_shape(results):
+        print(("PASS" if c.holds else "FAIL"), c.claim)
+    if args.output:
+        from .bench import write_report
+
+        write_report(results, args.output)
+        print(f"wrote {args.output}")
+    return 1 if failed else 0
+
+
+def _cmd_info(args) -> int:
+    graph = read_graph(args.graph)
+    deg = graph.degrees()
+    print(f"name            : {graph.name}")
+    print(f"vertices        : {graph.num_vertices}")
+    print(f"edges           : {graph.num_edges}")
+    print(f"avg degree      : {2 * graph.num_edges / max(1, graph.num_vertices):.2f}")
+    print(f"max degree      : {graph.max_degree}")
+    print(f"total vwgt      : {graph.total_vertex_weight}")
+    print(f"total ewgt      : {graph.total_edge_weight}")
+    print(f"memory (CSR)    : {graph.nbytes} bytes")
+    if graph.num_vertices:
+        comps = len(set(graph.connected_components().tolist()))
+        print(f"components      : {comps}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from .graphs import (
+        perfect_balance_cut_lower_bound,
+        profile_graph,
+        spectral_cut_lower_bound,
+    )
+
+    graph = read_graph(args.graph)
+    p = profile_graph(graph)
+    print(p.describe())
+    print(f"degree cv       : {p.degree_cv:.3f}")
+    print(f"avg bandwidth   : {p.avg_bandwidth:.1f}")
+    print(f"index locality  : {p.index_locality:.3f} "
+          "(fraction of arcs within +-64 ids; drives GPU coalescing)")
+    print(f"components      : {p.components}")
+    print(f"weighted        : edges={p.weighted_edges} vertices={p.weighted_vertices}")
+    spectral = spectral_cut_lower_bound(graph, args.k)
+    degree = perfect_balance_cut_lower_bound(graph, args.k)
+    print(f"cut lower bounds (k={args.k}): spectral >= {spectral:.1f}, "
+          f"degree >= {degree}")
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "partition": _cmd_partition,
+        "generate": _cmd_generate,
+        "bench": _cmd_bench,
+        "info": _cmd_info,
+        "analyze": _cmd_analyze,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""Error taxonomy for the repro package.
+
+All exceptions raised by the library derive from :class:`ReproError`, so
+callers can catch a single base class at the API boundary.  Subclasses
+partition the failure modes along the system inventory in DESIGN.md:
+graph-structure problems, partitioning-parameter problems, and simulated
+hardware resource exhaustion.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class GraphFormatError(ReproError):
+    """A graph file or in-memory structure violates its format contract."""
+
+
+class InvalidGraphError(ReproError):
+    """A CSR graph failed structural validation (see CSRGraph.validate)."""
+
+
+class PartitioningError(ReproError):
+    """A partitioner could not produce a valid partition."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A user-supplied parameter is out of range (e.g. k < 1, ubfactor < 1)."""
+
+
+class DeviceMemoryError(ReproError, MemoryError):
+    """The simulated GPU ran out of device memory.
+
+    Mirrors a CUDA ``cudaErrorMemoryAllocation``: raised when an allocation
+    would exceed the device's configured capacity.  The hybrid driver
+    catches this to fall back to CPU-only execution, as the paper's Sec. III
+    notes larger-than-memory graphs are out of scope ("future work").
+    """
+
+
+class KernelLaunchError(ReproError):
+    """A simulated kernel was launched with an invalid configuration."""
+
+
+class CommunicationError(ReproError):
+    """A simulated MPI operation was used incorrectly (rank/tag mismatch)."""

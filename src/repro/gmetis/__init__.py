@@ -1,0 +1,6 @@
+"""Gmetis reproduction: Metis on the Galois optimistic-parallelism model."""
+
+from .partitioner import Gmetis, GmetisOptions
+from .speculative import SpeculativeExecutor, SpeculativeStats
+
+__all__ = ["Gmetis", "GmetisOptions", "SpeculativeExecutor", "SpeculativeStats"]

@@ -1,0 +1,23 @@
+"""GP-metis: the paper's hybrid CPU-GPU multilevel graph partitioner."""
+
+from .hybrid import GpuLevel, HybridOutcome, run_hybrid
+from .memory_planning import MemoryPlan, plan_device_memory
+from .multigpu import MultiGpuGPMetis, MultiGpuOptions
+from .options import GPMetisOptions
+from .partitioner import GPMetis
+from .thresholds import breakeven_estimate, gpu_stop_size, should_run_level_on_gpu
+
+__all__ = [
+    "GPMetis",
+    "GPMetisOptions",
+    "MultiGpuGPMetis",
+    "MultiGpuOptions",
+    "MemoryPlan",
+    "plan_device_memory",
+    "run_hybrid",
+    "HybridOutcome",
+    "GpuLevel",
+    "gpu_stop_size",
+    "should_run_level_on_gpu",
+    "breakeven_estimate",
+]

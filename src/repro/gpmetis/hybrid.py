@@ -1,0 +1,251 @@
+"""The hybrid CPU-GPU orchestration (paper Sec. III, Fig. 1).
+
+Pipeline:
+
+1. copy the CSR graph to the GPU;
+2. GPU coarsening (match -> resolve -> cmap pipeline -> contraction) level
+   by level, keeping every level's arrays device-resident ("the addresses
+   of all arrays corresponding to the coarser graph are stored in a set
+   of pointer arrays since they will be needed to project back");
+3. at the threshold, ship the coarse graph to the CPU; mt-metis finishes
+   coarsening, computes the initial partition, and refines back up to the
+   threshold level;
+4. the partition vector returns to the GPU; projection + lock-free
+   refinement run down the remaining (fine) levels;
+5. the final labels come back to the host.
+
+If the graph (plus per-level bookkeeping) does not fit in device memory,
+the driver falls back to CPU-only mt-metis with a trace note — the paper
+assumes fitting graphs and defers bigger ones to future work, but a
+library must not crash on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import DeviceMemoryError
+from ..graphs.csr import CSRGraph
+from ..graphs.metrics import edge_cut, imbalance
+from ..gpusim.device import Device
+from ..gpusim.memory import DeviceArray
+from ..gpusim.simt import threads_for_items
+from ..gpusim.transfer import d2h, h2d, transfer_graph_to_device
+from ..mtmetis.initpart import parallel_recursive_bisection
+from ..mtmetis.partitioner import MtMetis
+from ..runtime.clock import SimClock
+from ..runtime.machine import MachineSpec
+from ..runtime.threads import ThreadPoolSim
+from ..runtime.trace import LevelRecord, RefinementRecord, Trace
+from ..serial.kway import rebalance_pass
+from .kernels.cmap import gpu_build_cmap
+from .kernels.contraction import gpu_contract
+from .kernels.matching import gpu_match
+from .kernels.projection import gpu_project
+from .kernels.refinement import gpu_refine_level
+from .options import GPMetisOptions
+from .thresholds import gpu_stop_size
+
+__all__ = ["GpuLevel", "HybridOutcome", "run_hybrid"]
+
+
+@dataclass
+class GpuLevel:
+    """One device-resident coarsening level."""
+
+    graph: CSRGraph
+    d_csr: dict[str, DeviceArray]
+    d_cmap: DeviceArray | None = None  # maps this level to the next coarser
+
+
+@dataclass
+class HybridOutcome:
+    part: np.ndarray
+    trace: Trace
+    device: Device
+    gpu_levels: int
+    cpu_levels: int
+    fell_back_to_cpu: bool = False
+    merge_fallbacks: int = 0
+    notes: list[str] = field(default_factory=list)
+
+
+def run_hybrid(
+    graph: CSRGraph,
+    k: int,
+    opts: GPMetisOptions,
+    machine: MachineSpec,
+    clock: SimClock,
+) -> HybridOutcome:
+    """Execute the full GP-metis pipeline against a shared clock."""
+    trace = Trace()
+    dev = Device(machine.gpu, clock)
+    rng = np.random.default_rng(opts.seed)
+    stop_at = gpu_stop_size(opts, k)
+    mt = MtMetis(opts.mtmetis_options(), machine)
+    pool = ThreadPoolSim(opts.cpu_threads, machine.cpu, clock)
+
+    # ------------------------------------------------------------------
+    # 1. Host -> device.
+    # ------------------------------------------------------------------
+    clock.set_phase("transfer")
+    try:
+        d_csr = transfer_graph_to_device(dev, graph, machine.interconnect)
+    except DeviceMemoryError as exc:
+        trace.note(f"device OOM on input transfer ({exc}); falling back to mt-metis")
+        res = mt.partition(graph, k)
+        clock.merge([res.clock])
+        return HybridOutcome(
+            part=res.part, trace=res.trace, device=dev,
+            gpu_levels=0, cpu_levels=res.trace.num_levels,
+            fell_back_to_cpu=True, notes=trace.notes,
+        )
+
+    # ------------------------------------------------------------------
+    # 2. GPU coarsening.
+    # ------------------------------------------------------------------
+    clock.set_phase("coarsening-gpu")
+    gpu_levels: list[GpuLevel] = []
+    current = GpuLevel(graph=graph, d_csr=d_csr)
+    level_idx = 0
+    merge_fallbacks = 0
+    fell_back = False
+    while current.graph.num_vertices > stop_at:
+        nv = current.graph.num_vertices
+        n_threads = threads_for_items(nv, opts.max_gpu_threads)
+        try:
+            d_match, mstats = gpu_match(
+                dev, current.d_csr, current.graph, n_threads, opts.matching, rng
+            )
+            d_cmap, n_coarse = gpu_build_cmap(dev, d_match, n_threads)
+            outcome = gpu_contract(
+                dev, current.d_csr, current.graph, d_match, d_cmap, n_coarse,
+                n_threads, opts.merge_strategy, opts.merge_impl,
+            )
+        except DeviceMemoryError as exc:
+            trace.note(f"device OOM at level {level_idx} ({exc}); continuing on CPU")
+            fell_back = True
+            break
+        d_match.free()
+        if outcome.fell_back_to_sort:
+            merge_fallbacks += 1
+            trace.note(f"level {level_idx}: hash tables too large, used sort merge")
+        trace.levels.append(
+            LevelRecord(
+                level=level_idx,
+                num_vertices=nv,
+                num_edges=current.graph.num_edges,
+                matched_pairs=mstats.pairs,
+                conflicts=mstats.conflicts,
+                self_matches=mstats.self_matches,
+                engine="gpu",
+            )
+        )
+        current.d_cmap = d_cmap
+        gpu_levels.append(current)
+        shrink = 1.0 - outcome.coarse.num_vertices / nv
+        current = GpuLevel(graph=outcome.coarse, d_csr=outcome.d_coarse)
+        level_idx += 1
+        if shrink < opts.min_shrink:
+            break
+
+    # ------------------------------------------------------------------
+    # 3. Device -> host; CPU coarsening + initial partitioning + CPU
+    #    uncoarsening (mt-metis).
+    # ------------------------------------------------------------------
+    clock.set_phase("transfer")
+    for name in ("adjp", "adjncy", "adjwgt", "vwgt"):
+        d2h(current.d_csr[name], machine.interconnect, label=f"coarse.{name}")
+
+    clock.set_phase("coarsening-cpu")
+    cpu_levels, coarsest = mt.coarsen(
+        current.graph, k, pool, trace, rng, target=opts.coarsen_target(k)
+    )
+    for rec in trace.levels:
+        if rec.engine == "cpu-threads":
+            rec.level += level_idx
+
+    clock.set_phase("initpart")
+    part, crit_work = parallel_recursive_bisection(
+        coarsest, k, opts.cpu_threads, mt.options.serial_options(), rng
+    )
+    clock.charge(
+        "compute",
+        machine.cpu.edge_seconds(
+            crit_work,
+            avg_degree=2 * coarsest.num_edges / max(1, coarsest.num_vertices),
+        ),
+        count=crit_work,
+        detail="initial partitioning (mt-metis)",
+    )
+
+    clock.set_phase("uncoarsening-cpu")
+    part = mt.uncoarsen(cpu_levels, part, k, pool, trace, level_offset=level_idx)
+
+    # ------------------------------------------------------------------
+    # 4. Host -> device; GPU projection + refinement down the fine levels.
+    # ------------------------------------------------------------------
+    if gpu_levels and not fell_back:
+        clock.set_phase("transfer")
+        d_part = h2d(dev, part.astype(np.int64), machine.interconnect, label="part")
+
+        clock.set_phase("uncoarsening-gpu")
+        for li in range(len(gpu_levels) - 1, -1, -1):
+            level = gpu_levels[li]
+            n_threads = threads_for_items(level.graph.num_vertices, opts.max_gpu_threads)
+            assert level.d_cmap is not None
+            d_fine_part = gpu_project(
+                dev, d_part, level.d_cmap, level.graph.num_vertices, n_threads
+            )
+            d_part.free()
+            d_part = d_fine_part
+            cut_before = edge_cut(level.graph, d_part.data)
+            sub_stats = gpu_refine_level(
+                dev, level.d_csr, level.graph, d_part, k,
+                opts.ubfactor, opts.refine_passes, n_threads,
+            )
+            cut_after = edge_cut(level.graph, d_part.data)
+            for si, st in enumerate(sub_stats):
+                trace.refinements.append(
+                    RefinementRecord(
+                        level=li, pass_index=si,
+                        moves_proposed=st.proposals,
+                        moves_committed=st.committed,
+                        cut_before=cut_before, cut_after=cut_after,
+                        engine="gpu",
+                    )
+                )
+
+        clock.set_phase("transfer")
+        part = d2h(d_part, machine.interconnect, label="part.final")
+
+    # ------------------------------------------------------------------
+    # 5. Final balance guarantee on the host.
+    # ------------------------------------------------------------------
+    clock.set_phase("uncoarsening-cpu")
+    if k > 1 and imbalance(graph, part, k) > opts.ubfactor:
+        pweights = np.bincount(part, weights=graph.vwgt.astype(np.float64), minlength=k)
+        ideal = graph.total_vertex_weight / k
+        moves = rebalance_pass(graph, part, pweights, k, opts.ubfactor * ideal)
+        clock.charge(
+            "compute",
+            machine.cpu.edge_seconds(
+                graph.num_directed_edges,
+                avg_degree=2 * graph.num_edges / max(1, graph.num_vertices),
+            ),
+            count=float(graph.num_directed_edges),
+            detail=f"final rebalance ({moves} moves)",
+        )
+
+    return HybridOutcome(
+        part=part,
+        trace=trace,
+        device=dev,
+        gpu_levels=len(gpu_levels),
+        cpu_levels=len(cpu_levels),
+        fell_back_to_cpu=fell_back,
+        merge_fallbacks=merge_fallbacks,
+        notes=trace.notes,
+    )

@@ -1,0 +1,24 @@
+"""GP-metis GPU kernels: matching, cmap pipeline, contraction, projection, refinement."""
+
+from .cmap import gpu_build_cmap
+from .contraction import ContractionOutcome, gpu_contract
+from .matching import consecutive_batches, gpu_match
+from .merge_hash import charge_hash_merge_kernel, hash_tables_fit, reference_hash_merge
+from .merge_sort import charge_sort_merge, reference_sort_merge
+from .projection import gpu_project
+from .refinement import gpu_refine_level
+
+__all__ = [
+    "gpu_match",
+    "consecutive_batches",
+    "gpu_build_cmap",
+    "gpu_contract",
+    "ContractionOutcome",
+    "reference_hash_merge",
+    "reference_sort_merge",
+    "charge_hash_merge_kernel",
+    "charge_sort_merge",
+    "hash_tables_fit",
+    "gpu_project",
+    "gpu_refine_level",
+]

@@ -1,0 +1,65 @@
+"""The 4-kernel coarse-vertex-map pipeline (paper Sec. III.A, Fig. 4).
+
+1. **mark** — ``PV[v] = 1`` if ``v <= M[v]`` (v is its pair's
+   representative) else 0;
+2. **scan** — inclusive prefix sum of PV (CUB); the last element is the
+   coarse vertex count;
+3. **subtract** — every entry decremented in place;
+4. **final** — ``CM[v] = PV[M[v]]`` for non-representatives (their label
+   is their partner's), ``CM[v] = PV[v]`` otherwise.
+
+All steps are in-place over two length-|V| arrays — "we do not need any
+auxiliary memory space" beyond PV itself.  The produced labels equal the
+serial :func:`repro.serial.contraction.build_cmap` numbering exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...gpusim.device import Device
+from ...gpusim.memory import DeviceArray
+from ...gpusim.scan import inclusive_scan
+
+__all__ = ["gpu_build_cmap"]
+
+
+def gpu_build_cmap(
+    dev: Device,
+    d_match: DeviceArray,
+    n_threads: int,
+) -> tuple[DeviceArray, int]:
+    """Run the Fig. 4 pipeline; returns (d_cmap, num_coarse_vertices)."""
+    match = d_match.data
+    n = match.shape[0]
+    ids = np.arange(n, dtype=np.int64)
+
+    # Kernel 1: mark representatives.
+    d_pv = dev.alloc(n, np.int64, label="pv")
+    with dev.kernel("coarsen.cmap_mark", n_threads=n_threads) as k:
+        m = k.stream_read(d_match)
+        k.compute(n)
+        k.stream_write(d_pv, (ids <= m).astype(np.int64))
+
+    # Kernel 2: CUB inclusive scan.
+    d_scanned = inclusive_scan(dev, d_pv, label="coarsen.cmap")
+    n_coarse = int(d_scanned.data[-1]) if n else 0
+    d_pv.free()
+
+    # Kernel 3: subtract one from every entry (in place).
+    with dev.kernel("coarsen.cmap_subtract", n_threads=n_threads) as k:
+        vals = k.stream_read(d_scanned)
+        k.compute(n)
+        k.stream_write(d_scanned, vals - 1)
+
+    # Kernel 4: non-representatives take their partner's label.
+    with dev.kernel("coarsen.cmap_final", n_threads=n_threads) as k:
+        m = k.stream_read(d_match)
+        nonrep = ids > m
+        partner_labels = k.gather(d_scanned, m[nonrep]) if np.any(nonrep) else np.empty(0, np.int64)
+        k.compute(n)
+        if np.any(nonrep):
+            k.scatter(d_scanned, ids[nonrep], partner_labels)
+
+    d_scanned.label = "cmap"
+    return d_scanned, n_coarse

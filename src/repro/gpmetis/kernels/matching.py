@@ -1,0 +1,94 @@
+"""GPU matching kernels (paper Sec. III.A, Fig. 3).
+
+Two kernels per level:
+
+* ``coarsen.match`` — every thread scans its assigned vertices and writes
+  matches to the shared matching array ``M`` lock-free (HEM, falling back
+  to random matching when all weights are equal).  Threads process
+  vertices in the coalesced layout of Fig. 2: in iteration ``j`` thread
+  ``t`` handles vertex ``j*T + t``, so a warp's vertex reads are
+  contiguous.
+* ``coarsen.resolve`` — re-scans the array and self-matches every vertex
+  whose claim is not reciprocated (``M[M[v]] != v``).
+
+Semantics ride on the shared lock-free engine
+(:func:`repro.mtmetis.matching.lockfree_match`) with batch width = the
+GPU thread count: tens of thousands of concurrent claims per lockstep
+round, hence the higher conflict rate the paper reports versus 8-thread
+mt-metis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..._segments import gather_ranges
+from ...graphs.csr import CSRGraph
+from ...gpusim.device import Device
+from ...gpusim.memory import DeviceArray
+from ...mtmetis.matching import LockfreeMatchStats, lockfree_match
+
+__all__ = ["gpu_match", "consecutive_batches"]
+
+
+def consecutive_batches(n: int, width: int):
+    """Fig. 2's schedule: batch j covers vertices [j*width, (j+1)*width)."""
+    for start in range(0, n, width):
+        yield np.arange(start, min(start + width, n), dtype=np.int64)
+
+
+def gpu_match(
+    dev: Device,
+    d_csr: dict[str, DeviceArray],
+    graph: CSRGraph,
+    n_threads: int,
+    scheme: str,
+    rng: np.random.Generator,
+) -> tuple[DeviceArray, LockfreeMatchStats]:
+    """Run the matching + conflict-resolution kernels; returns (d_match, stats).
+
+    If every edge weight is equal, HEM degenerates and the paper switches
+    to iterative random matching — handled by inspecting the weights once.
+    """
+    n = graph.num_vertices
+    if scheme == "hem" and graph.adjwgt.size and graph.adjwgt.min() == graph.adjwgt.max():
+        scheme = "rm"
+
+    match, stats = lockfree_match(
+        graph,
+        consecutive_batches(n, n_threads),
+        scheme=scheme,
+        rng=rng,
+        retry_rounds=0,  # GP-metis self-matches conflicted vertices outright
+    )
+
+    d_match = dev.alloc(n, np.int64, label="match")
+
+    # Account the matching kernel: one launch covering all lockstep
+    # iterations (each thread loops over ceil(n/T) vertices).
+    with dev.kernel("coarsen.match", n_threads=n_threads) as k:
+        verts = np.arange(n, dtype=np.int64)
+        k.gather(d_csr["adjp"], verts)          # row starts (coalesced)
+        k.gather(d_csr["adjp"], verts + 1)      # row ends
+        degs = graph.degrees()
+        flat = gather_ranges(graph.adjp[verts], degs)
+        k.gather(d_csr["adjncy"], flat)         # neighbor ids
+        k.gather(d_csr["adjwgt"], flat)         # edge weights
+        # Reading M[u] for every scanned neighbor: data-dependent gather.
+        k.gather(d_match, graph.adjncy[flat])
+        k.compute_divergent(degs.astype(np.float64))
+        # Two writes per matched pair (M[v]=u, M[u]=v): v side coalesced,
+        # u side scattered.
+        ids = np.arange(n, dtype=np.int64)
+        paired = match != ids
+        k.scatter(d_match, ids[paired], match[paired])
+        k.scatter(d_match, match[paired], ids[paired])
+
+    # Conflict-resolution kernel: M[M[v]] check + self-match writes.
+    with dev.kernel("coarsen.resolve", n_threads=n_threads) as k:
+        vals = k.stream_read(d_match)
+        k.gather(d_match, np.maximum(vals, 0))
+        k.compute(2 * n)
+        k.stream_write(d_match, match)
+
+    return d_match, stats

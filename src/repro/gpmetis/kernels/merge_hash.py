@@ -1,0 +1,53 @@
+"""Hash-table adjacency merging (paper Sec. III.A, second approach).
+
+"We use a hash table for each thread.  Then a hash function is applied to
+all neighbors of each pair of vertices, which maps the neighbors of two
+collapsing vertices to the entries in the hash table and constructs the
+adjacency list of the newly created vertex in the coarser graph."
+
+Faster than sorting (O(L) expected vs O(L log L)) but needs per-thread
+table memory — the sparsity precondition checked by
+:func:`hash_tables_fit`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...gpusim.device import Device, KernelContext
+from ...gpusim.hashtable import ClusteredHashTable, charge_hash_merge, hash_table_bytes
+
+__all__ = ["reference_hash_merge", "charge_hash_merge_kernel", "hash_tables_fit"]
+
+
+def reference_hash_merge(
+    nbr_lists: list[np.ndarray],
+    wgt_lists: list[np.ndarray],
+    capacity: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One thread's merge through a clustered hash table.
+
+    Inserts every (neighbor, weight) of the collapsing pair; duplicate
+    neighbors accumulate.  Output is key-sorted (the table iteration order
+    is canonicalised so all merge paths produce identical CSR graphs).
+    """
+    table = ClusteredHashTable(max(1, capacity))
+    for nbrs, wgts in zip(nbr_lists, wgt_lists):
+        for u, w in zip(nbrs.tolist(), wgts.tolist()):
+            table.insert_or_add(int(u), int(w))
+    return table.items()
+
+
+def charge_hash_merge_kernel(k: KernelContext, merged_lengths: np.ndarray) -> None:
+    """Charge the kernel for per-thread hash inserts + table sweep."""
+    charge_hash_merge(k, np.asarray(merged_lengths, dtype=np.float64))
+
+
+def hash_tables_fit(dev: Device, n_coarse: int, n_threads: int) -> bool:
+    """Does the paper's ideal per-thread table sizing fit in device memory?
+
+    "The hash table approach ... is applicable only when the graph is
+    sparse so that the hash table is not too large to fit inside the GPU
+    memory" — the driver falls back to sort-merge when this fails.
+    """
+    return hash_table_bytes(n_coarse, n_threads) <= dev.free_bytes

@@ -1,0 +1,33 @@
+"""Sort-merge adjacency merging (paper Sec. III.A, first approach).
+
+"The neighbor lists of the pair vertices are merged and sorted using
+quicksort followed by a remove function, which deletes the repeated
+vertices."  Each CUDA thread sorts sequentially, so the cost is
+``L log L`` per merged list with warp divergence across unequal lists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...gpusim.device import KernelContext
+from ...gpusim.sort import charge_thread_quicksort, thread_sort_dedup
+
+__all__ = ["reference_sort_merge", "charge_sort_merge"]
+
+
+def reference_sort_merge(
+    nbr_lists: list[np.ndarray], wgt_lists: list[np.ndarray]
+) -> tuple[np.ndarray, np.ndarray]:
+    """One thread's merge: concat, quicksort, remove duplicates (sum weights)."""
+    values = np.concatenate(nbr_lists) if nbr_lists else np.empty(0, np.int64)
+    weights = np.concatenate(wgt_lists) if wgt_lists else np.empty(0, np.int64)
+    return thread_sort_dedup(values, weights)
+
+
+def charge_sort_merge(k: KernelContext, merged_lengths: np.ndarray) -> None:
+    """Charge the kernel for per-thread quicksort + dedup sweeps."""
+    lens = np.asarray(merged_lengths, dtype=np.float64)
+    charge_thread_quicksort(k, lens)
+    # The remove pass is one linear sweep of the sorted list.
+    k.compute_divergent(lens)

@@ -1,0 +1,33 @@
+"""The projection kernel (paper Sec. III.C).
+
+"This step can easily be parallelized on the GPU by dividing the
+vertices of the finer graph among the threads and having each thread
+specify the partition labels of the projected vertices in the finer
+graph by considering the CM array and saved pointer arrays."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...gpusim.device import Device
+from ...gpusim.memory import DeviceArray
+
+__all__ = ["gpu_project"]
+
+
+def gpu_project(
+    dev: Device,
+    d_coarse_part: DeviceArray,
+    d_cmap: DeviceArray,
+    n_fine: int,
+    n_threads: int,
+) -> DeviceArray:
+    """part_fine[v] = part_coarse[CM[v]]; returns the fine label array."""
+    d_fine = dev.alloc(n_fine, np.int64, label="part")
+    with dev.kernel("uncoarsen.project", n_threads=n_threads) as k:
+        cm = k.stream_read(d_cmap, n_elements=n_fine)
+        labels = k.gather(d_coarse_part, cm)  # data-dependent gather
+        k.stream_write(d_fine, labels)
+        k.compute(n_fine)
+    return d_fine

@@ -1,0 +1,83 @@
+"""Control parameters of GP-metis (the paper's partitioner)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import InvalidParameterError
+from ..mtmetis.options import MtMetisOptions
+
+__all__ = ["GPMetisOptions"]
+
+
+@dataclass(frozen=True)
+class GPMetisOptions:
+    """Knobs of :class:`repro.gpmetis.GPMetis`.
+
+    The hybrid thresholds bound where GPU execution stops paying off
+    (Sec. III: "beyond which coarsening is faster on the CPU than on the
+    GPU due to the lack of sufficient parallel tasks").
+    """
+
+    ubfactor: float = 1.03
+    matching: str = "hem"
+    #: Adjacency-merge strategy for contraction: "hash" (clustered hash
+    #: table) or "sort" (per-thread quicksort + dedup) — Sec. III.A.
+    merge_strategy: str = "hash"
+    #: Merge implementation: "vectorized" computes the identical coarse
+    #: graph with numpy (fast path; costs still follow merge_strategy);
+    #: "reference" runs the per-vertex hash table / sort-dedup loops
+    #: exactly as a CUDA thread would (slow; used by tests/small graphs).
+    merge_impl: str = "vectorized"
+    #: Hand the graph to the CPU when the coarse graph drops below
+    #: max(gpu_threshold_factor * k, gpu_threshold_min) vertices.
+    gpu_threshold_factor: int = 64
+    gpu_threshold_min: int = 4096
+    #: Number of CPU threads for the mt-metis middle stage (paper: 8).
+    cpu_threads: int = 8
+    coarsen_to_factor: int = 20
+    coarsen_min: int = 64
+    min_shrink: float = 0.05
+    refine_passes: int = 4
+    #: Max GPU threads per kernel; per Sec. III.A the count shrinks with
+    #: the graph ("we reduce the number of launched threads in the
+    #: following levels") — one thread per vertex up to this cap.
+    max_gpu_threads: int = 14 * 2048
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.ubfactor < 1.0:
+            raise InvalidParameterError("ubfactor must be >= 1.0")
+        if self.matching not in ("hem", "rm", "lem"):
+            raise InvalidParameterError(f"unknown matching scheme {self.matching!r}")
+        if self.merge_strategy not in ("hash", "sort"):
+            raise InvalidParameterError(f"unknown merge strategy {self.merge_strategy!r}")
+        if self.merge_impl not in ("vectorized", "reference"):
+            raise InvalidParameterError(f"unknown merge impl {self.merge_impl!r}")
+        if self.gpu_threshold_min < 2 or self.gpu_threshold_factor < 1:
+            raise InvalidParameterError("gpu thresholds out of range")
+        if self.cpu_threads < 1 or self.max_gpu_threads < 32:
+            raise InvalidParameterError("thread counts out of range")
+        if self.refine_passes < 1:
+            raise InvalidParameterError("refine_passes must be >= 1")
+
+    def gpu_threshold(self, k: int) -> int:
+        """Vertex count below which the graph moves to the CPU."""
+        return max(self.gpu_threshold_min, self.gpu_threshold_factor * k)
+
+    def coarsen_target(self, k: int) -> int:
+        """Size the initial partitioning runs at (same rule as Metis)."""
+        return max(self.coarsen_min, self.coarsen_to_factor * k)
+
+    def mtmetis_options(self) -> MtMetisOptions:
+        """Options of the CPU middle stage (paper Sec. III.B: mt-metis)."""
+        return MtMetisOptions(
+            num_threads=self.cpu_threads,
+            ubfactor=self.ubfactor,
+            matching=self.matching,
+            coarsen_to_factor=self.coarsen_to_factor,
+            coarsen_min=self.coarsen_min,
+            min_shrink=self.min_shrink,
+            refine_passes=self.refine_passes,
+            seed=self.seed,
+        )

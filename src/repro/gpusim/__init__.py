@@ -1,0 +1,41 @@
+"""Simulated SIMT GPU: device memory, kernels, coalescing, scans, atomics."""
+
+from .atomics import atomic_add_scalar, atomic_append
+from .device import Device, KernelContext
+from .hashtable import ClusteredHashTable, charge_hash_merge, hash_table_bytes
+from .memory import DeviceArray, stream_transactions, warp_transactions
+from .reduce import device_count_nonzero, device_max, device_sum
+from .scan import exclusive_scan, inclusive_scan
+from .simt import divergence_factor, grid_for, threads_for_items, warp_divergent_ops
+from .sort import charge_thread_quicksort, thread_sort_dedup
+from .stats import DeviceStats, KernelStats
+from .transfer import d2h, h2d, transfer_graph_to_device
+
+__all__ = [
+    "Device",
+    "KernelContext",
+    "DeviceArray",
+    "warp_transactions",
+    "stream_transactions",
+    "inclusive_scan",
+    "exclusive_scan",
+    "device_sum",
+    "device_max",
+    "device_count_nonzero",
+    "atomic_append",
+    "atomic_add_scalar",
+    "ClusteredHashTable",
+    "charge_hash_merge",
+    "hash_table_bytes",
+    "charge_thread_quicksort",
+    "thread_sort_dedup",
+    "warp_divergent_ops",
+    "divergence_factor",
+    "grid_for",
+    "threads_for_items",
+    "DeviceStats",
+    "KernelStats",
+    "d2h",
+    "h2d",
+    "transfer_graph_to_device",
+]

@@ -1,0 +1,232 @@
+"""The simulated CUDA device: memory manager and kernel launcher.
+
+``Device`` owns a capacity-limited global memory (allocations fail with
+:class:`DeviceMemoryError` when the GTX Titan's 6 GB would be exceeded —
+the constraint paper Sec. III calls out), a :class:`SimClock` to charge
+time against, and per-kernel statistics.
+
+Kernels are written as context managers::
+
+    with dev.kernel("coarsen.match", n_threads=nt) as k:
+        k.gather(d_adjncy, idx)          # irregular read
+        k.stream_read(d_match)           # coalesced sweep
+        k.scatter(d_match, vs)           # irregular write
+        k.compute(per_thread_ops)        # SIMT compute, divergence-aware
+
+On exit, the launch charges ``launch_overhead + max(memory_time,
+compute_time) + atomic_time`` — the standard roofline view of a
+memory-bound CUDA kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import DeviceMemoryError, KernelLaunchError
+from ..runtime.clock import SimClock
+from ..runtime.machine import GpuSpec
+from .memory import DeviceArray, stream_transactions, warp_transactions
+from .simt import warp_divergent_ops
+from .stats import DeviceStats
+
+__all__ = ["Device", "KernelContext"]
+
+
+@dataclass
+class Device:
+    """One simulated CUDA GPU."""
+
+    spec: GpuSpec
+    clock: SimClock
+    stats: DeviceStats = field(default_factory=DeviceStats)
+    allocated_bytes: int = 0
+
+    # ------------------------------------------------------------------
+    # Memory management
+    # ------------------------------------------------------------------
+    def alloc(self, shape, dtype=np.int64, label: str = "") -> DeviceArray:
+        """cudaMalloc: zero-initialised device array."""
+        arr = np.zeros(shape, dtype=dtype)
+        return self._register(arr, label)
+
+    def alloc_like(self, host: np.ndarray, label: str = "") -> DeviceArray:
+        return self.alloc(host.shape, host.dtype, label)
+
+    def adopt(self, host: np.ndarray, label: str = "") -> DeviceArray:
+        """Place an existing host buffer in device memory *without* a PCIe
+        transfer charge — used for device-resident intermediates."""
+        return self._register(host, label)
+
+    def _register(self, arr: np.ndarray, label: str) -> DeviceArray:
+        nbytes = int(arr.nbytes)
+        if self.allocated_bytes + nbytes > self.spec.memory_bytes:
+            raise DeviceMemoryError(
+                f"device OOM allocating {nbytes} B for {label!r}: "
+                f"{self.allocated_bytes} B in use of {self.spec.memory_bytes} B"
+            )
+        self.allocated_bytes += nbytes
+        self.stats.peak_memory_bytes = max(self.stats.peak_memory_bytes, self.allocated_bytes)
+        return DeviceArray(arr, self, label)
+
+    def _release(self, darr: DeviceArray) -> None:
+        self.allocated_bytes -= darr.nbytes
+
+    @property
+    def free_bytes(self) -> int:
+        return self.spec.memory_bytes - self.allocated_bytes
+
+    # ------------------------------------------------------------------
+    # Kernel launching
+    # ------------------------------------------------------------------
+    def kernel(self, name: str, n_threads: int) -> "KernelContext":
+        if n_threads < 1:
+            raise KernelLaunchError(f"kernel {name!r} launched with {n_threads} threads")
+        return KernelContext(self, name, int(n_threads))
+
+
+class KernelContext:
+    """Accumulates one kernel launch's memory/compute/atomic work."""
+
+    def __init__(self, device: Device, name: str, n_threads: int) -> None:
+        self.device = device
+        self.name = name
+        self.n_threads = n_threads
+        self._transactions = 0.0
+        #: Transactions beyond the perfectly-coalesced minimum: these are
+        #: random DRAM accesses and pay the (lower) gather bandwidth.
+        self._random_transactions = 0.0
+        #: Random transactions into arrays that fit the L2 cache: they
+        #: avoid DRAM and pay the (intermediate) cached-gather bandwidth.
+        self._cached_transactions = 0.0
+        self._bytes_requested = 0.0
+        self._compute_ops = 0.0
+        self._atomic_ops = 0.0
+        self._atomic_conflicts = 0.0
+        self._entered = False
+
+    # -- context protocol ------------------------------------------------
+    def __enter__(self) -> "KernelContext":
+        self._entered = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self._commit()
+
+    # -- access recording -------------------------------------------------
+    def _account_indexed(self, darr: DeviceArray, idx: np.ndarray) -> None:
+        spec = self.device.spec
+        txns = warp_transactions(idx, darr.itemsize, spec.warp_size, spec.transaction_bytes)
+        nbytes = idx.size * darr.itemsize
+        # A perfectly coalesced indexed access behaves like a stream; only
+        # the transactions *beyond* that minimum are random traffic —
+        # served from L2 when the whole array fits, from DRAM otherwise.
+        ideal = stream_transactions(nbytes, spec.transaction_bytes)
+        self._transactions += txns
+        excess = max(0.0, txns - ideal)
+        if darr.nbytes <= spec.l2_bytes:
+            self._cached_transactions += excess
+        else:
+            self._random_transactions += excess
+        self._bytes_requested += nbytes
+
+    def gather(self, darr: DeviceArray, indices: np.ndarray) -> np.ndarray:
+        """Warp-ordered irregular read; returns the gathered values."""
+        darr._require_live()
+        idx = np.asarray(indices, dtype=np.int64)
+        self._account_indexed(darr, idx)
+        return darr.data[idx]
+
+    def scatter(self, darr: DeviceArray, indices: np.ndarray, values) -> None:
+        """Warp-ordered irregular write."""
+        darr._require_live()
+        idx = np.asarray(indices, dtype=np.int64)
+        self._account_indexed(darr, idx)
+        darr.data[idx] = values
+
+    def stream_read(self, darr: DeviceArray, n_elements: int | None = None) -> np.ndarray:
+        """Fully coalesced sequential read of the array (or a prefix)."""
+        darr._require_live()
+        n = darr.size if n_elements is None else int(n_elements)
+        nbytes = n * darr.itemsize
+        self._transactions += stream_transactions(nbytes, self.device.spec.transaction_bytes)
+        self._bytes_requested += nbytes
+        return darr.data[:n] if n_elements is not None else darr.data
+
+    def stream_write(self, darr: DeviceArray, values, n_elements: int | None = None) -> None:
+        """Fully coalesced sequential write."""
+        darr._require_live()
+        n = darr.size if n_elements is None else int(n_elements)
+        nbytes = n * darr.itemsize
+        self._transactions += stream_transactions(nbytes, self.device.spec.transaction_bytes)
+        self._bytes_requested += nbytes
+        if n_elements is None:
+            darr.data[...] = values
+        else:
+            darr.data[:n] = values
+
+    def compute(self, ops: float) -> None:
+        """Uniform arithmetic work (total simple ops across all threads)."""
+        self._compute_ops += float(ops)
+
+    def compute_divergent(self, per_thread_ops: np.ndarray) -> None:
+        """SIMT compute where threads of a warp do unequal work.
+
+        Charged at the warp-synchronous rate: each warp costs
+        ``warp_size x max(ops of its threads)`` — the paper's workload-
+        imbalance penalty for irregular graphs.
+        """
+        self._compute_ops += warp_divergent_ops(
+            np.asarray(per_thread_ops, dtype=np.float64), self.device.spec.warp_size
+        )
+
+    def atomic(self, n_ops: int, distinct_targets: int | None = None) -> None:
+        """n_ops atomic RMWs; contention modeled from target multiplicity."""
+        n_ops = int(n_ops)
+        self._atomic_ops += n_ops
+        if distinct_targets is not None and distinct_targets > 0 and n_ops > distinct_targets:
+            # Ops beyond one-per-target serialise on the memory controller.
+            self._atomic_conflicts += n_ops - distinct_targets
+
+    # -- commit ------------------------------------------------------------
+    def _commit(self) -> None:
+        spec = self.device.spec
+        streamed = (
+            self._transactions - self._random_transactions - self._cached_transactions
+        )
+        occupancy = spec.occupancy(self.n_threads)
+        mem_t = (
+            spec.transaction_seconds(streamed)
+            + spec.gather_transaction_seconds(self._random_transactions)
+            + spec.cached_gather_transaction_seconds(self._cached_transactions)
+        ) / occupancy
+        cmp_t = spec.compute_seconds(self._compute_ops) / occupancy
+        atomic_t = (
+            self._atomic_ops * spec.atomic_seconds
+            + self._atomic_conflicts * spec.atomic_contention_seconds
+        )
+        body = max(mem_t, cmp_t) + atomic_t
+        total = spec.kernel_launch_seconds + body
+
+        clock = self.device.clock
+        clock.charge("launch", spec.kernel_launch_seconds, count=1.0, detail=self.name)
+        if body > 0:
+            if mem_t >= cmp_t:
+                clock.charge("memory", mem_t, count=self._transactions, detail=self.name)
+                if atomic_t:
+                    clock.charge("atomic", atomic_t, count=self._atomic_ops, detail=self.name)
+            else:
+                clock.charge("compute", cmp_t, count=self._compute_ops, detail=self.name)
+                if atomic_t:
+                    clock.charge("atomic", atomic_t, count=self._atomic_ops, detail=self.name)
+
+        k = self.device.stats.kernel(self.name)
+        k.launches += 1
+        k.threads_launched += self.n_threads
+        k.memory_transactions += self._transactions
+        k.bytes_requested += self._bytes_requested
+        k.compute_ops += self._compute_ops
+        k.atomic_ops += self._atomic_ops
+        k.seconds += total

@@ -1,0 +1,107 @@
+"""Clustered (chained) hash table for the contraction's hash-merge path.
+
+Paper Sec. III.A, second approach: "we use a hash table for each thread.
+... to avoid collisions, chaining is used where each bucket of the hash
+table stores multiple elements, i.e. a clustered hash table.  The hash
+table approach is faster than the sorting, but it is applicable only when
+the graph is sparse so that the hash table is not too large to fit inside
+the GPU memory."
+
+:class:`ClusteredHashTable` is a real open-hashing implementation with
+per-bucket chains, used directly by the ``hash`` merge implementation and
+exercised by tests; ``charge_hash_merge`` is the cost model applied when
+the vectorised fast path computes the same result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .device import KernelContext
+
+__all__ = ["ClusteredHashTable", "charge_hash_merge", "hash_table_bytes"]
+
+_EMPTY = -1
+
+
+class ClusteredHashTable:
+    """Integer-key -> integer-value table with chained buckets.
+
+    Keys are vertex ids; values accumulate edge weights
+    (``insert_or_add``).  Bucket index is ``key % capacity`` (the paper's
+    space-reducing hash function); chains are per-bucket Python lists of
+    (key, value) pairs held in parallel arrays for cheap iteration.
+    """
+
+    __slots__ = ("capacity", "bucket_keys", "bucket_vals", "probes", "collisions", "entries")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("hash table capacity must be >= 1")
+        self.capacity = capacity
+        self.bucket_keys: list[list[int]] = [[] for _ in range(capacity)]
+        self.bucket_vals: list[list[int]] = [[] for _ in range(capacity)]
+        self.probes = 0
+        self.collisions = 0
+        self.entries = 0
+
+    def insert_or_add(self, key: int, value: int) -> None:
+        """Add ``value`` to ``key``'s entry, creating it if absent."""
+        b = key % self.capacity
+        keys = self.bucket_keys[b]
+        self.probes += 1
+        for i, k in enumerate(keys):
+            self.probes += 1
+            if k == key:
+                self.bucket_vals[b][i] += value
+                return
+        if keys:
+            self.collisions += 1
+        keys.append(key)
+        self.bucket_vals[b].append(value)
+        self.entries += 1
+
+    def get(self, key: int) -> int | None:
+        b = key % self.capacity
+        for i, k in enumerate(self.bucket_keys[b]):
+            if k == key:
+                return self.bucket_vals[b][i]
+        return None
+
+    def items(self) -> tuple[np.ndarray, np.ndarray]:
+        """All (key, value) pairs, sorted by key, as arrays."""
+        ks: list[int] = []
+        vs: list[int] = []
+        for bk, bv in zip(self.bucket_keys, self.bucket_vals):
+            ks.extend(bk)
+            vs.extend(bv)
+        keys = np.asarray(ks, dtype=np.int64)
+        vals = np.asarray(vs, dtype=np.int64)
+        order = np.argsort(keys, kind="stable")
+        return keys[order], vals[order]
+
+    def clear(self) -> None:
+        for b in range(self.capacity):
+            self.bucket_keys[b].clear()
+            self.bucket_vals[b].clear()
+        self.entries = 0
+
+
+def hash_table_bytes(num_coarse_vertices: int, n_threads: int, slot_bytes: int = 16) -> int:
+    """Device footprint of per-thread hash tables.
+
+    Ideal capacity per table "should be equal to the number of vertices in
+    the coarser graph" (Sec. III.A); each slot stores a key, a value, and a
+    chain pointer.
+    """
+    return int(num_coarse_vertices) * int(n_threads) * slot_bytes
+
+
+def charge_hash_merge(k: KernelContext, seg_lengths: np.ndarray, chain_factor: float = 1.3) -> None:
+    """Charge hash-based merges of segments with the given lengths.
+
+    Each element costs one hash + one expected-O(1 + chain) probe; the
+    chain factor reflects clustering.  Unequal lengths diverge per SIMT.
+    """
+    lens = np.asarray(seg_lengths, dtype=np.float64)
+    k.compute_divergent(lens * (1.0 + chain_factor))

@@ -1,0 +1,114 @@
+"""Device arrays and the memory-coalescing model (paper Sec. III.A, Fig. 2).
+
+A :class:`DeviceArray` wraps a host numpy array but is tagged as residing
+in simulated GPU global memory; only kernels (``Device.kernel``) and
+transfers may touch it, and every access is charged through the
+coalescing model below.
+
+Coalescing model: modern CUDA devices service a warp's loads in 128-byte
+transactions.  When the 32 threads of a warp access addresses within one
+128-byte block, the hardware issues a single transaction; scattered
+accesses issue one transaction per distinct block.  Fig. 2 of the paper
+shows the vertex distribution chosen so that thread ``t`` reads vertex
+``base + t``, making per-warp accesses contiguous.  ``warp_transactions``
+reproduces the hardware rule exactly: it maps each accessed element to
+its block and counts distinct blocks per warp.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DeviceMemoryError
+
+__all__ = ["DeviceArray", "warp_transactions", "stream_transactions"]
+
+
+class DeviceArray:
+    """A numpy array living in simulated device global memory.
+
+    The wrapper intentionally does not subclass ndarray: algorithm code
+    must go through kernel accessors so accesses are accounted.  ``.data``
+    exposes the raw array for the kernel implementations.
+    """
+
+    __slots__ = ("data", "device", "_freed", "label")
+
+    def __init__(self, data: np.ndarray, device, label: str = "") -> None:
+        self.data = data
+        self.device = device
+        self.label = label or "darray"
+        self._freed = False
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    @property
+    def shape(self):
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def itemsize(self) -> int:
+        return int(self.data.itemsize)
+
+    @property
+    def freed(self) -> bool:
+        return self._freed
+
+    def free(self) -> None:
+        """Release device memory (idempotent is an error — CUDA double free)."""
+        if self._freed:
+            raise DeviceMemoryError(f"double free of device array {self.label!r}")
+        self.device._release(self)
+        self._freed = True
+
+    def _require_live(self) -> None:
+        if self._freed:
+            raise DeviceMemoryError(f"use-after-free of device array {self.label!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "freed" if self._freed else f"{self.nbytes}B"
+        return f"DeviceArray({self.label!r}, shape={self.data.shape}, {state})"
+
+
+def warp_transactions(
+    indices: np.ndarray, itemsize: int, warp_size: int = 32, block_bytes: int = 128
+) -> int:
+    """Number of 128-byte transactions for a warp-ordered gather/scatter.
+
+    ``indices[i]`` is the element index accessed by logical thread ``i``;
+    threads are grouped into warps of ``warp_size`` consecutive ids.  The
+    count is the sum over warps of distinct touched blocks — the rule the
+    paper's Fig. 2 illustrates.
+    """
+    idx = np.asarray(indices)
+    n = idx.shape[0]
+    if n == 0:
+        return 0
+    blocks = (idx.astype(np.int64) * itemsize) // block_bytes
+    pad = (-n) % warp_size
+    if pad:
+        blocks = np.concatenate([blocks, np.full(pad, blocks[-1], dtype=np.int64)])
+    per_warp = blocks.reshape(-1, warp_size)
+    per_warp = np.sort(per_warp, axis=1)
+    distinct = 1 + np.count_nonzero(np.diff(per_warp, axis=1), axis=1)
+    txns = int(distinct.sum())
+    if pad:
+        # Padding duplicated the final element; it cannot have added blocks,
+        # but a partially-filled final warp still costs its distinct blocks.
+        pass
+    return txns
+
+
+def stream_transactions(nbytes: float, block_bytes: int = 128) -> float:
+    """Transactions for a perfectly coalesced sequential sweep of nbytes."""
+    return float(np.ceil(nbytes / block_bytes))

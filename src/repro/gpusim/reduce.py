@@ -1,0 +1,34 @@
+"""Parallel reductions on the simulated device."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .device import Device
+from .memory import DeviceArray
+
+__all__ = ["device_sum", "device_max", "device_count_nonzero"]
+
+
+def _reduce(dev: Device, d_in: DeviceArray, op, label: str):
+    """Two-kernel tree reduction: block partials, then final combine."""
+    n = d_in.size
+    with dev.kernel(f"{label}.reduce", n_threads=max(1, n)) as k:
+        vals = k.stream_read(d_in)
+        k.compute(n)
+        result = op(vals) if n else op(np.zeros(1, dtype=d_in.dtype))
+    with dev.kernel(f"{label}.reduce_final", n_threads=max(1, n // 512 + 1)) as k:
+        k.compute(max(1, n // 512))
+    return result
+
+
+def device_sum(dev: Device, d_in: DeviceArray, label: str = "sum"):
+    return _reduce(dev, d_in, np.sum, label)
+
+
+def device_max(dev: Device, d_in: DeviceArray, label: str = "max"):
+    return _reduce(dev, d_in, np.max, label)
+
+
+def device_count_nonzero(dev: Device, d_in: DeviceArray, label: str = "nnz") -> int:
+    return int(_reduce(dev, d_in, np.count_nonzero, label))

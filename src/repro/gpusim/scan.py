@@ -1,0 +1,58 @@
+"""Parallel prefix sums (the CUB primitives of paper Sec. III.A).
+
+The paper builds the coarse-vertex map with an *inclusive* scan ("we use
+the parallel inclusive-scan from the CUB library") and computes
+per-thread contraction offsets with *exclusive* scans.  CUB's
+decoupled-lookback scan is memory-bound: it moves each element roughly
+twice (one read, one write, plus a small partials pass), so the model
+charges ~2n elements of coalesced traffic over two kernel launches.
+
+The numerical result is exact (numpy cumsum under the hood) — the
+simulation affects only time, never values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .device import Device
+from .memory import DeviceArray
+
+__all__ = ["inclusive_scan", "exclusive_scan"]
+
+_SCAN_PASSES = 2  # read + write sweeps of a decoupled-lookback scan
+
+
+def inclusive_scan(dev: Device, d_in: DeviceArray, label: str = "scan") -> DeviceArray:
+    """Inclusive prefix sum into a new device array."""
+    n = d_in.size
+    d_out = dev.alloc(d_in.shape, d_in.dtype, label=f"{label}.out")
+    with dev.kernel(f"{label}.inclusive_scan", n_threads=max(1, n)) as k:
+        vals = k.stream_read(d_in)
+        # The second traffic pass: partial-sum write-back.
+        k.stream_write(d_out, np.cumsum(vals, dtype=d_in.dtype))
+        k.compute(_SCAN_PASSES * n)
+    # CUB scans issue an auxiliary partials kernel.
+    with dev.kernel(f"{label}.scan_partials", n_threads=max(1, n // 512 + 1)) as k:
+        k.compute(max(1, n // 512))
+    return d_out
+
+
+def exclusive_scan(dev: Device, d_in: DeviceArray, label: str = "scan") -> DeviceArray:
+    """Exclusive prefix sum into a new device array.
+
+    ``out[i] = sum(in[:i])``; the total (``sum(in)``) is ``out[-1] +
+    in[-1]``, which the contraction step uses to size its temp arrays.
+    """
+    n = d_in.size
+    d_out = dev.alloc(d_in.shape, d_in.dtype, label=f"{label}.out")
+    with dev.kernel(f"{label}.exclusive_scan", n_threads=max(1, n)) as k:
+        vals = k.stream_read(d_in)
+        out = np.zeros_like(vals)
+        if n > 1:
+            np.cumsum(vals[:-1], dtype=d_in.dtype, out=out[1:])
+        k.stream_write(d_out, out)
+        k.compute(_SCAN_PASSES * n)
+    with dev.kernel(f"{label}.scan_partials", n_threads=max(1, n // 512 + 1)) as k:
+        k.compute(max(1, n // 512))
+    return d_out

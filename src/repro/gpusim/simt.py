@@ -1,0 +1,64 @@
+"""SIMT execution accounting: warp divergence and thread-grid geometry.
+
+GPUs execute 32-thread warps in lockstep; when threads of a warp take
+different trip counts (e.g. scanning adjacency lists of different
+lengths), the warp runs for the *maximum* trip count while short threads
+idle.  The paper repeatedly attributes GP-metis slowdowns on irregular
+inputs to exactly this effect, so the model must capture it.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["warp_divergent_ops", "grid_for", "threads_for_items", "divergence_factor"]
+
+
+def warp_divergent_ops(per_thread_ops: np.ndarray, warp_size: int = 32) -> float:
+    """Effective op count of a divergent SIMT region.
+
+    Each warp is charged ``warp_size x max(per-thread ops)``; the sum over
+    warps is the device-visible work.  Equal per-thread work degenerates
+    to ``sum(per_thread_ops)``.
+    """
+    ops = np.asarray(per_thread_ops, dtype=np.float64)
+    n = ops.shape[0]
+    if n == 0:
+        return 0.0
+    pad = (-n) % warp_size
+    if pad:
+        ops = np.concatenate([ops, np.zeros(pad)])
+    per_warp_max = ops.reshape(-1, warp_size).max(axis=1)
+    return float(per_warp_max.sum() * warp_size)
+
+
+def divergence_factor(per_thread_ops: np.ndarray, warp_size: int = 32) -> float:
+    """Ratio of divergent to ideal ops (1.0 = perfectly balanced warps)."""
+    ops = np.asarray(per_thread_ops, dtype=np.float64)
+    total = float(ops.sum())
+    if total == 0:
+        return 1.0
+    return warp_divergent_ops(ops, warp_size) / total
+
+
+def grid_for(n_threads: int, block_size: int = 256) -> tuple[int, int]:
+    """CUDA grid geometry ``(num_blocks, block_size)`` covering n_threads."""
+    if n_threads <= 0:
+        return (0, block_size)
+    return (math.ceil(n_threads / block_size), block_size)
+
+
+def threads_for_items(n_items: int, max_threads: int) -> int:
+    """Thread count for a kernel over ``n_items`` items.
+
+    The paper (Sec. III.A) reduces the number of launched threads at
+    coarser levels "to prevent underutilization of GPU threads": one
+    thread per item while items fit, capped by the device's resident
+    thread capacity (each thread then loops over ``ceil(items/threads)``
+    items, preserving Fig. 2's coalesced access pattern).
+    """
+    if n_items <= 0:
+        return 1
+    return int(min(n_items, max_threads))

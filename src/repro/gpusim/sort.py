@@ -1,0 +1,43 @@
+"""Per-thread sort cost model (the contraction's sort-merge path).
+
+In the paper's first adjacency-merge approach each GPU thread quicksorts
+the concatenated neighbor lists of a collapsed vertex pair and removes
+duplicates.  Per-thread quicksort on a GPU is sequential within the
+thread, so its cost is ``L log2 L`` comparisons with L the merged list
+length, and the threads of a warp diverge on unequal lengths — modeled
+via the SIMT divergence rule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .device import KernelContext
+
+__all__ = ["charge_thread_quicksort", "thread_sort_dedup"]
+
+
+def charge_thread_quicksort(k: KernelContext, seg_lengths: np.ndarray) -> None:
+    """Charge per-thread quicksorts of segments with the given lengths."""
+    lens = np.asarray(seg_lengths, dtype=np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ops = np.where(lens > 1, lens * np.log2(np.maximum(lens, 2)), lens)
+    k.compute_divergent(ops)
+
+
+def thread_sort_dedup(values: np.ndarray, weights: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Reference behaviour of one thread's sort + remove pass.
+
+    Sorts ``values``, merges duplicates by summing their ``weights`` —
+    the "quicksort followed by a remove function" of Sec. III.A.
+    """
+    if values.size == 0:
+        return values.copy(), weights.copy()
+    order = np.argsort(values, kind="stable")
+    v = values[order]
+    w = weights[order]
+    keep = np.concatenate([[True], v[1:] != v[:-1]])
+    group = np.cumsum(keep) - 1
+    merged_w = np.zeros(int(group[-1]) + 1, dtype=w.dtype)
+    np.add.at(merged_w, group, w)
+    return v[keep], merged_w

@@ -1,0 +1,77 @@
+"""Kernel and device statistics records."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+__all__ = ["KernelStats", "DeviceStats"]
+
+
+@dataclass
+class KernelStats:
+    """Aggregated counters for all launches of one kernel name."""
+
+    name: str
+    launches: int = 0
+    threads_launched: int = 0
+    memory_transactions: float = 0.0
+    bytes_requested: float = 0.0
+    compute_ops: float = 0.0
+    atomic_ops: float = 0.0
+    seconds: float = 0.0
+
+    @property
+    def coalescing_efficiency(self) -> float:
+        """Requested bytes / bytes actually moved (1.0 = perfectly coalesced)."""
+        moved = self.memory_transactions * 128.0
+        return self.bytes_requested / moved if moved else 1.0
+
+
+@dataclass
+class DeviceStats:
+    """Per-kernel-name statistics for one simulated device."""
+
+    kernels: dict[str, KernelStats] = field(default_factory=dict)
+    h2d_bytes: int = 0
+    d2h_bytes: int = 0
+    h2d_transfers: int = 0
+    d2h_transfers: int = 0
+    peak_memory_bytes: int = 0
+
+    def kernel(self, name: str) -> KernelStats:
+        if name not in self.kernels:
+            self.kernels[name] = KernelStats(name)
+        return self.kernels[name]
+
+    @property
+    def total_launches(self) -> int:
+        return sum(k.launches for k in self.kernels.values())
+
+    @property
+    def total_kernel_seconds(self) -> float:
+        return sum(k.seconds for k in self.kernels.values())
+
+    def by_phase_prefix(self) -> dict[str, float]:
+        """Seconds grouped by the kernel-name prefix before the first dot."""
+        out: dict[str, float] = defaultdict(float)
+        for k in self.kernels.values():
+            out[k.name.split(".", 1)[0]] += k.seconds
+        return dict(out)
+
+    def report(self) -> str:
+        lines = [
+            f"{'kernel':<28s} {'launches':>8s} {'txns':>12s} {'coalesce':>8s} {'seconds':>12s}"
+        ]
+        for name in sorted(self.kernels):
+            k = self.kernels[name]
+            lines.append(
+                f"{name:<28s} {k.launches:>8d} {k.memory_transactions:>12.0f} "
+                f"{k.coalescing_efficiency:>8.2f} {k.seconds:>12.6f}"
+            )
+        lines.append(
+            f"transfers: {self.h2d_transfers} H2D ({self.h2d_bytes} B), "
+            f"{self.d2h_transfers} D2H ({self.d2h_bytes} B); "
+            f"peak device memory {self.peak_memory_bytes} B"
+        )
+        return "\n".join(lines)

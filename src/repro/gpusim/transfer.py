@@ -1,0 +1,61 @@
+"""PCIe transfers between host and the simulated device.
+
+The paper counts CPU<->GPU transfer time in GP-metis's runtime (Table II
+note: "this time includes the time to transfer the graph between CPU and
+the GPU"), and its central design point is *avoiding* most transfers by
+keeping the fine levels on the GPU.  Transfers use the interconnect's
+alpha-beta model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..runtime.machine import InterconnectSpec
+from .device import Device
+from .memory import DeviceArray
+
+__all__ = ["h2d", "d2h", "transfer_graph_to_device"]
+
+
+def h2d(
+    dev: Device, host: np.ndarray, net: InterconnectSpec, label: str = ""
+) -> DeviceArray:
+    """cudaMemcpy host->device: allocates and charges the PCIe model."""
+    darr = dev.adopt(host.copy(), label=label)
+    seconds = net.pcie_seconds(host.nbytes)
+    dev.clock.charge("transfer_latency", net.pcie_latency_seconds, count=1.0, detail=label)
+    dev.clock.charge(
+        "transfer_bytes", seconds - net.pcie_latency_seconds,
+        count=float(host.nbytes), detail=label,
+    )
+    dev.stats.h2d_transfers += 1
+    dev.stats.h2d_bytes += int(host.nbytes)
+    return darr
+
+
+def d2h(darr: DeviceArray, net: InterconnectSpec, label: str = "") -> np.ndarray:
+    """cudaMemcpy device->host; device allocation stays live until freed."""
+    darr._require_live()
+    dev = darr.device
+    seconds = net.pcie_seconds(darr.nbytes)
+    dev.clock.charge("transfer_latency", net.pcie_latency_seconds, count=1.0, detail=label)
+    dev.clock.charge(
+        "transfer_bytes", seconds - net.pcie_latency_seconds,
+        count=float(darr.nbytes), detail=label,
+    )
+    dev.stats.d2h_transfers += 1
+    dev.stats.d2h_bytes += int(darr.nbytes)
+    return darr.data.copy()
+
+
+def transfer_graph_to_device(dev: Device, graph, net: InterconnectSpec) -> dict:
+    """Copy the four CSR arrays of a graph to the device (paper Sec. III:
+    "Initially, the graph information is copied to the GPU's global
+    memory")."""
+    return {
+        "adjp": h2d(dev, graph.adjp, net, label="csr.adjp"),
+        "adjncy": h2d(dev, graph.adjncy, net, label="csr.adjncy"),
+        "adjwgt": h2d(dev, graph.adjwgt, net, label="csr.adjwgt"),
+        "vwgt": h2d(dev, graph.vwgt, net, label="csr.vwgt"),
+    }

@@ -1,0 +1,190 @@
+"""Builders that turn edge lists and external structures into CSRGraph.
+
+All builders canonicalise the input: undirect the edge set, merge parallel
+edges by summing weights, drop self-loops, and sort adjacency lists by
+neighbor id (which the contraction kernels rely on for deterministic
+merges).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import InvalidGraphError
+from .csr import CSRGraph
+
+__all__ = [
+    "from_edges",
+    "from_adjacency",
+    "from_scipy",
+    "from_networkx",
+    "empty_graph",
+]
+
+
+def empty_graph(num_vertices: int = 0, name: str = "empty") -> CSRGraph:
+    """A graph with ``num_vertices`` isolated unit-weight vertices."""
+    return CSRGraph(
+        adjp=np.zeros(num_vertices + 1, dtype=np.int64),
+        adjncy=np.empty(0, dtype=np.int64),
+        adjwgt=np.empty(0, dtype=np.int64),
+        vwgt=np.ones(num_vertices, dtype=np.int64),
+        name=name,
+    )
+
+
+def from_edges(
+    num_vertices: int,
+    edges: Iterable[tuple[int, int]] | np.ndarray,
+    weights: Sequence[int] | np.ndarray | None = None,
+    vertex_weights: Sequence[int] | np.ndarray | None = None,
+    name: str = "graph",
+    merge: str = "sum",
+) -> CSRGraph:
+    """Build a CSRGraph from an undirected edge list.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices; edge endpoints must be in ``[0, num_vertices)``.
+    edges:
+        Iterable of ``(u, v)`` pairs or an ``(m, 2)`` array.  Duplicates
+        (in either orientation) are merged per ``merge``.  Self-loops are
+        dropped.
+    weights:
+        Edge weights aligned with ``edges`` (default all 1).
+    vertex_weights:
+        Vertex weights (default all 1).
+    merge:
+        ``"sum"`` treats duplicates as parallel edges and adds their
+        weights (edge-list semantics); ``"first"`` keeps the first
+        occurrence's weight — the right choice for symmetric dumps that
+        list every edge once per orientation (Metis files, DIMACS arc
+        lists, symmetric sparse matrices).
+    """
+    if merge not in ("sum", "first"):
+        raise InvalidGraphError(f"unknown merge mode {merge!r}")
+    e = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)
+    if e.size == 0:
+        e = e.reshape(0, 2)
+    if e.ndim != 2 or e.shape[1] != 2:
+        raise InvalidGraphError(f"edges must be (m, 2), got shape {e.shape}")
+    e = e.astype(np.int64, copy=False)
+    if e.size and (e.min() < 0 or e.max() >= num_vertices):
+        raise InvalidGraphError("edge endpoint out of range")
+
+    if weights is None:
+        w = np.ones(e.shape[0], dtype=np.int64)
+    else:
+        w = np.asarray(weights, dtype=np.int64)
+        if w.shape[0] != e.shape[0]:
+            raise InvalidGraphError("weights must align with edges")
+        if w.size and w.min() <= 0:
+            raise InvalidGraphError("edge weights must be positive")
+
+    # Drop self-loops, canonicalise orientation, merge duplicates.
+    keep = e[:, 0] != e[:, 1]
+    e, w = e[keep], w[keep]
+    lo = np.minimum(e[:, 0], e[:, 1])
+    hi = np.maximum(e[:, 0], e[:, 1])
+    key = lo * np.int64(num_vertices) + hi
+    order = np.argsort(key, kind="stable")
+    key, lo, hi, w = key[order], lo[order], hi[order], w[order]
+    if key.size:
+        uniq_mask = np.empty(key.shape[0], dtype=bool)
+        uniq_mask[0] = True
+        np.not_equal(key[1:], key[:-1], out=uniq_mask[1:])
+        if merge == "sum":
+            group = np.cumsum(uniq_mask) - 1
+            merged_w = np.zeros(int(group[-1]) + 1, dtype=np.int64)
+            np.add.at(merged_w, group, w)
+        else:  # first occurrence wins (argsort was stable)
+            merged_w = w[uniq_mask]
+        lo, hi, w = lo[uniq_mask], hi[uniq_mask], merged_w
+    return _csr_from_arcs(num_vertices, lo, hi, w, vertex_weights, name)
+
+
+def _csr_from_arcs(
+    num_vertices: int,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    w: np.ndarray,
+    vertex_weights,
+    name: str,
+) -> CSRGraph:
+    """Assemble CSR from deduplicated u<v arcs by mirroring them."""
+    src = np.concatenate([lo, hi])
+    dst = np.concatenate([hi, lo])
+    ww = np.concatenate([w, w])
+    order = np.lexsort((dst, src))
+    src, dst, ww = src[order], dst[order], ww[order]
+    counts = np.bincount(src, minlength=num_vertices)
+    adjp = np.zeros(num_vertices + 1, dtype=np.int64)
+    np.cumsum(counts, out=adjp[1:])
+    if vertex_weights is None:
+        vwgt = np.ones(num_vertices, dtype=np.int64)
+    else:
+        vwgt = np.asarray(vertex_weights, dtype=np.int64)
+        if vwgt.shape[0] != num_vertices:
+            raise InvalidGraphError("vertex_weights must have num_vertices entries")
+        if vwgt.size and vwgt.min() <= 0:
+            raise InvalidGraphError("vertex weights must be positive")
+    return CSRGraph(adjp=adjp, adjncy=dst, adjwgt=ww, vwgt=vwgt, name=name)
+
+
+def from_adjacency(
+    adjacency: Sequence[Sequence[int]],
+    weights: Sequence[Sequence[int]] | None = None,
+    vertex_weights: Sequence[int] | None = None,
+    name: str = "graph",
+) -> CSRGraph:
+    """Build from per-vertex adjacency lists (must already be symmetric)."""
+    edges = []
+    ws = []
+    for u, nbrs in enumerate(adjacency):
+        for j, v in enumerate(nbrs):
+            if u < v:
+                edges.append((u, v))
+                ws.append(weights[u][j] if weights is not None else 1)
+    return from_edges(len(adjacency), np.array(edges).reshape(-1, 2), ws, vertex_weights, name)
+
+
+def from_scipy(matrix, vertex_weights=None, name: str = "graph") -> CSRGraph:
+    """Build from a scipy sparse matrix (pattern symmetrised, |A| weights).
+
+    Nonzero ``A[i, j]`` contributes an edge ``{i, j}``; asymmetric inputs
+    are symmetrised with ``A + A.T`` pattern union.  Weights are rounded
+    magnitudes clipped to >= 1, matching how FE matrices such as ldoor are
+    turned into partitioning inputs.
+    """
+    from scipy import sparse
+
+    a = sparse.coo_matrix(matrix)
+    if a.shape[0] != a.shape[1]:
+        raise InvalidGraphError("matrix must be square")
+    w = np.maximum(1, np.abs(a.data).round().astype(np.int64))
+    edges = np.stack([a.row.astype(np.int64), a.col.astype(np.int64)], axis=1)
+    return from_edges(a.shape[0], edges, w, vertex_weights, name, merge="first")
+
+
+def from_networkx(g, weight_attr: str = "weight", name: str | None = None) -> CSRGraph:
+    """Build from a networkx graph; node labels are relabeled to 0..n-1."""
+    import networkx as nx
+
+    nodes = list(g.nodes())
+    index = {u: i for i, u in enumerate(nodes)}
+    edges = []
+    ws = []
+    for u, v, data in g.edges(data=True):
+        edges.append((index[u], index[v]))
+        ws.append(int(data.get(weight_attr, 1)))
+    vws = [int(g.nodes[u].get("vweight", 1)) for u in nodes]
+    return from_edges(
+        len(nodes),
+        np.array(edges).reshape(-1, 2),
+        ws,
+        vws,
+        name or getattr(g, "name", None) or "networkx",
+    )

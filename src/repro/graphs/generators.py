@@ -1,0 +1,346 @@
+"""Synthetic graph generators.
+
+These produce the structural families the paper's evaluation draws on
+(Table I): finite-element matrices (ldoor), Delaunay triangulations
+(delaunay_n20), 2-D dynamic-simulation meshes (hugebubbles), and road
+networks (USA-road-d).  Each generator is deterministic given a seed and
+fully vectorised; see ``datasets.py`` for the paper-analogue presets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from .build import from_edges
+from .csr import CSRGraph
+
+__all__ = [
+    "grid2d",
+    "torus2d",
+    "grid3d",
+    "random_geometric",
+    "delaunay",
+    "rmat",
+    "bubble_mesh",
+    "road_network",
+    "fe_matrix",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "random_regular_like",
+]
+
+
+def _rng(seed) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+# ----------------------------------------------------------------------
+# Regular meshes
+# ----------------------------------------------------------------------
+def grid2d(rows: int, cols: int, diagonal: bool = False, name: str | None = None) -> CSRGraph:
+    """A rows x cols 2-D grid mesh; ``diagonal=True`` adds one diagonal per cell."""
+    if rows < 1 or cols < 1:
+        raise InvalidParameterError("grid2d requires rows, cols >= 1")
+    idx = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    e = [
+        np.stack([idx[:, :-1].ravel(), idx[:, 1:].ravel()], axis=1),
+        np.stack([idx[:-1, :].ravel(), idx[1:, :].ravel()], axis=1),
+    ]
+    if diagonal and rows > 1 and cols > 1:
+        e.append(np.stack([idx[:-1, :-1].ravel(), idx[1:, 1:].ravel()], axis=1))
+    edges = np.concatenate(e, axis=0) if e else np.empty((0, 2), dtype=np.int64)
+    return from_edges(rows * cols, edges, name=name or f"grid2d_{rows}x{cols}")
+
+
+def torus2d(rows: int, cols: int, name: str | None = None) -> CSRGraph:
+    """A 2-D torus (grid with wraparound edges)."""
+    if rows < 3 or cols < 3:
+        raise InvalidParameterError("torus2d requires rows, cols >= 3")
+    idx = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    right = np.stack([idx.ravel(), np.roll(idx, -1, axis=1).ravel()], axis=1)
+    down = np.stack([idx.ravel(), np.roll(idx, -1, axis=0).ravel()], axis=1)
+    return from_edges(
+        rows * cols, np.concatenate([right, down]), name=name or f"torus2d_{rows}x{cols}"
+    )
+
+
+def grid3d(nx_: int, ny: int, nz: int, name: str | None = None) -> CSRGraph:
+    """A 3-D grid mesh (7-point-stencil neighborhoods)."""
+    if min(nx_, ny, nz) < 1:
+        raise InvalidParameterError("grid3d requires positive dimensions")
+    idx = np.arange(nx_ * ny * nz, dtype=np.int64).reshape(nx_, ny, nz)
+    e = []
+    if nx_ > 1:
+        e.append(np.stack([idx[:-1].ravel(), idx[1:].ravel()], axis=1))
+    if ny > 1:
+        e.append(np.stack([idx[:, :-1].ravel(), idx[:, 1:].ravel()], axis=1))
+    if nz > 1:
+        e.append(np.stack([idx[:, :, :-1].ravel(), idx[:, :, 1:].ravel()], axis=1))
+    edges = np.concatenate(e, axis=0) if e else np.empty((0, 2), dtype=np.int64)
+    return from_edges(nx_ * ny * nz, edges, name=name or f"grid3d_{nx_}x{ny}x{nz}")
+
+
+# ----------------------------------------------------------------------
+# Geometric / mesh families
+# ----------------------------------------------------------------------
+def random_geometric(
+    n: int, radius: float | None = None, seed=0, name: str | None = None
+) -> CSRGraph:
+    """Random geometric graph on the unit square (cell-binned, O(n))."""
+    if n < 1:
+        raise InvalidParameterError("random_geometric requires n >= 1")
+    rng = _rng(seed)
+    if radius is None:
+        radius = 1.8 / np.sqrt(max(n, 2))  # ~average degree 10
+    pts = rng.random((n, 2))
+    from scipy.spatial import cKDTree
+
+    tree = cKDTree(pts)
+    pairs = tree.query_pairs(r=radius, output_type="ndarray").astype(np.int64)
+    return from_edges(n, pairs, name=name or f"rgg_{n}")
+
+
+def delaunay(n: int, seed=0, name: str | None = None) -> CSRGraph:
+    """Delaunay triangulation of ``n`` uniformly random points.
+
+    The direct analogue of the paper's ``Delaunay`` input (DIMACS10
+    delaunay_n20 is exactly this construction with n = 2^20); the ratio
+    |E| ~= 3|V| holds for any n.
+    """
+    if n < 3:
+        raise InvalidParameterError("delaunay requires n >= 3")
+    rng = _rng(seed)
+    pts = rng.random((n, 2))
+    from scipy.spatial import Delaunay as SciDelaunay
+
+    tri = SciDelaunay(pts)
+    s = tri.simplices.astype(np.int64)
+    edges = np.concatenate([s[:, [0, 1]], s[:, [1, 2]], s[:, [0, 2]]], axis=0)
+    # Interior edges appear in two simplices; the graph is unweighted.
+    return from_edges(n, edges, name=name or f"delaunay_{n}", merge="first")
+
+
+def bubble_mesh(n: int, seed=0, name: str | None = None) -> CSRGraph:
+    """A 2-D "bubble" simulation mesh in the style of DIMACS10 hugebubbles.
+
+    The hugebubbles graphs come from dynamic 2-D triangle-mesh simulations
+    and are extremely sparse (|E| ~= 1.5 |V|, average degree ~3).  We
+    reproduce that character by taking a Delaunay triangulation and
+    deleting edges until the target density is met, preferring to keep a
+    spanning structure (drop only edges whose endpoints both retain degree
+    >= 2), which yields long, thin, bubble-like cavities.
+    """
+    if n < 8:
+        raise InvalidParameterError("bubble_mesh requires n >= 8")
+    g = delaunay(n, seed=seed)
+    target_arcs = int(3.0 * n)  # 2|E| with |E| = 1.5 |V|
+    us, vs, ws = g.edge_array()
+    m = us.shape[0]
+    rng = _rng(seed)
+    order = rng.permutation(m)
+    deg = np.diff(g.adjp).copy()
+    keep = np.ones(m, dtype=bool)
+    excess = 2 * m - target_arcs
+    # Greedy edge thinning with a degree floor keeps the mesh connected-ish
+    # and produces the hole-ridden structure of the bubble inputs.
+    for i in order:
+        if excess <= 0:
+            break
+        u, v = us[i], vs[i]
+        if deg[u] > 2 and deg[v] > 2:
+            keep[i] = False
+            deg[u] -= 1
+            deg[v] -= 1
+            excess -= 2
+    edges = np.stack([us[keep], vs[keep]], axis=1)
+    return from_edges(n, edges, name=name or f"bubble_{n}")
+
+
+def road_network(n: int, seed=0, name: str | None = None) -> CSRGraph:
+    """A road-network-style near-planar graph (USA-road-d analogue).
+
+    Road networks have average degree ~2.4, long paths, and strong
+    geometric locality.  Construction: scatter points, build a geometric
+    spanning backbone (Euclidean MST via Delaunay edges), then add the
+    shortest remaining Delaunay edges until degree ~2.4.  Edge weights are
+    quantised Euclidean distances, as in the DIMACS9 distance graphs.
+    """
+    if n < 8:
+        raise InvalidParameterError("road_network requires n >= 8")
+    rng = _rng(seed)
+    pts = rng.random((n, 2))
+    from scipy.sparse import coo_matrix
+    from scipy.sparse.csgraph import minimum_spanning_tree
+    from scipy.spatial import Delaunay as SciDelaunay
+
+    tri = SciDelaunay(pts)
+    s = tri.simplices.astype(np.int64)
+    cand = np.concatenate([s[:, [0, 1]], s[:, [1, 2]], s[:, [0, 2]]], axis=0)
+    lo = np.minimum(cand[:, 0], cand[:, 1])
+    hi = np.maximum(cand[:, 0], cand[:, 1])
+    key = lo * np.int64(n) + hi
+    _, uniq = np.unique(key, return_index=True)
+    lo, hi = lo[uniq], hi[uniq]
+    dist = np.linalg.norm(pts[lo] - pts[hi], axis=1)
+
+    mst = minimum_spanning_tree(coo_matrix((dist, (lo, hi)), shape=(n, n)))
+    mst = mst.tocoo()
+    in_mst = set(zip(mst.row.tolist(), mst.col.tolist()))
+    mst_mask = np.array([(a, b) in in_mst or (b, a) in in_mst for a, b in zip(lo, hi)])
+
+    target_edges = int(1.2 * n)  # avg degree 2.4
+    extra_needed = max(0, target_edges - int(mst_mask.sum()))
+    rest = np.where(~mst_mask)[0]
+    rest = rest[np.argsort(dist[rest])][:extra_needed]
+    sel = np.concatenate([np.where(mst_mask)[0], rest])
+    w = np.maximum(1, (dist[sel] * 10_000).astype(np.int64))
+    edges = np.stack([lo[sel], hi[sel]], axis=1)
+    return from_edges(n, edges, weights=w, name=name or f"road_{n}")
+
+
+def fe_matrix(
+    n: int, avg_degree: float = 48.0, seed=0, name: str | None = None
+) -> CSRGraph:
+    """A finite-element sparse-matrix graph in the style of ldoor.
+
+    ldoor (UF collection) is a 3-D structural-mechanics stiffness matrix:
+    |E|/|V| ~= 24 (avg degree ~48), with dense local cliques from the
+    per-element couplings.  We emulate it by placing points in a slab,
+    grouping nearby nodes into overlapping "elements" of ~27 nodes via a
+    3-D grid of cells, and forming the clique of each element — exactly
+    how FE assembly creates the matrix pattern.
+    """
+    if n < 27:
+        raise InvalidParameterError("fe_matrix requires n >= 27")
+    rng = _rng(seed)
+    # Slab geometry like a car door: wide in x/y, thin in z.
+    pts = rng.random((n, 3)) * np.array([8.0, 4.0, 1.0])
+    # Each cell's clique contributes ~nodes_per_cell-1 to a node's degree and
+    # the cross-cell couplings add ~12 more, so size cells at ~70% of the
+    # degree target to land near avg_degree after assembly.
+    nodes_per_cell = max(4, int(avg_degree * 0.55))
+    num_cells = max(1, n // nodes_per_cell)
+    # Cell grid proportions follow the slab (8 : 4 : 1 aspect ratio).
+    cz_f = (num_cells / 32.0) ** (1 / 3)
+    cx = max(1, int(round(cz_f * 8)))
+    cy = max(1, int(round(cz_f * 4)))
+    cz = max(1, int(round(cz_f)))
+    ci = np.minimum((pts[:, 0] / 8.0 * cx).astype(np.int64), cx - 1)
+    cj = np.minimum((pts[:, 1] / 4.0 * cy).astype(np.int64), cy - 1)
+    ck = np.minimum((pts[:, 2] / 1.0 * cz).astype(np.int64), cz - 1)
+    cell = (ci * cy + cj) * cz + ck
+
+    order = np.argsort(cell, kind="stable")
+    sorted_cell = cell[order]
+    starts = np.searchsorted(sorted_cell, np.arange(cx * cy * cz))
+    ends = np.searchsorted(sorted_cell, np.arange(cx * cy * cz), side="right")
+
+    edge_chunks = []
+    neighbor_shift = [(0, 0, 0), (1, 0, 0), (0, 1, 0), (0, 0, 1)]
+    for di, dj, dk in neighbor_shift:
+        for c in range(cx * cy * cz):
+            i0, j0, k0 = c // (cy * cz), (c // cz) % cy, c % cz
+            i1, j1, k1 = i0 + di, j0 + dj, k0 + dk
+            if i1 >= cx or j1 >= cy or k1 >= cz:
+                continue
+            c2 = (i1 * cy + j1) * cz + k1
+            a = order[starts[c]: ends[c]]
+            b = a if c2 == c else order[starts[c2]: ends[c2]]
+            if a.size == 0 or b.size == 0:
+                continue
+            if c2 == c:
+                iu, iv = np.triu_indices(a.size, k=1)
+                edge_chunks.append(np.stack([a[iu], a[iv]], axis=1))
+            else:
+                # Couple each node to a few nearest in the adjacent cell.
+                take = min(4, b.size)
+                sel = rng.integers(0, b.size, size=(a.size, take))
+                uu = np.repeat(a, take)
+                vv = b[sel.ravel()]
+                edge_chunks.append(np.stack([uu, vv], axis=1))
+    edges = np.concatenate(edge_chunks, axis=0)
+    # Couplings may repeat across cells; the pattern is unweighted.
+    return from_edges(n, edges, name=name or f"fe_{n}", merge="first")
+
+
+# ----------------------------------------------------------------------
+# Power-law / synthetic stress families
+# ----------------------------------------------------------------------
+def rmat(
+    scale: int,
+    edge_factor: int = 8,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed=0,
+    name: str | None = None,
+) -> CSRGraph:
+    """R-MAT power-law graph (Graph500 parameters by default).
+
+    Exercises the partitioners' load-imbalance behaviour that the paper's
+    Sec. IV attributes performance degradation to ("the irregularity of
+    the input graph greatly affects the performance").
+    """
+    if scale < 1 or scale > 28:
+        raise InvalidParameterError("rmat scale must be in [1, 28]")
+    n = 1 << scale
+    m = n * edge_factor
+    rng = _rng(seed)
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    ab = a + b
+    a_norm = a / ab
+    c_norm = c / (1.0 - ab)
+    for _ in range(scale):
+        r1 = rng.random(m)
+        r2 = rng.random(m)
+        go_down = r1 >= ab
+        go_right = np.where(go_down, r2 >= c_norm, r2 >= a_norm)
+        src = (src << 1) | go_down
+        dst = (dst << 1) | go_right
+    edges = np.stack([src, dst], axis=1)
+    # Graph500 semantics: duplicate generated edges dedup, unweighted.
+    return from_edges(n, edges, name=name or f"rmat_{scale}", merge="first")
+
+
+def random_regular_like(n: int, degree: int, seed=0, name: str | None = None) -> CSRGraph:
+    """Approximately ``degree``-regular random graph via permutation unions."""
+    if degree < 1 or degree >= n:
+        raise InvalidParameterError("random_regular_like requires 1 <= degree < n")
+    rng = _rng(seed)
+    chunks = []
+    ids = np.arange(n, dtype=np.int64)
+    for _ in range((degree + 1) // 2):
+        perm = rng.permutation(n).astype(np.int64)
+        chunks.append(np.stack([ids, perm], axis=1))
+    return from_edges(
+        n, np.concatenate(chunks), name=name or f"rr_{n}_{degree}", merge="first"
+    )
+
+
+# ----------------------------------------------------------------------
+# Tiny fixtures used in tests and docs
+# ----------------------------------------------------------------------
+def path_graph(n: int) -> CSRGraph:
+    ids = np.arange(n - 1, dtype=np.int64)
+    return from_edges(n, np.stack([ids, ids + 1], axis=1), name=f"path_{n}")
+
+
+def cycle_graph(n: int) -> CSRGraph:
+    ids = np.arange(n, dtype=np.int64)
+    return from_edges(n, np.stack([ids, (ids + 1) % n], axis=1), name=f"cycle_{n}")
+
+
+def star_graph(n: int) -> CSRGraph:
+    """Center vertex 0 connected to 1..n-1."""
+    spokes = np.arange(1, n, dtype=np.int64)
+    zeros = np.zeros(n - 1, dtype=np.int64)
+    return from_edges(n, np.stack([zeros, spokes], axis=1), name=f"star_{n}")
+
+
+def complete_graph(n: int) -> CSRGraph:
+    iu, iv = np.triu_indices(n, k=1)
+    return from_edges(n, np.stack([iu, iv], axis=1).astype(np.int64), name=f"K{n}")

@@ -1,0 +1,18 @@
+"""Parallel Jostle reproduction (paper Sec. II.A/II.B background system)."""
+
+from .interface import (
+    InterfaceRoundStats,
+    pair_rounds,
+    partition_pairs,
+    refine_interfaces,
+)
+from .partitioner import Jostle, JostleOptions
+
+__all__ = [
+    "Jostle",
+    "JostleOptions",
+    "refine_interfaces",
+    "partition_pairs",
+    "pair_rounds",
+    "InterfaceRoundStats",
+]

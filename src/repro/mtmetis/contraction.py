@@ -1,0 +1,48 @@
+"""Threaded contraction (mt-metis style).
+
+The coarse graph mt-metis builds is the same graph the serial contraction
+produces (coalescing matched pairs, merging duplicate edges); parallelism
+changes only who computes which coarse vertex and how long it takes.  We
+therefore reuse the exact serial construction for the result and charge
+the thread pool the per-thread merge work: each thread merges the
+adjacency lists of the coarse vertices whose representatives it owns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from ..runtime.threads import ThreadPoolSim
+from ..serial.contraction import contract
+
+__all__ = ["threaded_contract"]
+
+
+def threaded_contract(
+    graph: CSRGraph,
+    match: np.ndarray,
+    pool: ThreadPoolSim,
+    ownership: np.ndarray,
+) -> tuple[CSRGraph, np.ndarray]:
+    """Contract on the thread pool; returns (coarse_graph, cmap).
+
+    ``ownership[v]`` is the thread owning fine vertex ``v``.  The merge
+    work of a pair lands on the representative's owner: merging the two
+    adjacency lists costs their combined length (hash-assisted, as
+    mt-metis does).
+    """
+    coarse, cmap = contract(graph, match)
+    ids = np.arange(graph.num_vertices, dtype=np.int64)
+    is_rep = ids <= match
+    deg = graph.degrees()
+    merge_work = np.where(is_rep, deg + deg[match], 0)
+    pool.parallel_edge_work(
+        merge_work, ownership, detail="contract.merge",
+        avg_degree=2 * graph.num_edges / max(1, graph.num_vertices),
+    )
+    # Building vwgt and the offsets is a vertex-granular pass.
+    pool.parallel_vertex_work(
+        np.ones(graph.num_vertices), ownership, detail="contract.vwgt"
+    )
+    return coarse, cmap

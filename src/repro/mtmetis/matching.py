@@ -1,0 +1,156 @@
+"""Lock-free two-round matching (mt-metis scheme, paper Sec. II.C / III.A).
+
+Round 1: every thread scans its vertices and writes matches to the shared
+matching vector with **no synchronisation**.  Because threads read stale
+state, two vertices can claim the same partner.  Round 2 detects the
+asymmetry (``match[match[v]] != v``) and resolves it.
+
+Concurrency is simulated deterministically with *lockstep batches*: a
+batch holds the next vertex of every thread; all reads in a batch see the
+pre-batch state, writes apply in thread order (last writer wins, the
+hardware's arbitration).  More threads => bigger batches => staler reads
+=> more conflicts — the effect the paper measures when comparing 8-thread
+mt-metis against thousands-of-threads GP-metis (Table III discussion).
+
+The same engine serves both mt-metis and GP-metis's matching kernel; they
+differ in batch width, retry policy, and cost accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from .._segments import gather_ranges, segment_ids, segmented_argmax
+from ..graphs.csr import CSRGraph
+
+__all__ = ["LockfreeMatchStats", "lockfree_match", "batch_candidates"]
+
+
+@dataclass
+class LockfreeMatchStats:
+    """Counters of one lock-free matching (feeds trace + cost models)."""
+
+    pairs: int = 0
+    conflicts: int = 0
+    self_matches: int = 0
+    rounds: int = 0
+    edge_scans: int = 0
+    #: Per-batch sizes of round 1 (for SIMT divergence accounting).
+    batch_sizes: list = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.batch_sizes is None:
+            self.batch_sizes = []
+
+
+def batch_candidates(
+    graph: CSRGraph,
+    batch: np.ndarray,
+    match_snapshot: np.ndarray,
+    scheme: str,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Best-unmatched-neighbor of each batch vertex, from a shared snapshot.
+
+    Vectorised equivalent of each CUDA thread's HEM loop: scan the
+    adjacency list, skip neighbors that look matched in the (possibly
+    stale) snapshot, keep the heaviest (HEM), lightest (LEM) or a random
+    (RM) survivor.  Returns -1 where no free neighbor exists.
+    """
+    lens = (graph.adjp[batch + 1] - graph.adjp[batch]).astype(np.int64)
+    flat = gather_ranges(graph.adjp[batch], lens)
+    nbrs = graph.adjncy[flat]
+    valid = match_snapshot[nbrs] < 0
+    if scheme == "hem":
+        keys = graph.adjwgt[flat].astype(np.float64)
+    elif scheme == "lem":
+        keys = -graph.adjwgt[flat].astype(np.float64)
+    else:  # rm
+        keys = rng.random(flat.shape[0])
+    win = segmented_argmax(keys, lens, valid=valid)
+    cand = np.full(batch.shape[0], -1, dtype=np.int64)
+    ok = win >= 0
+    # win indexes the flat concatenated array directly.
+    cand[ok] = nbrs[win[ok]]
+    return cand
+
+
+def lockfree_match(
+    graph: CSRGraph,
+    batches: Iterable[np.ndarray] | Iterator[np.ndarray],
+    scheme: str = "hem",
+    rng: np.random.Generator | None = None,
+    retry_rounds: int = 0,
+    batch_maker=None,
+) -> tuple[np.ndarray, LockfreeMatchStats]:
+    """Run the two-round lock-free matching.
+
+    Parameters
+    ----------
+    batches:
+        Iterable of vertex batches for round 1 (a lockstep schedule).
+    retry_rounds:
+        After conflict resolution, conflicted vertices may retry matching
+        in additional lock-free rounds (mt-metis style).  ``batch_maker``
+        must then be provided: a callable ``(vertices) -> iterable of
+        batches`` producing the retry schedule.
+    """
+    rng = rng or np.random.default_rng(0)
+    n = graph.num_vertices
+    match = np.full(n, -1, dtype=np.int64)
+    stats = LockfreeMatchStats()
+
+    def run_round(batch_iter) -> None:
+        stats.rounds += 1
+        for batch in batch_iter:
+            batch = np.asarray(batch, dtype=np.int64)
+            if batch.size == 0:
+                continue
+            snapshot = match  # reads against pre-batch state
+            todo = batch[snapshot[batch] < 0]
+            if todo.size == 0:
+                continue
+            cand = batch_candidates(graph, todo, snapshot, scheme, rng)
+            stats.edge_scans += int(
+                (graph.adjp[todo + 1] - graph.adjp[todo]).sum()
+            )
+            stats.batch_sizes.append(int(todo.size))
+            has = cand >= 0
+            vs, us = todo[has], cand[has]
+            # Writes land in thread order: later entries overwrite earlier
+            # claims of the same partner (last-writer-wins arbitration).
+            match[vs] = us
+            match[us] = vs
+
+    run_round(batches)
+
+    # Conflict resolution kernel: v claims u but u's cell names another.
+    def resolve() -> np.ndarray:
+        claimed = np.where(match >= 0)[0]
+        bad = claimed[match[match[claimed]] != claimed]
+        match[bad] = -1
+        return bad
+
+    conflicted = resolve()
+    stats.conflicts += int(conflicted.shape[0])
+
+    for _ in range(retry_rounds):
+        if conflicted.size == 0:
+            break
+        if batch_maker is None:
+            break
+        run_round(batch_maker(conflicted))
+        conflicted = resolve()
+        stats.conflicts += int(conflicted.shape[0])
+
+    # Leftovers match themselves ("another chance ... in the following
+    # coarsening levels").
+    left = match < 0
+    match[left] = np.where(left)[0]
+    stats.self_matches = int(left.sum())
+    ids = np.arange(n, dtype=np.int64)
+    stats.pairs = int(((match != ids) & (ids < match)).sum())
+    return match, stats

@@ -1,0 +1,345 @@
+"""Lock-free buffered k-way refinement (mt-metis Sec. II.C, GP-metis Sec. III.C).
+
+Each pass runs two sub-iterations with opposite move directions: vertices
+may first move only to *higher*-numbered partitions, then only to
+*lower*-numbered ones — "this prevents concurrent exchanges of two
+vertices between two neighbor partitions, which may result in increasing
+the edge cut."
+
+A sub-iteration:
+
+1. **propose** — every boundary vertex computes (from the shared, shared-
+   snapshot partition vector) its best destination: the adjacent
+   partition with maximal positive gain that respects the direction and
+   would not underweight the source or overweight the destination.
+2. **commit** — requests land in per-partition buffers (atomic-counter
+   slots); one worker per partition sorts its buffer by gain and accepts
+   moves while its partition stays under the weight cap.
+
+Commits use snapshot gains (workers do not see each other's concurrent
+moves), so a sub-iteration can occasionally *increase* the cut — the
+price of lock-freedom the paper accepts; balance is restored by later
+(finer-level) refinement.  Both mt-metis and GP-metis run this algorithm;
+they differ in worker counts and in cost accounting, which the caller
+supplies via the returned statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from ..serial.kway import kway_connectivity
+
+__all__ = [
+    "SubIterationStats",
+    "propose_moves",
+    "propose_balance_moves",
+    "commit_moves",
+    "refine_level",
+]
+
+
+@dataclass
+class SubIterationStats:
+    """Everything a cost model needs to charge one sub-iteration."""
+
+    direction: int
+    boundary_size: int = 0
+    proposals: int = 0
+    committed: int = 0
+    snapshot_gain: int = 0
+    edge_scans: int = 0
+    #: Requests received per partition buffer (length k).
+    requests_per_partition: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    #: Per-boundary-vertex adjacency lengths (for SIMT divergence models).
+    boundary_degrees: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+
+def propose_moves(
+    graph: CSRGraph,
+    part: np.ndarray,
+    k: int,
+    direction: int,
+    pweights: np.ndarray,
+    max_pweight: float,
+    min_pweight: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, SubIterationStats]:
+    """Compute each boundary vertex's movement request from a snapshot.
+
+    Returns ``(vertices, destinations, gains, stats)`` of the proposals.
+    ``direction=+1`` permits only moves to higher partition ids, ``-1``
+    only lower.
+    """
+    stats = SubIterationStats(direction=direction)
+    src = graph.source_array()
+    ext = part[src] != part[graph.adjncy]
+    bmask = np.zeros(graph.num_vertices, dtype=bool)
+    bmask[src[ext]] = True
+    boundary = np.where(bmask)[0]
+    stats.boundary_size = int(boundary.shape[0])
+    stats.edge_scans = int(graph.num_directed_edges)
+    if boundary.size == 0:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            stats,
+        )
+    degs = (graph.adjp[boundary + 1] - graph.adjp[boundary]).astype(np.int64)
+    stats.boundary_degrees = degs
+    stats.edge_scans += int(degs.sum())
+
+    conn = kway_connectivity(graph, part, boundary, k)
+    own = part[boundary]
+    rows = np.arange(boundary.shape[0])
+    own_conn = conn[rows, own]
+
+    masked = conn.astype(np.float64)
+    masked[rows, own] = -np.inf
+    # Direction constraint.
+    pid = np.arange(k)
+    if direction > 0:
+        dir_ok = pid[None, :] > own[:, None]
+    else:
+        dir_ok = pid[None, :] < own[:, None]
+    masked[~dir_ok] = -np.inf
+    # Destination cap and source floor from the snapshot weights.
+    cap_ok = (pweights[None, :] + graph.vwgt[boundary][:, None]) <= max_pweight
+    masked[~cap_ok] = -np.inf
+    src_ok = (pweights[own] - graph.vwgt[boundary]) >= min_pweight
+    masked[~src_ok, :] = -np.inf
+
+    best_dest = np.argmax(masked, axis=1)
+    best_val = masked[rows, best_dest]
+    gains = best_val - own_conn
+    sel = np.isfinite(best_val) & (gains > 0)
+    stats.proposals = int(sel.sum())
+    return (
+        boundary[sel],
+        best_dest[sel].astype(np.int64),
+        gains[sel].astype(np.int64),
+        stats,
+    )
+
+
+def commit_moves(
+    graph: CSRGraph,
+    part: np.ndarray,
+    pweights: np.ndarray,
+    vertices: np.ndarray,
+    destinations: np.ndarray,
+    gains: np.ndarray,
+    k: int,
+    max_pweight: float,
+    stats: SubIterationStats,
+    recheck_gains: bool = True,
+) -> int:
+    """The explore step: per-partition workers accept gain-sorted requests.
+
+    Each destination partition's worker sorts its buffer by gain
+    (descending) and accepts requests while the partition's weight — which
+    only it updates — stays within the cap.  With ``recheck_gains`` the
+    worker re-reads the (global, possibly concurrently updated) labels of
+    the request's neighborhood and drops requests whose gain has gone
+    non-positive — the "confirm or undo" step.  Balancing rounds pass
+    ``recheck_gains=False`` (their gains are legitimately negative).
+    Mutates ``part`` and ``pweights``; returns the committed move count.
+    """
+    stats.requests_per_partition = np.bincount(destinations, minlength=k).astype(
+        np.int64
+    )
+    if vertices.size == 0:
+        return 0
+    vw = graph.vwgt[vertices].astype(np.float64)
+    # Sort requests by (destination, -gain): each partition's buffer in
+    # gain order, processed independently.
+    order = np.lexsort((-gains, destinations))
+    d_sorted = destinations[order]
+    v_sorted = vertices[order]
+    w_sorted = vw[order]
+    adjp, adjncy, adjwgt = graph.adjp, graph.adjncy, graph.adjwgt
+
+    committed = 0
+    realised = 0
+    start = 0
+    while start < d_sorted.shape[0]:
+        d = d_sorted[start]
+        end = start
+        while end < d_sorted.shape[0] and d_sorted[end] == d:
+            end += 1
+        # The worker walks its gain-sorted buffer sequentially, skipping
+        # any request that would break the cap (a later lighter request
+        # may still fit).
+        w_acc = 0.0
+        for i in range(start, end):
+            if pweights[d] + w_acc + w_sorted[i] > max_pweight:
+                continue
+            v = int(v_sorted[i])
+            s = int(part[v])
+            if s == d:
+                continue
+            if recheck_gains:
+                a, b = adjp[v], adjp[v + 1]
+                nbr_parts = part[adjncy[a:b]]
+                ws = adjwgt[a:b]
+                gain = int(ws[nbr_parts == d].sum()) - int(ws[nbr_parts == s].sum())
+                if gain <= 0:
+                    continue
+                realised += gain
+            part[v] = d
+            w_acc += w_sorted[i]
+            pweights[d] += w_sorted[i]
+            pweights[s] -= w_sorted[i]
+            committed += 1
+        start = end
+
+    stats.committed = committed
+    stats.snapshot_gain = realised
+    return committed
+
+
+def propose_balance_moves(
+    graph: CSRGraph,
+    part: np.ndarray,
+    k: int,
+    pweights: np.ndarray,
+    max_pweight: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, SubIterationStats]:
+    """Balancing sub-iteration: evacuate overweight partitions.
+
+    Boundary vertices of overweight partitions propose their
+    least-cut-damaging move into an adjacent partition with headroom —
+    gain may be negative (a balancing move, in the combined
+    balancing/refinement style the paper cites from Jostle).  Returns the
+    same (vertices, destinations, gains, stats) shape as
+    :func:`propose_moves`.
+    """
+    stats = SubIterationStats(direction=0)
+    heavy = pweights > max_pweight
+    if not np.any(heavy):
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            stats,
+        )
+    src = graph.source_array()
+    ext = part[src] != part[graph.adjncy]
+    bmask = np.zeros(graph.num_vertices, dtype=bool)
+    bmask[src[ext]] = True
+    bmask &= heavy[part]
+    boundary = np.where(bmask)[0]
+    stats.boundary_size = int(boundary.shape[0])
+    stats.edge_scans = int(graph.num_directed_edges)
+    if boundary.size == 0:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            stats,
+        )
+    degs = (graph.adjp[boundary + 1] - graph.adjp[boundary]).astype(np.int64)
+    stats.boundary_degrees = degs
+    stats.edge_scans += int(degs.sum())
+
+    conn = kway_connectivity(graph, part, boundary, k)
+    own = part[boundary]
+    rows = np.arange(boundary.shape[0])
+    own_conn = conn[rows, own]
+    # Prefer the best-connected destination; among unconnected ones the
+    # lightest (a tiny weight bias breaks the conn=0 tie), so landlocked
+    # overweight partitions can still shed load.
+    masked = conn.astype(np.float64) - 1e-12 * pweights[None, :]
+    masked[rows, own] = -np.inf
+    cap_ok = (pweights[None, :] + graph.vwgt[boundary][:, None]) <= max_pweight
+    masked[~cap_ok] = -np.inf
+    best_dest = np.argmax(masked, axis=1)
+    best_val = masked[rows, best_dest]
+    sel = np.isfinite(best_val)
+    verts = boundary[sel]
+    dests = best_dest[sel].astype(np.int64)
+    gains = (conn[rows, best_dest][sel] - own_conn[sel]).astype(np.int64)
+
+    # Each overweight partition only needs to shed its *excess*: keep the
+    # least-damaging (highest-gain) proposals whose cumulative weight
+    # covers the excess, drop the rest — evacuating the whole boundary
+    # would trade far more cut than balance requires.
+    if verts.size:
+        srcs = part[verts]
+        vws = graph.vwgt[verts].astype(np.float64)
+        order = np.lexsort((-gains, srcs))
+        keep = np.zeros(verts.shape[0], dtype=bool)
+        i = 0
+        while i < order.shape[0]:
+            s = srcs[order[i]]
+            excess = pweights[s] - max_pweight
+            acc = 0.0
+            j = i
+            while j < order.shape[0] and srcs[order[j]] == s:
+                if acc < excess:
+                    keep[order[j]] = True
+                    acc += vws[order[j]]
+                j += 1
+            i = j
+        verts, dests, gains = verts[keep], dests[keep], gains[keep]
+
+    stats.proposals = int(verts.shape[0])
+    return verts, dests, gains, stats
+
+
+def refine_level(
+    graph: CSRGraph,
+    part: np.ndarray,
+    k: int,
+    ubfactor: float,
+    max_passes: int,
+) -> tuple[np.ndarray, list[SubIterationStats]]:
+    """Run direction-alternating lock-free refinement at one level.
+
+    Returns the refined labels and per-sub-iteration statistics.  Stops
+    early when a full pass (both directions) commits no move.
+    """
+    part = np.asarray(part, dtype=np.int64).copy()
+    total = graph.total_vertex_weight
+    ideal = total / k if k else 0.0
+    max_pw = ubfactor * ideal
+    min_pw = max(0.0, (2.0 - ubfactor) * ideal)
+    pweights = np.bincount(part, weights=graph.vwgt.astype(np.float64), minlength=k)
+    all_stats: list[SubIterationStats] = []
+    for _ in range(max_passes):
+        pass_committed = 0
+        # Balancing sub-iteration first if the snapshot is overweight.
+        if pweights.max(initial=0.0) > max_pw:
+            vs, ds, gs, stats = propose_balance_moves(graph, part, k, pweights, max_pw)
+            commit_moves(
+                graph, part, pweights, vs, ds, gs, k, max_pw, stats,
+                recheck_gains=False,
+            )
+            all_stats.append(stats)
+            pass_committed += stats.committed
+        for direction in (+1, -1):
+            vs, ds, gs, stats = propose_moves(
+                graph, part, k, direction, pweights, max_pw, min_pw
+            )
+            commit_moves(graph, part, pweights, vs, ds, gs, k, max_pw, stats)
+            all_stats.append(stats)
+            pass_committed += stats.committed
+        if pass_committed == 0:
+            break
+    # Level-exit balance guarantee: keep evacuating while any partition is
+    # overweight and progress is possible, so the finest level never needs
+    # a quality-destroying global rebalance.
+    guard = 0
+    while pweights.max(initial=0.0) > max_pw and guard < k:
+        vs, ds, gs, stats = propose_balance_moves(graph, part, k, pweights, max_pw)
+        commit_moves(
+            graph, part, pweights, vs, ds, gs, k, max_pw, stats, recheck_gains=False
+        )
+        all_stats.append(stats)
+        guard += 1
+        if stats.committed == 0:
+            break
+    return part, all_stats

@@ -1,0 +1,20 @@
+"""ParMetis reproduction: distributed-memory parallel multilevel partitioning."""
+
+from .coarsen import distributed_coarsen
+from .distgraph import DistGraph
+from .initpart import distributed_initial_partition
+from .matching import DistMatchStats, distributed_match
+from .options import ParMetisOptions
+from .partitioner import ParMetis
+from .refinement import distributed_refine_level
+
+__all__ = [
+    "ParMetis",
+    "ParMetisOptions",
+    "DistGraph",
+    "distributed_match",
+    "DistMatchStats",
+    "distributed_coarsen",
+    "distributed_initial_partition",
+    "distributed_refine_level",
+]

@@ -1,0 +1,18 @@
+"""PT-Scotch reproduction (paper Sec. II.B background system)."""
+
+from .band import band_refine, band_vertices
+from .folding import FoldState, fold, should_fold
+from .matching import MonteCarloMatchStats, montecarlo_match
+from .partitioner import PTScotch, PTScotchOptions
+
+__all__ = [
+    "PTScotch",
+    "PTScotchOptions",
+    "montecarlo_match",
+    "MonteCarloMatchStats",
+    "band_vertices",
+    "band_refine",
+    "FoldState",
+    "fold",
+    "should_fold",
+]

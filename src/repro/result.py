@@ -1,0 +1,51 @@
+"""The result record every partitioner returns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .graphs.csr import CSRGraph
+from .graphs.metrics import PartitionQuality, evaluate_partition
+from .runtime.clock import SimClock
+from .runtime.trace import Trace
+
+__all__ = ["PartitionResult"]
+
+
+@dataclass
+class PartitionResult:
+    """Output of one partitioner run.
+
+    ``part[v]`` is the partition of vertex ``v``.  ``clock`` carries the
+    modeled execution time of the simulated engine(s) the partitioner ran
+    on; ``wall_seconds`` is the real Python execution time (reported
+    separately — the simulator is not the hardware).  ``trace`` records
+    the multilevel structure; ``extras`` carries partitioner-specific
+    artifacts (e.g. GPU kernel stats).
+    """
+
+    method: str
+    graph_name: str
+    k: int
+    part: np.ndarray
+    clock: SimClock
+    trace: Trace
+    wall_seconds: float = 0.0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def modeled_seconds(self) -> float:
+        return self.clock.total_seconds
+
+    def quality(self, graph: CSRGraph) -> PartitionQuality:
+        return evaluate_partition(graph, self.part, self.k)
+
+    def summary(self, graph: CSRGraph) -> str:
+        q = self.quality(graph)
+        return (
+            f"{self.method} on {self.graph_name}: k={self.k} cut={q.cut} "
+            f"imbalance={q.imbalance:.4f} modeled={self.modeled_seconds:.6f}s "
+            f"wall={self.wall_seconds:.3f}s levels={self.trace.num_levels}"
+        )

@@ -1,0 +1,142 @@
+"""Simulated-time accounting.
+
+Every simulated engine (CPU, thread pool, MPI cluster, GPU) charges its
+work to a :class:`SimClock` as *cost events*.  An event carries a phase
+(coarsening / initpart / uncoarsening / transfer), a category (compute,
+memory, launch, barrier, message, ...), a scalar ``seconds`` cost, and the
+raw ``count`` it was derived from.  Keeping the raw counts lets the
+benchmark harness re-evaluate the model at a different problem scale
+(paper-scale extrapolation, see DESIGN.md Sec. 2) without re-running the
+algorithm.
+
+Categories are tagged as either *volume* (grow linearly with graph size:
+memory traffic, per-edge compute) or *overhead* (grow with the number of
+levels/passes: kernel launches, barriers, message latencies).  The
+extrapolation scales the two groups by different factors.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = ["CostEvent", "SimClock", "VOLUME_CATEGORIES", "OVERHEAD_CATEGORIES"]
+
+#: Categories whose seconds scale with data volume.
+VOLUME_CATEGORIES = frozenset(
+    {"compute", "memory", "transfer_bytes", "message_bytes", "atomic", "sort", "hash"}
+)
+#: Categories whose seconds scale with the number of steps/levels/passes.
+OVERHEAD_CATEGORIES = frozenset(
+    {"launch", "barrier", "message_latency", "transfer_latency", "sync"}
+)
+
+
+@dataclass(frozen=True)
+class CostEvent:
+    """One charge against the simulated clock."""
+
+    phase: str
+    category: str
+    seconds: float
+    count: float = 0.0
+    detail: str = ""
+
+
+@dataclass
+class SimClock:
+    """Accumulates simulated seconds, broken down by phase and category."""
+
+    events: list[CostEvent] = field(default_factory=list)
+    _phase: str = "setup"
+
+    # ------------------------------------------------------------------
+    def set_phase(self, phase: str) -> None:
+        """Set the phase label charged by subsequent events."""
+        self._phase = phase
+
+    @property
+    def phase(self) -> str:
+        return self._phase
+
+    def charge(
+        self, category: str, seconds: float, count: float = 0.0, detail: str = ""
+    ) -> None:
+        """Record a cost event in the current phase."""
+        if seconds < 0:
+            raise ValueError(f"negative cost: {seconds}")
+        self.events.append(CostEvent(self._phase, category, seconds, count, detail))
+
+    # ------------------------------------------------------------------
+    @property
+    def total_seconds(self) -> float:
+        return sum(e.seconds for e in self.events)
+
+    def seconds_by_phase(self) -> dict[str, float]:
+        out: dict[str, float] = defaultdict(float)
+        for e in self.events:
+            out[e.phase] += e.seconds
+        return dict(out)
+
+    def seconds_by_category(self) -> dict[str, float]:
+        out: dict[str, float] = defaultdict(float)
+        for e in self.events:
+            out[e.category] += e.seconds
+        return dict(out)
+
+    def seconds_for(self, phase: str | None = None, category: str | None = None) -> float:
+        return sum(
+            e.seconds
+            for e in self.events
+            if (phase is None or e.phase == phase)
+            and (category is None or e.category == category)
+        )
+
+    def counts_by_category(self) -> dict[str, float]:
+        out: dict[str, float] = defaultdict(float)
+        for e in self.events:
+            out[e.category] += e.count
+        return dict(out)
+
+    # ------------------------------------------------------------------
+    def extrapolated_seconds(
+        self, volume_factor: float, overhead_factor: float | None = None
+    ) -> float:
+        """Re-evaluate total time as if the problem were ``volume_factor``
+        times larger.
+
+        Volume-scaling categories (memory traffic, compute) multiply by
+        ``volume_factor``; overhead categories (launches, barriers, message
+        latencies) multiply by ``overhead_factor``, which defaults to the
+        ratio of coarsening-level counts, approximately
+        ``1 + log2(volume_factor) / 20`` (levels grow logarithmically and a
+        run has ~20 of them at bench scale).
+        """
+        if volume_factor <= 0:
+            raise ValueError("volume_factor must be positive")
+        if overhead_factor is None:
+            import math
+
+            overhead_factor = max(1.0, 1.0 + math.log2(volume_factor) / 20.0)
+        total = 0.0
+        for e in self.events:
+            if e.category in VOLUME_CATEGORIES:
+                total += e.seconds * volume_factor
+            elif e.category in OVERHEAD_CATEGORIES:
+                total += e.seconds * overhead_factor
+            else:
+                total += e.seconds * volume_factor  # conservative default
+        return total
+
+    def merge(self, others: Iterable["SimClock"]) -> None:
+        """Absorb events from other clocks (used when sub-engines finish)."""
+        for other in others:
+            self.events.extend(other.events)
+
+    def breakdown(self) -> str:
+        """Human-readable phase x category table for reports."""
+        lines = [f"total modeled time: {self.total_seconds:.6f} s"]
+        for phase, secs in sorted(self.seconds_by_phase().items()):
+            lines.append(f"  {phase:<16s} {secs:.6f} s")
+        return "\n".join(lines)

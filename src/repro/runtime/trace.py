@@ -1,0 +1,103 @@
+"""Structured execution traces.
+
+Partitioners append :class:`LevelRecord` entries as they coarsen and
+refine, so tests and reports can inspect the multilevel structure (level
+sizes, conflict rates, kernel launches, pass counts) without re-deriving
+it from the clock's raw event list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["LevelRecord", "RefinementRecord", "Trace"]
+
+
+@dataclass
+class LevelRecord:
+    """One coarsening level's outcome."""
+
+    level: int
+    num_vertices: int
+    num_edges: int
+    matched_pairs: int = 0
+    conflicts: int = 0
+    self_matches: int = 0
+    engine: str = "cpu"
+
+    @property
+    def conflict_rate(self) -> float:
+        attempts = self.matched_pairs + self.conflicts
+        return self.conflicts / attempts if attempts else 0.0
+
+
+@dataclass
+class RefinementRecord:
+    """One refinement pass at one uncoarsening level."""
+
+    level: int
+    pass_index: int
+    moves_proposed: int
+    moves_committed: int
+    cut_before: int
+    cut_after: int
+    engine: str = "cpu"
+
+
+@dataclass
+class Trace:
+    """All structured records of one partitioner run."""
+
+    levels: list[LevelRecord] = field(default_factory=list)
+    refinements: list[RefinementRecord] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.levels)
+
+    @property
+    def total_conflicts(self) -> int:
+        return sum(r.conflicts for r in self.levels)
+
+    @property
+    def coarsest_size(self) -> int:
+        return self.levels[-1].num_vertices if self.levels else 0
+
+    def levels_on(self, engine: str) -> list[LevelRecord]:
+        return [r for r in self.levels if r.engine == engine]
+
+    def note(self, message: str) -> None:
+        self.notes.append(message)
+
+    def render(self) -> str:
+        """ASCII view of the multilevel run: the coarsening funnel with
+        per-level engines and conflict counts, then refinement outcomes."""
+        lines: list[str] = []
+        if self.levels:
+            peak = max(r.num_vertices for r in self.levels)
+            lines.append("coarsening funnel:")
+            for r in self.levels:
+                bar = "#" * max(1, int(round(30 * r.num_vertices / peak)))
+                lines.append(
+                    f"  L{r.level:<2d} {bar:<30s} |V|={r.num_vertices:>8d} "
+                    f"pairs={r.matched_pairs:>7d} conflicts={r.conflicts:>6d} "
+                    f"[{r.engine}]"
+                )
+        if self.refinements:
+            lines.append("refinement:")
+            seen: set[int] = set()
+            for r in self.refinements:
+                if r.level in seen:
+                    continue
+                seen.add(r.level)
+                arrow = "=" if r.cut_after == r.cut_before else (
+                    "v" if r.cut_after < r.cut_before else "^"
+                )
+                lines.append(
+                    f"  L{r.level:<2d} cut {r.cut_before:>8d} -> "
+                    f"{r.cut_after:>8d} {arrow} [{r.engine}]"
+                )
+        for n in self.notes:
+            lines.append(f"  note: {n}")
+        return "\n".join(lines)

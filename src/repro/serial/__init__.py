@@ -1,0 +1,46 @@
+"""Serial multilevel partitioner (Metis baseline)."""
+
+from .bisection import bisect_once, recursive_bisection
+from .coarsen import CoarseningLevel, coarsen_graph
+from .contraction import build_cmap, contract
+from .fm import FMResult, bisection_gains, fm_refine_bisection
+from .gain_buckets import GainBuckets, fm_refine_bisection_buckets
+from .gggp import gggp_bisect, grow_region
+from .kway import (
+    KwayPassResult,
+    kway_connectivity,
+    kway_refine,
+    kway_refine_pass,
+    rebalance_pass,
+)
+from .matching import MatchResult, match_is_valid, sequential_match
+from .options import SerialOptions
+from .partitioner import SerialMetis
+from .project import project_partition
+
+__all__ = [
+    "SerialOptions",
+    "SerialMetis",
+    "MatchResult",
+    "sequential_match",
+    "match_is_valid",
+    "build_cmap",
+    "contract",
+    "CoarseningLevel",
+    "coarsen_graph",
+    "gggp_bisect",
+    "grow_region",
+    "FMResult",
+    "fm_refine_bisection",
+    "fm_refine_bisection_buckets",
+    "GainBuckets",
+    "bisection_gains",
+    "recursive_bisection",
+    "bisect_once",
+    "KwayPassResult",
+    "kway_connectivity",
+    "kway_refine",
+    "kway_refine_pass",
+    "rebalance_pass",
+    "project_partition",
+]

@@ -1,0 +1,81 @@
+"""The coarsening level loop with Metis-style stop criteria."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from ..runtime.clock import SimClock
+from ..runtime.machine import CpuSpec
+from ..runtime.trace import LevelRecord, Trace
+from .contraction import contract
+from .matching import sequential_match
+from .options import SerialOptions
+
+__all__ = ["CoarseningLevel", "coarsen_graph"]
+
+
+@dataclass
+class CoarseningLevel:
+    """One rung of the multilevel ladder (finer graph + its cmap down)."""
+
+    graph: CSRGraph
+    cmap: np.ndarray  # maps this graph's vertices to the next-coarser graph
+
+
+def coarsen_graph(
+    graph: CSRGraph,
+    k: int,
+    opts: SerialOptions,
+    clock: SimClock | None = None,
+    cpu: CpuSpec | None = None,
+    trace: Trace | None = None,
+    rng: np.random.Generator | None = None,
+    target: int | None = None,
+    engine_label: str = "cpu-serial",
+) -> tuple[list[CoarseningLevel], CSRGraph]:
+    """Coarsen until the target size or shrink stall.
+
+    Returns the ladder of levels (finest first) and the coarsest graph.
+    Every level's work is charged to ``clock`` under the CPU model:
+    matching scans + contraction traverse all arcs once each.
+    """
+    rng = rng or np.random.default_rng(opts.seed)
+    target = target if target is not None else opts.coarsen_target(k)
+    levels: list[CoarseningLevel] = []
+    current = graph
+    level_idx = 0
+    while current.num_vertices > target:
+        mres = sequential_match(current, opts.matching, rng)
+        coarse, cmap = contract(current, mres.match)
+        if clock is not None and cpu is not None:
+            clock.charge(
+                "compute",
+                cpu.edge_seconds(
+                    mres.edge_scans + current.num_directed_edges,
+                    avg_degree=2 * current.num_edges / max(1, current.num_vertices),
+                )
+                + cpu.vertex_seconds(2 * current.num_vertices),
+                count=float(mres.edge_scans + current.num_directed_edges),
+                detail=f"coarsen level {level_idx}",
+            )
+        if trace is not None:
+            trace.levels.append(
+                LevelRecord(
+                    level=level_idx,
+                    num_vertices=current.num_vertices,
+                    num_edges=current.num_edges,
+                    matched_pairs=mres.pairs,
+                    self_matches=current.num_vertices - 2 * mres.pairs,
+                    engine=engine_label,
+                )
+            )
+        shrink = 1.0 - coarse.num_vertices / current.num_vertices
+        levels.append(CoarseningLevel(graph=current, cmap=cmap))
+        current = coarse
+        level_idx += 1
+        if shrink < opts.min_shrink:
+            break
+    return levels, current

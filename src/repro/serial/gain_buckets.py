@@ -1,0 +1,188 @@
+"""Gain-bucket priority structure for FM refinement.
+
+The classic Fiduccia-Mattheyses data structure: an array of doubly-linked
+buckets indexed by gain, giving O(1) best-gain extraction and O(1) gain
+updates.  The array-scan FM in :mod:`repro.serial.fm` is O(n) per move;
+this structure makes each move O(deg) — the "linear-time heuristic" of
+the FM paper the partitioners cite [17].
+
+Implemented with numpy-backed intrusive linked lists (no per-node Python
+objects), and verified equivalent to the scan implementation by the
+property tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from .fm import FMResult, bisection_gains
+
+__all__ = ["GainBuckets", "fm_refine_bisection_buckets"]
+
+
+class GainBuckets:
+    """Bucket priority queue over integer gains in [-max_gain, max_gain].
+
+    ``pop_best(side_ok)`` returns the highest-gain unlocked vertex whose
+    move is feasible per the caller's mask; ``update`` moves a vertex
+    between buckets after a delta.
+    """
+
+    __slots__ = ("offset", "heads", "next", "prev", "gain", "in_queue", "max_ptr")
+
+    def __init__(self, gains: np.ndarray, max_gain: int) -> None:
+        n = gains.shape[0]
+        self.offset = int(max_gain)
+        nbuckets = 2 * self.offset + 1
+        self.heads = np.full(nbuckets, -1, dtype=np.int64)
+        self.next = np.full(n, -1, dtype=np.int64)
+        self.prev = np.full(n, -1, dtype=np.int64)
+        self.gain = np.clip(gains, -self.offset, self.offset).astype(np.int64)
+        self.in_queue = np.zeros(n, dtype=bool)
+        self.max_ptr = 0  # highest occupied bucket index
+        for v in range(n):
+            self._push(v)
+
+    # -- intrusive list ops -------------------------------------------------
+    def _bucket(self, v: int) -> int:
+        return int(self.gain[v]) + self.offset
+
+    def _push(self, v: int) -> None:
+        b = self._bucket(v)
+        head = self.heads[b]
+        self.next[v] = head
+        self.prev[v] = -1
+        if head >= 0:
+            self.prev[head] = v
+        self.heads[b] = v
+        self.in_queue[v] = True
+        if b > self.max_ptr:
+            self.max_ptr = b
+
+    def remove(self, v: int) -> None:
+        if not self.in_queue[v]:
+            return
+        b = self._bucket(v)
+        nxt, prv = self.next[v], self.prev[v]
+        if prv >= 0:
+            self.next[prv] = nxt
+        else:
+            self.heads[b] = nxt
+        if nxt >= 0:
+            self.prev[nxt] = prv
+        self.next[v] = self.prev[v] = -1
+        self.in_queue[v] = False
+
+    def update(self, v: int, delta: int) -> None:
+        """Apply a gain delta, rebucketing if v is still queued."""
+        if self.in_queue[v]:
+            self.remove(v)
+            self.gain[v] = np.clip(self.gain[v] + delta, -self.offset, self.offset)
+            self._push(v)
+        else:
+            self.gain[v] = np.clip(self.gain[v] + delta, -self.offset, self.offset)
+
+    def pop_best(self, feasible) -> int:
+        """Highest-gain queued vertex with ``feasible(v)`` true, or -1.
+
+        Infeasible vertices are skipped but stay queued (they may become
+        feasible after balance shifts).
+        """
+        b = self.max_ptr
+        while b >= 0:
+            v = self.heads[b]
+            found_any = v >= 0
+            while v >= 0:
+                if feasible(int(v)):
+                    self.remove(int(v))
+                    return int(v)
+                v = self.next[v]
+            if not found_any and b == self.max_ptr:
+                self.max_ptr -= 1
+            b -= 1
+        return -1
+
+
+def fm_refine_bisection_buckets(
+    graph: CSRGraph,
+    part: np.ndarray,
+    target_weights: tuple[int, int],
+    ubfactor: float = 1.03,
+    max_passes: int = 4,
+    stall_limit: int = 64,
+) -> FMResult:
+    """Bucket-based FM; same semantics as
+    :func:`repro.serial.fm.fm_refine_bisection` (no pinning support), with
+    O(deg) moves instead of O(n) scans."""
+    part = np.asarray(part, dtype=np.int64).copy()
+    n = graph.num_vertices
+    if n == 0:
+        return FMResult(part, 0, 0, 0)
+    vwgt = graph.vwgt
+    adjp, adjncy, adjwgt = graph.adjp, graph.adjncy, graph.adjwgt
+    maxw = (ubfactor * target_weights[0], ubfactor * target_weights[1])
+    side_w = [int(vwgt[part == 0].sum()), int(vwgt[part == 1].sum())]
+
+    from ..graphs.metrics import edge_cut
+
+    cut = edge_cut(graph, part)
+    total_moves = 0
+    passes_run = 0
+    # Bucket range: the max possible |gain| is the max weighted degree.
+    wdeg = np.zeros(n, dtype=np.int64)
+    np.add.at(wdeg, graph.source_array(), adjwgt)
+    max_gain = int(wdeg.max(initial=1))
+
+    for _ in range(max_passes):
+        passes_run += 1
+        buckets = GainBuckets(bisection_gains(graph, part), max_gain)
+        history: list[int] = []
+        best_prefix = 0
+        best_cut = cut
+        running_cut = cut
+        stall = 0
+
+        def feasible(v: int) -> bool:
+            d = 1 - int(part[v])
+            return side_w[d] + int(vwgt[v]) <= maxw[d]
+
+        while True:
+            v = buckets.pop_best(feasible)
+            if v < 0:
+                break
+            g = int(buckets.gain[v])
+            s = int(part[v])
+            d = 1 - s
+            part[v] = d
+            side_w[s] -= int(vwgt[v])
+            side_w[d] += int(vwgt[v])
+            running_cut -= g
+            history.append(v)
+            a, b = adjp[v], adjp[v + 1]
+            for u, w in zip(adjncy[a:b], adjwgt[a:b]):
+                u = int(u)
+                delta = -2 * int(w) if part[u] == d else 2 * int(w)
+                buckets.update(u, delta)
+            if running_cut < best_cut:
+                best_cut = running_cut
+                best_prefix = len(history)
+                stall = 0
+            else:
+                stall += 1
+                if stall >= stall_limit:
+                    break
+
+        for v in reversed(history[best_prefix:]):
+            d = int(part[v])
+            s = 1 - d
+            part[v] = s
+            side_w[d] -= int(vwgt[v])
+            side_w[s] += int(vwgt[v])
+        total_moves += best_prefix
+        if best_cut >= cut:
+            cut = best_cut
+            break
+        cut = best_cut
+
+    return FMResult(part, cut, passes_run, total_moves)

@@ -1,0 +1,17 @@
+"""Partition projection (paper Sec. II.A.3, "Projection").
+
+"The coarser graph is projected back to the finer graph by transferring
+the partition assignment of each vertex to the corresponding vertices in
+the finer graph."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["project_partition"]
+
+
+def project_partition(coarse_part: np.ndarray, cmap: np.ndarray) -> np.ndarray:
+    """Fine-graph labels from coarse labels: ``part[v] = coarse[cmap[v]]``."""
+    return np.asarray(coarse_part, dtype=np.int64)[np.asarray(cmap, dtype=np.int64)]

@@ -1,0 +1,113 @@
+"""Unit tests for the benchmark harness, tables, figures, calibration."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    CALIBRATION_NOTES,
+    DEFAULT_SCALES,
+    ExperimentConfig,
+    check_paper_shape,
+    fig5_csv,
+    fig5_series,
+    render_fig5,
+    render_table1,
+    render_table2,
+    render_table3,
+    run_experiment,
+    run_method_on_graph,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+)
+from repro.graphs.generators import delaunay
+
+
+@pytest.fixture(scope="module")
+def tiny_experiment():
+    """A miniature grid: 2 datasets x 4 methods at very small scale."""
+    cfg = ExperimentConfig(
+        k=8,
+        datasets=("delaunay", "usa_roads"),
+        scales={"delaunay": 0.003, "usa_roads": 0.0004},
+    )
+    return run_experiment(cfg)
+
+
+class TestRunExperiment:
+    def test_grid_complete(self, tiny_experiment):
+        assert len(tiny_experiment.runs) == 2 * 4
+        for (ds, m), run in tiny_experiment.runs.items():
+            assert run.dataset == ds and run.method == m
+            assert run.modeled_seconds > 0
+            assert run.paper_scale_seconds > run.modeled_seconds  # scaled up
+
+    def test_volume_factor_reasonable(self, tiny_experiment):
+        run = tiny_experiment.run("delaunay", "metis")
+        assert run.volume_factor > 100  # 0.003 linear scale
+
+    def test_speedup_and_ratio_accessors(self, tiny_experiment):
+        s = tiny_experiment.speedup("delaunay", "mt-metis")
+        assert s > 0
+        r = tiny_experiment.edgecut_ratio("delaunay", "mt-metis")
+        assert 0.5 < r < 2.0
+        assert tiny_experiment.edgecut_ratio("delaunay", "metis") == 1.0
+
+    def test_repeats_keep_minimum(self):
+        g = delaunay(600, seed=1)
+        one = run_method_on_graph("metis", g, 8, repeats=1, seed=1)
+        three = run_method_on_graph("metis", g, 8, repeats=3, seed=1)
+        assert three.modeled_seconds <= one.modeled_seconds
+
+
+class TestTables:
+    def test_table1(self, tiny_experiment):
+        rows = table1_rows(tiny_experiment)
+        assert rows[0]["paper_vertices"] == 1_048_576
+        text = render_table1(tiny_experiment)
+        assert "TABLE I" in text and "delaunay" in text
+
+    def test_table2(self, tiny_experiment):
+        rows = table2_rows(tiny_experiment)
+        assert {"graph", "metis", "parmetis", "mt-metis", "gp-metis"} <= set(rows[0])
+        assert "TABLE II" in render_table2(tiny_experiment)
+
+    def test_table3(self, tiny_experiment):
+        rows = table3_rows(tiny_experiment)
+        for row in rows:
+            assert row["metis_cut"] > 0
+        assert "TABLE III" in render_table3(tiny_experiment)
+
+
+class TestFigures:
+    def test_series_shape(self, tiny_experiment):
+        series = fig5_series(tiny_experiment)
+        assert set(series) == {"parmetis", "mt-metis", "gp-metis"}
+        assert set(series["gp-metis"]) == {"delaunay", "usa_roads"}
+
+    def test_render_has_bars(self, tiny_experiment):
+        text = render_fig5(tiny_experiment)
+        assert "#" in text and "x" in text
+
+    def test_csv_parses(self, tiny_experiment):
+        lines = fig5_csv(tiny_experiment).splitlines()
+        assert lines[0].startswith("graph,")
+        assert len(lines) == 3
+        float(lines[1].split(",")[1])  # numeric cells
+
+
+class TestShapeChecks:
+    def test_four_claims_evaluated(self, tiny_experiment):
+        checks = check_paper_shape(tiny_experiment)
+        assert len(checks) == 4
+        for c in checks:
+            assert isinstance(c.holds, bool)
+            assert c.detail
+
+    def test_calibration_notes_cover_key_constants(self):
+        joined = " ".join(CALIBRATION_NOTES)
+        for key in ("gpu.bandwidth", "cpu.edge_ops", "pcie"):
+            assert key in joined
+
+    def test_default_scales_cover_table1(self):
+        assert set(DEFAULT_SCALES) == {"ldoor", "delaunay", "hugebubble", "usa_roads"}

@@ -1,0 +1,86 @@
+"""Unit tests for the strong-scaling study module + trace rendering +
+the analyze CLI command."""
+
+import numpy as np
+import pytest
+
+from repro.bench import ScalingStudy, render_scaling, run_scaling_study
+from repro.graphs import generators
+from repro.runtime.trace import LevelRecord, RefinementRecord, Trace
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generators.delaunay(1500, seed=3)
+
+
+class TestScalingStudy:
+    def test_baseline_point(self, graph):
+        study = run_scaling_study("mt-metis", graph, 8, processor_counts=(1, 4))
+        assert study.points[0].speedup == pytest.approx(1.0)
+        assert study.points[0].efficiency == pytest.approx(1.0)
+        assert study.points[1].speedup > 1.0
+
+    def test_efficiency_decreases(self, graph):
+        study = run_scaling_study("parmetis", graph, 8, processor_counts=(1, 2, 8))
+        effs = [p.efficiency for p in study.points]
+        assert effs[0] >= effs[1] >= effs[2]
+
+    def test_unknown_method_raises(self, graph):
+        with pytest.raises(KeyError):
+            run_scaling_study("metis", graph, 8)
+
+    def test_efficiency_at_accessor(self, graph):
+        study = run_scaling_study("mt-metis", graph, 8, processor_counts=(1, 2))
+        assert study.efficiency_at(2) == study.points[1].efficiency
+        with pytest.raises(KeyError):
+            study.efficiency_at(64)
+
+    def test_render(self, graph):
+        study = run_scaling_study("mt-metis", graph, 8, processor_counts=(1, 4))
+        text = render_scaling([study])
+        assert "P=1" in text and "P=4" in text and "eff" in text
+
+    def test_render_empty(self):
+        assert "Strong scaling" in render_scaling([])
+
+
+class TestTraceRender:
+    def test_funnel_and_refinement(self):
+        t = Trace()
+        t.levels.append(LevelRecord(0, 1000, 3000, matched_pairs=400, engine="gpu"))
+        t.levels.append(LevelRecord(1, 600, 1700, matched_pairs=250, engine="cpu"))
+        t.refinements.append(
+            RefinementRecord(0, 0, 50, 40, cut_before=120, cut_after=90, engine="gpu")
+        )
+        t.note("hello")
+        text = t.render()
+        assert "coarsening funnel" in text
+        assert "|V|=    1000" in text
+        assert "cut      120 ->       90 v" in text
+        assert "note: hello" in text
+
+    def test_empty_trace_renders(self):
+        assert Trace().render() == ""
+
+    def test_real_partitioner_trace_renders(self, graph):
+        from repro.api import partition
+
+        res = partition(graph, 8, method="gp-metis")
+        text = res.trace.render()
+        assert "coarsening funnel" in text
+        assert "refinement" in text
+
+
+class TestAnalyzeCli:
+    def test_analyze_command(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.graphs import write_metis
+
+        p = tmp_path / "g.graph"
+        write_metis(generators.grid2d(12, 12), p)
+        rc = main(["analyze", str(p), "-k", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "index locality" in out
+        assert "cut lower bounds" in out

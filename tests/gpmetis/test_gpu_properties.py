@@ -1,0 +1,85 @@
+"""Property-based tests (hypothesis) for the GPU coarsening pipeline:
+random graphs through match -> cmap -> contract must equal the serial
+oracle, conserve weights, and respect the device memory ledger."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpmetis.kernels import gpu_build_cmap, gpu_contract, gpu_match
+from repro.gpusim import Device, transfer_graph_to_device
+from repro.graphs import from_edges
+from repro.runtime.clock import SimClock
+from repro.runtime.machine import PAPER_MACHINE
+from repro.serial.contraction import build_cmap, contract
+from repro.serial.matching import match_is_valid
+
+
+@st.composite
+def pipelines(draw):
+    n = draw(st.integers(min_value=4, max_value=40))
+    m = draw(st.integers(min_value=2, max_value=100))
+    seed = draw(st.integers(0, 2**31 - 1))
+    threads = draw(st.sampled_from([1, 7, 32, 4096]))
+    scheme = draw(st.sampled_from(["hem", "rm"]))
+    rng = np.random.default_rng(seed)
+    g = from_edges(n, rng.integers(0, n, size=(m, 2)), rng.integers(1, 9, size=m))
+    return g, threads, scheme, seed
+
+
+@given(pipelines())
+@settings(max_examples=50, deadline=None)
+def test_gpu_pipeline_matches_serial_oracle(data):
+    g, threads, scheme, seed = data
+    clock = SimClock()
+    dev = Device(PAPER_MACHINE.gpu, clock)
+    d_csr = transfer_graph_to_device(dev, g, PAPER_MACHINE.interconnect)
+    d_match, stats = gpu_match(dev, d_csr, g, threads, scheme, np.random.default_rng(seed))
+    assert match_is_valid(g, d_match.data)
+    assert stats.self_matches + 2 * stats.pairs == g.num_vertices
+
+    d_cmap, n_coarse = gpu_build_cmap(dev, d_match, threads)
+    exp_cmap, exp_n = build_cmap(d_match.data)
+    assert n_coarse == exp_n
+    assert np.array_equal(d_cmap.data, exp_cmap)
+
+    out = gpu_contract(dev, d_csr, g, d_match, d_cmap, n_coarse, threads)
+    expect, _ = contract(g, d_match.data)
+    assert np.array_equal(out.coarse.adjncy, expect.adjncy)
+    assert np.array_equal(out.coarse.adjwgt, expect.adjwgt)
+    assert out.coarse.total_vertex_weight == g.total_vertex_weight
+    out.coarse.validate()
+
+    # Device-memory ledger: allocations minus frees stay consistent.
+    live = (
+        sum(d.nbytes for d in d_csr.values())
+        + d_match.nbytes
+        + d_cmap.nbytes
+        + sum(d.nbytes for d in out.d_coarse.values())
+    )
+    assert dev.allocated_bytes == live
+    # Modeled time only moves forward.
+    assert clock.total_seconds > 0
+
+
+@given(
+    st.integers(min_value=2, max_value=64),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_cmap_pipeline_pure_function_of_match(n, seed):
+    """Any valid involutive match array yields the serial numbering."""
+    rng = np.random.default_rng(seed)
+    match = np.arange(n, dtype=np.int64)
+    order = rng.permutation(n)
+    for i in range(0, n - 1, 2):
+        a, b = order[i], order[i + 1]
+        if rng.random() < 0.6:
+            match[a], match[b] = b, a
+    dev = Device(PAPER_MACHINE.gpu, SimClock())
+    d_match = dev.adopt(match.copy(), label="m")
+    d_cmap, n_coarse = gpu_build_cmap(dev, d_match, 32)
+    exp, exp_n = build_cmap(match)
+    assert n_coarse == exp_n
+    assert np.array_equal(d_cmap.data, exp)

@@ -1,0 +1,96 @@
+"""Unit tests for the multi-GPU extension (the paper's future work)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DeviceMemoryError, InvalidParameterError
+from repro.gpmetis import GPMetisOptions, MultiGpuGPMetis, MultiGpuOptions
+from repro.graphs import validate_partition
+from repro.graphs.generators import delaunay
+from repro.runtime.machine import PAPER_MACHINE
+
+
+@pytest.fixture(scope="module")
+def big_graph():
+    return delaunay(12_000, seed=9)
+
+
+@pytest.fixture(scope="module")
+def small_device_machine(big_graph):
+    """Device too small for the whole graph on one GPU's working set."""
+    return PAPER_MACHINE.scaled_gpu_memory(int(big_graph.nbytes * 1.1))
+
+
+class TestOptions:
+    def test_invalid_device_count(self):
+        with pytest.raises(InvalidParameterError):
+            MultiGpuOptions(num_devices=0)
+
+    def test_invalid_peer_bandwidth(self):
+        with pytest.raises(InvalidParameterError):
+            MultiGpuOptions(peer_bandwidth_factor=0.0)
+
+    def test_single_options_nested(self):
+        o = MultiGpuOptions(single=GPMetisOptions(merge_strategy="sort"))
+        assert o.single.merge_strategy == "sort"
+
+
+class TestPartitioning:
+    def test_valid_balanced_output(self, big_graph, small_device_machine):
+        p = MultiGpuGPMetis(
+            MultiGpuOptions(num_devices=4), machine=small_device_machine
+        )
+        res = p.partition(big_graph, 16)
+        validate_partition(big_graph, res.part, 16, ubfactor=1.05)
+
+    def test_multi_gpu_levels_used(self, big_graph, small_device_machine):
+        p = MultiGpuGPMetis(
+            MultiGpuOptions(num_devices=4), machine=small_device_machine
+        )
+        res = p.partition(big_graph, 16)
+        assert res.extras["multi_gpu_levels"] >= 1
+        assert res.extras["num_devices"] == 4
+        assert any(L.engine == "multi-gpu" for L in res.trace.levels)
+
+    def test_graph_fitting_one_device_folds_immediately(self, big_graph):
+        p = MultiGpuGPMetis(MultiGpuOptions(num_devices=2))  # full 6 GB devices
+        res = p.partition(big_graph, 8)
+        assert res.extras["multi_gpu_levels"] == 0
+        validate_partition(big_graph, res.part, 8, ubfactor=1.05)
+
+    def test_block_too_big_for_any_device(self, big_graph):
+        machine = PAPER_MACHINE.scaled_gpu_memory(1024)
+        p = MultiGpuGPMetis(MultiGpuOptions(num_devices=2), machine=machine)
+        with pytest.raises(DeviceMemoryError):
+            p.partition(big_graph, 8)
+
+    def test_k0_rejected(self, big_graph):
+        with pytest.raises(InvalidParameterError):
+            MultiGpuGPMetis().partition(big_graph, 0)
+
+    def test_peer_traffic_charged(self, big_graph, small_device_machine):
+        p = MultiGpuGPMetis(
+            MultiGpuOptions(num_devices=4), machine=small_device_machine
+        )
+        res = p.partition(big_graph, 16)
+        assert res.clock.seconds_for(category="transfer_bytes") > 0
+
+    def test_more_devices_more_halo_cost(self, big_graph, small_device_machine):
+        t = {}
+        for d in (2, 8):
+            p = MultiGpuGPMetis(
+                MultiGpuOptions(num_devices=d), machine=small_device_machine
+            )
+            res = p.partition(big_graph, 16)
+            t[d] = res.clock.seconds_for(phase="coarsening-multigpu")
+        # More devices cut more arcs across boundaries.
+        assert t[8] >= t[2] * 0.5  # halo grows or at worst stays comparable
+
+    def test_quality_comparable_to_single_gpu(self, big_graph, small_device_machine):
+        from repro.gpmetis import GPMetis
+
+        multi = MultiGpuGPMetis(
+            MultiGpuOptions(num_devices=4), machine=small_device_machine
+        ).partition(big_graph, 16)
+        single = GPMetis().partition(big_graph, 16)
+        assert multi.quality(big_graph).cut <= 1.4 * single.quality(big_graph).cut

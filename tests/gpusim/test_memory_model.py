@@ -1,0 +1,71 @@
+"""Unit + property tests for the coalescing model (paper Fig. 2)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim.memory import stream_transactions, warp_transactions
+
+
+class TestWarpTransactions:
+    def test_fully_coalesced_warp(self):
+        # 32 threads reading 32 consecutive 4-byte words: one 128B block.
+        assert warp_transactions(np.arange(32), itemsize=4) == 1
+
+    def test_fig2_consecutive_8byte(self):
+        # 32 consecutive int64 span two 128-byte blocks.
+        assert warp_transactions(np.arange(32), itemsize=8) == 2
+
+    def test_fully_scattered_warp(self):
+        idx = np.arange(32) * 1000
+        assert warp_transactions(idx, itemsize=8) == 32
+
+    def test_same_address_broadcast(self):
+        assert warp_transactions(np.zeros(32, dtype=np.int64), itemsize=8) == 1
+
+    def test_two_warps(self):
+        idx = np.concatenate([np.arange(32), np.arange(32) * 100])
+        assert warp_transactions(idx, itemsize=4) == 1 + 32
+
+    def test_partial_warp(self):
+        assert warp_transactions(np.arange(5), itemsize=4) == 1
+
+    def test_empty(self):
+        assert warp_transactions(np.empty(0, np.int64), itemsize=8) == 0
+
+    def test_unaligned_straddle(self):
+        # Elements 15..46 (int64) straddle three 128B blocks.
+        assert warp_transactions(np.arange(15, 47), itemsize=8) == 3
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=96),
+        st.sampled_from([4, 8]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_reference_count(self, idx, itemsize):
+        idx = np.array(idx)
+        got = warp_transactions(idx, itemsize)
+        expected = 0
+        for w in range(0, len(idx), 32):
+            blocks = {(int(i) * itemsize) // 128 for i in idx[w : w + 32]}
+            expected += len(blocks)
+        assert got == expected
+
+    @given(st.integers(min_value=1, max_value=4096), st.sampled_from([4, 8]))
+    @settings(max_examples=40, deadline=None)
+    def test_sequential_is_optimal(self, n, itemsize):
+        seq = warp_transactions(np.arange(n), itemsize)
+        ideal = stream_transactions(n * itemsize)
+        assert seq <= ideal + (n // 32 + 1)  # per-warp boundary slack
+
+
+class TestStreamTransactions:
+    def test_exact_blocks(self):
+        assert stream_transactions(1280) == 10
+
+    def test_rounds_up(self):
+        assert stream_transactions(1) == 1
+        assert stream_transactions(129) == 2
+
+    def test_zero(self):
+        assert stream_transactions(0) == 0

@@ -1,0 +1,100 @@
+"""Unit tests for graph-structure analysis."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    average_bandwidth,
+    degree_histogram,
+    from_edges,
+    index_locality,
+    perfect_balance_cut_lower_bound,
+    profile_graph,
+    spectral_cut_lower_bound,
+)
+from repro.graphs.generators import (
+    complete_graph,
+    delaunay,
+    grid2d,
+    path_graph,
+    rmat,
+    star_graph,
+)
+from repro.graphs.permute import permute, random_order
+
+
+class TestDegreeHistogram:
+    def test_regular_graph_single_bar(self):
+        vals, counts = degree_histogram(complete_graph(6))
+        assert vals.tolist() == [5]
+        assert counts.tolist() == [6]
+
+    def test_star(self):
+        vals, counts = degree_histogram(star_graph(10))
+        assert vals.tolist() == [1, 9]
+        assert counts.tolist() == [9, 1]
+
+    def test_empty(self):
+        vals, counts = degree_histogram(from_edges(0, []))
+        assert vals.size == counts.size == 0
+
+
+class TestLocality:
+    def test_path_is_fully_local(self):
+        assert index_locality(path_graph(100), window=1) == 1.0
+
+    def test_shuffle_destroys_locality(self):
+        g = grid2d(30, 30)
+        shuffled = permute(g, random_order(g, seed=1))
+        assert index_locality(g) > index_locality(shuffled)
+
+    def test_bandwidth_of_path(self):
+        assert average_bandwidth(path_graph(50)) == 1.0
+
+    def test_empty_graph(self):
+        assert index_locality(from_edges(3, [])) == 1.0
+        assert average_bandwidth(from_edges(3, [])) == 0.0
+
+
+class TestCutBounds:
+    def test_spectral_bound_below_actual(self):
+        from repro.api import partition
+
+        g = grid2d(16, 16)
+        bound = spectral_cut_lower_bound(g, 4)
+        cut = partition(g, 4, method="metis").quality(g).cut
+        assert 0 <= bound <= cut
+
+    def test_degree_bound_below_actual(self):
+        from repro.api import partition
+
+        g = delaunay(500, seed=1)
+        bound = perfect_balance_cut_lower_bound(g, 8)
+        cut = partition(g, 8, method="metis").quality(g).cut
+        assert 0 < bound <= cut
+
+    def test_trivial_cases(self):
+        g = path_graph(4)
+        assert spectral_cut_lower_bound(g, 1) == 0.0
+        assert perfect_balance_cut_lower_bound(g, 1) == 0
+        assert perfect_balance_cut_lower_bound(from_edges(2, []), 4) == 0
+
+
+class TestProfile:
+    def test_mesh_profile(self):
+        p = profile_graph(grid2d(20, 20))
+        assert p.num_vertices == 400
+        assert p.degree_cv < 0.25  # near-regular
+        assert p.components == 1
+        assert not p.weighted_edges
+        assert "regular" in p.describe()
+
+    def test_rmat_is_irregular(self):
+        p = profile_graph(rmat(9, edge_factor=6, seed=1))
+        assert p.degree_cv > 0.75
+        assert "highly irregular" in p.describe()
+
+    def test_weighted_flags(self):
+        g = from_edges(3, [(0, 1)], weights=[5], vertex_weights=[2, 1, 1])
+        p = profile_graph(g)
+        assert p.weighted_edges and p.weighted_vertices

@@ -1,0 +1,117 @@
+"""Unit tests for the graph builders."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidGraphError
+from repro.graphs import from_adjacency, from_edges, from_networkx, from_scipy
+
+
+class TestFromEdges:
+    def test_basic(self):
+        g = from_edges(3, [(0, 1), (1, 2)])
+        g.validate()
+        assert g.num_edges == 2
+        assert g.neighbors(1).tolist() == [0, 2]
+
+    def test_duplicate_edges_merge_weights(self):
+        g = from_edges(2, [(0, 1), (1, 0), (0, 1)], weights=[2, 3, 4])
+        assert g.num_edges == 1
+        assert g.edge_weights(0).tolist() == [9]
+
+    def test_self_loops_dropped(self):
+        g = from_edges(3, [(0, 0), (0, 1), (2, 2)])
+        assert g.num_edges == 1
+
+    def test_vertex_weights(self):
+        g = from_edges(2, [(0, 1)], vertex_weights=[3, 4])
+        assert g.total_vertex_weight == 7
+
+    def test_empty_edges(self):
+        g = from_edges(3, [])
+        assert g.num_edges == 0
+        g.validate()
+
+    def test_out_of_range_endpoint(self):
+        with pytest.raises(InvalidGraphError, match="out of range"):
+            from_edges(2, [(0, 5)])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(InvalidGraphError, match="positive"):
+            from_edges(2, [(0, 1)], weights=[-1])
+
+    def test_zero_vertex_weight_rejected(self):
+        with pytest.raises(InvalidGraphError, match="positive"):
+            from_edges(2, [(0, 1)], vertex_weights=[0, 1])
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(InvalidGraphError, match="edges must be"):
+            from_edges(2, np.array([0, 1, 2]))
+
+    def test_misaligned_weights_rejected(self):
+        with pytest.raises(InvalidGraphError, match="align"):
+            from_edges(2, [(0, 1)], weights=[1, 2])
+
+    def test_ndarray_input(self):
+        g = from_edges(4, np.array([[0, 1], [2, 3]], dtype=np.int32))
+        assert g.num_edges == 2
+
+
+class TestFromAdjacency:
+    def test_symmetric_lists(self):
+        g = from_adjacency([[1, 2], [0], [0]])
+        g.validate()
+        assert g.num_edges == 2
+
+    def test_with_weights(self):
+        g = from_adjacency([[1], [0]], weights=[[7], [7]])
+        assert g.edge_weights(0).tolist() == [7]
+
+
+class TestFromScipy:
+    def test_csr_matrix(self):
+        from scipy import sparse
+
+        m = sparse.csr_matrix(np.array([[0, 2, 0], [2, 0, 1], [0, 1, 0]]))
+        g = from_scipy(m)
+        g.validate()
+        assert g.num_edges == 2
+        assert g.edge_weights(0).tolist() == [2]
+
+    def test_asymmetric_pattern_symmetrised(self):
+        from scipy import sparse
+
+        m = sparse.coo_matrix(([1.0], ([0], [1])), shape=(2, 2))
+        g = from_scipy(m)
+        g.validate()
+        assert g.num_edges == 1
+
+    def test_magnitude_weights_floor_one(self):
+        from scipy import sparse
+
+        m = sparse.coo_matrix(([-0.2, -0.2], ([0, 1], [1, 0])), shape=(2, 2))
+        g = from_scipy(m)
+        assert g.edge_weights(0).tolist() == [1]
+
+    def test_nonsquare_rejected(self):
+        from scipy import sparse
+
+        with pytest.raises(InvalidGraphError, match="square"):
+            from_scipy(sparse.coo_matrix((2, 3)))
+
+
+class TestFromNetworkx:
+    def test_roundtrip(self):
+        nx = pytest.importorskip("networkx")
+        gx = nx.cycle_graph(5)
+        g = from_networkx(gx)
+        g.validate()
+        assert g.num_vertices == 5
+        assert g.num_edges == 5
+
+    def test_edge_weights(self):
+        nx = pytest.importorskip("networkx")
+        gx = nx.Graph()
+        gx.add_edge("a", "b", weight=9)
+        g = from_networkx(gx)
+        assert g.edge_weights(0).tolist() == [9]

@@ -1,0 +1,208 @@
+"""Unit tests for the CSR graph structure."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidGraphError
+from repro.graphs import CSRGraph, empty_graph, from_edges
+from repro.graphs.generators import cycle_graph, path_graph, star_graph
+
+
+class TestShapeAccessors:
+    def test_counts(self, tiny_graph):
+        assert tiny_graph.num_vertices == 8
+        assert tiny_graph.num_edges == 10
+        assert tiny_graph.num_directed_edges == 20
+
+    def test_weights(self, tiny_graph):
+        assert tiny_graph.total_vertex_weight == 8
+        assert tiny_graph.total_edge_weight == 5 + 1 + 5 + 1 + 5 + 1 + 5 + 1 + 2 + 2
+
+    def test_degrees(self, tiny_graph):
+        assert tiny_graph.degrees().tolist() == [3, 2, 3, 2, 3, 2, 3, 2]
+        assert tiny_graph.max_degree == 3
+        assert tiny_graph.degree(0) == 3
+
+    def test_nbytes_counts_all_four_arrays(self, tiny_graph):
+        expected = (
+            tiny_graph.adjp.nbytes
+            + tiny_graph.adjncy.nbytes
+            + tiny_graph.adjwgt.nbytes
+            + tiny_graph.vwgt.nbytes
+        )
+        assert tiny_graph.nbytes == expected
+
+    def test_empty_graph(self):
+        g = empty_graph(5)
+        assert g.num_vertices == 5
+        assert g.num_edges == 0
+        g.validate()
+
+    def test_zero_vertex_graph(self):
+        g = empty_graph(0)
+        assert g.num_vertices == 0
+        g.validate()
+
+
+class TestNeighborAccess:
+    def test_neighbors_sorted(self, tiny_graph):
+        for v in range(tiny_graph.num_vertices):
+            nbrs = tiny_graph.neighbors(v)
+            assert np.all(np.diff(nbrs) > 0)
+
+    def test_neighbors_of_zero(self, tiny_graph):
+        assert tiny_graph.neighbors(0).tolist() == [1, 3, 4]
+
+    def test_edge_weights_align(self, tiny_graph):
+        nbrs = tiny_graph.neighbors(0)
+        ws = tiny_graph.edge_weights(0)
+        assert ws.shape == nbrs.shape
+        # (0, 1) has weight 5.
+        assert ws[list(nbrs).index(1)] == 5
+
+    def test_neighbors_is_view(self, tiny_graph):
+        v = tiny_graph.neighbors(0)
+        assert v.base is tiny_graph.adjncy
+
+    def test_iter_edges_each_once(self, tiny_graph):
+        edges = list(tiny_graph.iter_edges())
+        assert len(edges) == tiny_graph.num_edges
+        assert all(u < v for u, v, _ in edges)
+
+    def test_edge_array_matches_iter(self, tiny_graph):
+        us, vs, ws = tiny_graph.edge_array()
+        from_iter = sorted(tiny_graph.iter_edges())
+        from_arr = sorted(zip(us.tolist(), vs.tolist(), ws.tolist()))
+        assert from_iter == from_arr
+
+    def test_source_array(self, tiny_graph):
+        src = tiny_graph.source_array()
+        assert src.shape[0] == tiny_graph.num_directed_edges
+        for v in range(tiny_graph.num_vertices):
+            s, e = tiny_graph.adjp[v], tiny_graph.adjp[v + 1]
+            assert np.all(src[s:e] == v)
+
+
+class TestValidation:
+    def test_valid_graph(self, tiny_graph):
+        tiny_graph.validate()
+        assert tiny_graph.is_valid()
+
+    def test_bad_adjp_start(self):
+        g = CSRGraph(
+            adjp=np.array([1, 2]), adjncy=np.array([0, 1]),
+            adjwgt=np.array([1, 1]), vwgt=np.array([1]),
+        )
+        with pytest.raises(InvalidGraphError, match="adjp"):
+            g.validate()
+
+    def test_self_loop_rejected(self):
+        g = CSRGraph(
+            adjp=np.array([0, 1, 2]), adjncy=np.array([0, 1]),
+            adjwgt=np.array([1, 1]), vwgt=np.array([1, 1]),
+        )
+        with pytest.raises(InvalidGraphError, match="self-loop"):
+            g.validate()
+
+    def test_asymmetric_rejected(self):
+        g = CSRGraph(
+            adjp=np.array([0, 1, 1]), adjncy=np.array([1]),
+            adjwgt=np.array([1]), vwgt=np.array([1, 1]),
+        )
+        with pytest.raises(InvalidGraphError, match="symmetric"):
+            g.validate()
+
+    def test_weight_mismatch_rejected(self):
+        # Symmetric pattern but w(0->1) != w(1->0).
+        g = CSRGraph(
+            adjp=np.array([0, 1, 2]), adjncy=np.array([1, 0]),
+            adjwgt=np.array([1, 2]), vwgt=np.array([1, 1]),
+        )
+        with pytest.raises(InvalidGraphError, match="symmetric"):
+            g.validate()
+
+    def test_duplicate_neighbor_rejected(self):
+        g = CSRGraph(
+            adjp=np.array([0, 2, 4]), adjncy=np.array([1, 1, 0, 0]),
+            adjwgt=np.array([1, 1, 1, 1]), vwgt=np.array([1, 1]),
+        )
+        with pytest.raises(InvalidGraphError, match="duplicate"):
+            g.validate()
+
+    def test_nonpositive_vertex_weight_rejected(self):
+        g = CSRGraph(
+            adjp=np.array([0, 1, 2]), adjncy=np.array([1, 0]),
+            adjwgt=np.array([1, 1]), vwgt=np.array([0, 1]),
+        )
+        with pytest.raises(InvalidGraphError, match="vertex weight"):
+            g.validate()
+
+    def test_out_of_range_neighbor_rejected(self):
+        g = CSRGraph(
+            adjp=np.array([0, 1, 2]), adjncy=np.array([5, 0]),
+            adjwgt=np.array([1, 1]), vwgt=np.array([1, 1]),
+        )
+        with pytest.raises(InvalidGraphError, match="out-of-range"):
+            g.validate()
+
+
+class TestSubgraph:
+    def test_induced_subgraph(self, tiny_graph):
+        sub, vmap = tiny_graph.subgraph(np.array([0, 1, 2, 3]))
+        sub.validate()
+        assert sub.num_vertices == 4
+        # The 4-cycle 0-1-2-3 survives; cross edges (0,4), (2,6) drop.
+        assert sub.num_edges == 4
+        assert vmap.tolist() == [0, 1, 2, 3]
+
+    def test_subgraph_keeps_weights(self, tiny_graph):
+        sub, _ = tiny_graph.subgraph(np.array([0, 1]))
+        assert sub.num_edges == 1
+        assert sub.adjwgt.tolist() == [5, 5]
+
+    def test_empty_subgraph(self, tiny_graph):
+        sub, _ = tiny_graph.subgraph(np.array([], dtype=np.int64))
+        assert sub.num_vertices == 0
+        sub.validate()
+
+    def test_single_vertex_subgraph(self, tiny_graph):
+        sub, _ = tiny_graph.subgraph(np.array([3]))
+        assert sub.num_vertices == 1
+        assert sub.num_edges == 0
+
+
+class TestComponents:
+    def test_connected(self, grid):
+        labels = grid.connected_components()
+        assert np.all(labels == 0)
+
+    def test_two_components(self):
+        g = from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        labels = g.connected_components()
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5]
+        assert labels[0] != labels[3]
+
+    def test_isolated_vertices(self):
+        g = empty_graph(4)
+        labels = g.connected_components()
+        assert len(set(labels.tolist())) == 4
+
+    def test_star(self):
+        labels = star_graph(9).connected_components()
+        assert np.all(labels == 0)
+
+
+class TestConversions:
+    def test_to_scipy_roundtrip(self, tiny_graph):
+        m = tiny_graph.to_scipy()
+        assert m.shape == (8, 8)
+        assert (m != m.T).nnz == 0  # symmetric
+        assert m.sum() == 2 * sum(w for _, _, w in tiny_graph.iter_edges())
+
+    def test_path_cycle_star(self):
+        assert path_graph(5).num_edges == 4
+        assert cycle_graph(5).num_edges == 5
+        assert star_graph(5).num_edges == 4
+        for g in (path_graph(5), cycle_graph(5), star_graph(5)):
+            g.validate()

@@ -1,0 +1,53 @@
+"""Unit tests for the Table I dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import PAPER_DATASETS, dataset_names, load_dataset
+
+
+class TestRegistry:
+    def test_table1_order(self):
+        assert dataset_names() == ["ldoor", "delaunay", "hugebubble", "usa_roads"]
+
+    def test_paper_sizes_match_table1(self):
+        t = PAPER_DATASETS
+        assert t["ldoor"].paper_vertices == 952_203
+        assert t["ldoor"].paper_edges == 22_785_136
+        assert t["delaunay"].paper_vertices == 1_048_576
+        assert t["hugebubble"].paper_vertices == 21_198_119
+        assert t["usa_roads"].paper_edges == 28_947_347
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError, match="available"):
+            load_dataset("nope")
+
+    def test_size_at_scale(self):
+        spec = PAPER_DATASETS["delaunay"]
+        assert spec.size_at_scale(1.0) == spec.paper_vertices
+        assert spec.size_at_scale(1e-9) == 64  # floor
+
+
+@pytest.mark.parametrize("name", list(PAPER_DATASETS))
+class TestAnaloguesAtScale:
+    def test_valid_and_named(self, name):
+        g = load_dataset(name, scale=0.001)
+        g.validate()
+        assert g.name == name
+
+    def test_degree_matches_paper(self, name):
+        spec = PAPER_DATASETS[name]
+        g = load_dataset(name, scale=0.002)
+        paper_deg = 2 * spec.paper_edges / spec.paper_vertices
+        bench_deg = 2 * g.num_edges / g.num_vertices
+        assert abs(bench_deg - paper_deg) / paper_deg < 0.15
+
+    def test_deterministic(self, name):
+        a = load_dataset(name, scale=0.001, seed=4)
+        b = load_dataset(name, scale=0.001, seed=4)
+        assert np.array_equal(a.adjncy, b.adjncy)
+
+    def test_scale_grows_size(self, name):
+        small = load_dataset(name, scale=0.001)
+        large = load_dataset(name, scale=0.003)
+        assert large.num_vertices > small.num_vertices

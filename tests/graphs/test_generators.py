@@ -1,0 +1,129 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.graphs import generators as gen
+
+
+ALL_GENERATORS = [
+    lambda: gen.grid2d(8, 9),
+    lambda: gen.grid2d(8, 9, diagonal=True),
+    lambda: gen.torus2d(6, 7),
+    lambda: gen.grid3d(4, 3, 5),
+    lambda: gen.random_geometric(200, seed=1),
+    lambda: gen.delaunay(150, seed=1),
+    lambda: gen.rmat(8, edge_factor=4, seed=1),
+    lambda: gen.bubble_mesh(200, seed=1),
+    lambda: gen.road_network(200, seed=1),
+    lambda: gen.fe_matrix(300, seed=1),
+    lambda: gen.random_regular_like(100, 4, seed=1),
+    lambda: gen.path_graph(10),
+    lambda: gen.cycle_graph(10),
+    lambda: gen.star_graph(10),
+    lambda: gen.complete_graph(8),
+]
+
+
+@pytest.mark.parametrize("maker", ALL_GENERATORS)
+def test_generator_produces_valid_graph(maker):
+    g = maker()
+    g.validate()
+    assert g.num_vertices > 0
+
+
+class TestGrid:
+    def test_grid_edge_count(self):
+        g = gen.grid2d(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_diagonal_adds_edges(self):
+        base = gen.grid2d(5, 5).num_edges
+        diag = gen.grid2d(5, 5, diagonal=True).num_edges
+        assert diag == base + 16
+
+    def test_torus_is_regular(self):
+        g = gen.torus2d(5, 5)
+        assert np.all(g.degrees() == 4)
+
+    def test_grid3d_corner_degree(self):
+        g = gen.grid3d(3, 3, 3)
+        assert g.degree(0) == 3
+
+    def test_invalid_sizes(self):
+        with pytest.raises(InvalidParameterError):
+            gen.grid2d(0, 3)
+        with pytest.raises(InvalidParameterError):
+            gen.torus2d(2, 5)
+
+
+class TestGeometric:
+    def test_delaunay_density(self):
+        g = gen.delaunay(500, seed=2)
+        # Planar triangulation: |E| ~ 3|V| - O(boundary).
+        assert 2.5 <= g.num_edges / g.num_vertices <= 3.0
+
+    def test_delaunay_connected(self):
+        g = gen.delaunay(300, seed=2)
+        assert len(set(g.connected_components().tolist())) == 1
+
+    def test_bubble_density(self):
+        g = gen.bubble_mesh(1000, seed=2)
+        assert abs(g.num_edges / g.num_vertices - 1.5) < 0.1
+
+    def test_road_density_and_weights(self):
+        g = gen.road_network(800, seed=2)
+        assert abs(2 * g.num_edges / g.num_vertices - 2.4) < 0.25
+        assert g.adjwgt.min() >= 1
+        assert g.adjwgt.max() > 1  # distance-weighted
+
+    def test_road_connected(self):
+        g = gen.road_network(400, seed=2)
+        assert len(set(g.connected_components().tolist())) == 1
+
+    def test_fe_density(self):
+        g = gen.fe_matrix(2000, avg_degree=48.0, seed=2)
+        assert abs(2 * g.num_edges / g.num_vertices - 48) < 10
+
+    def test_random_geometric_radius(self):
+        dense = gen.random_geometric(300, radius=0.2, seed=1)
+        sparse = gen.random_geometric(300, radius=0.05, seed=1)
+        assert dense.num_edges > sparse.num_edges
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda s: gen.delaunay(100, seed=s),
+            lambda s: gen.rmat(7, seed=s),
+            lambda s: gen.road_network(100, seed=s),
+            lambda s: gen.fe_matrix(200, seed=s),
+            lambda s: gen.bubble_mesh(100, seed=s),
+        ],
+    )
+    def test_same_seed_same_graph(self, maker):
+        a, b = maker(9), maker(9)
+        assert np.array_equal(a.adjncy, b.adjncy)
+        assert np.array_equal(a.adjwgt, b.adjwgt)
+
+    def test_different_seed_different_graph(self):
+        a = gen.delaunay(200, seed=1)
+        b = gen.delaunay(200, seed=2)
+        assert not np.array_equal(a.adjncy, b.adjncy)
+
+
+class TestRmat:
+    def test_power_law_skew(self):
+        g = gen.rmat(10, edge_factor=8, seed=3)
+        deg = g.degrees()
+        # Heavy-tailed: the max degree dwarfs the median.
+        assert deg.max() > 8 * np.median(deg[deg > 0])
+
+    def test_scale_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            gen.rmat(0)
+        with pytest.raises(InvalidParameterError):
+            gen.rmat(29)

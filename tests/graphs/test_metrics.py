@@ -1,0 +1,124 @@
+"""Unit tests for partition metrics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.graphs import (
+    boundary_vertices,
+    communication_volume,
+    edge_cut,
+    evaluate_partition,
+    from_edges,
+    imbalance,
+    is_balanced,
+    partition_weights,
+    validate_partition,
+)
+from repro.graphs.generators import grid2d
+
+
+class TestEdgeCut:
+    def test_all_same_partition(self, tiny_graph):
+        assert edge_cut(tiny_graph, np.zeros(8, dtype=int)) == 0
+
+    def test_known_cut(self, tiny_graph):
+        # Split the two 4-cycles: cuts (0,4) w=2 and (2,6) w=2.
+        part = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        assert edge_cut(tiny_graph, part) == 4
+
+    def test_singleton_parts(self, tiny_graph):
+        part = np.arange(8)
+        assert edge_cut(tiny_graph, part) == tiny_graph.total_edge_weight
+
+    def test_grid_strip_cut(self):
+        g = grid2d(4, 8)
+        part = (np.arange(32) % 8 >= 4).astype(int)  # split columns 0-3 / 4-7
+        assert edge_cut(g, part) == 4
+
+    def test_wrong_length_rejected(self, tiny_graph):
+        with pytest.raises(InvalidParameterError):
+            edge_cut(tiny_graph, np.zeros(5, dtype=int))
+
+
+class TestBalance:
+    def test_perfect_balance(self, tiny_graph):
+        part = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        assert imbalance(tiny_graph, part, 2) == 1.0
+        assert is_balanced(tiny_graph, part, 2, 1.0)
+
+    def test_imbalanced(self, tiny_graph):
+        part = np.array([0, 0, 0, 0, 0, 0, 1, 1])
+        assert imbalance(tiny_graph, part, 2) == pytest.approx(6 / 4)
+        assert not is_balanced(tiny_graph, part, 2, 1.03)
+
+    def test_weighted_vertices(self):
+        g = from_edges(3, [(0, 1), (1, 2)], vertex_weights=[4, 1, 1])
+        part = np.array([0, 1, 1])
+        assert partition_weights(g, part, 2).tolist() == [4, 2]
+        assert imbalance(g, part, 2) == pytest.approx(4 / 3)
+
+    def test_empty_graph_balance(self):
+        g = from_edges(0, [])
+        assert imbalance(g, np.empty(0, dtype=int), 4) == 1.0
+
+
+class TestBoundary:
+    def test_no_boundary_single_part(self, tiny_graph):
+        assert boundary_vertices(tiny_graph, np.zeros(8, dtype=int)).size == 0
+
+    def test_split_boundary(self, tiny_graph):
+        part = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        b = boundary_vertices(tiny_graph, part)
+        assert set(b.tolist()) == {0, 2, 4, 6}
+
+    def test_all_boundary(self, tiny_graph):
+        part = np.arange(8) % 2
+        assert boundary_vertices(tiny_graph, part).size == 8
+
+
+class TestCommVolume:
+    def test_zero_volume(self, tiny_graph):
+        assert communication_volume(tiny_graph, np.zeros(8, dtype=int), 1) == 0
+
+    def test_bisection_volume(self, tiny_graph):
+        part = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        # Each of the 4 boundary vertices talks to exactly 1 external part.
+        assert communication_volume(tiny_graph, part, 2) == 4
+
+    def test_volume_at_most_cut_edges(self, medium_graph):
+        rngpart = np.random.default_rng(0).integers(0, 4, medium_graph.num_vertices)
+        vol = communication_volume(medium_graph, rngpart, 4)
+        cut_edges = sum(
+            1
+            for u, v, _ in medium_graph.iter_edges()
+            if rngpart[u] != rngpart[v]
+        )
+        assert vol <= 2 * cut_edges
+
+
+class TestValidateAndEvaluate:
+    def test_validate_ok(self, tiny_graph):
+        validate_partition(tiny_graph, np.array([0, 0, 0, 0, 1, 1, 1, 1]), 2, 1.0)
+
+    def test_validate_label_range(self, tiny_graph):
+        with pytest.raises(InvalidParameterError, match="range"):
+            validate_partition(tiny_graph, np.full(8, 9), 2)
+
+    def test_validate_balance_violation(self, tiny_graph):
+        with pytest.raises(InvalidParameterError, match="balance"):
+            validate_partition(tiny_graph, np.array([0] * 7 + [1]), 2, 1.03)
+
+    def test_evaluate_record(self, tiny_graph):
+        part = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        q = evaluate_partition(tiny_graph, part, 2)
+        assert q.cut == 4
+        assert q.imbalance == 1.0
+        assert q.boundary_size == 4
+        assert q.empty_parts == 0
+        assert q.min_part_weight == q.max_part_weight == 4
+        assert q.as_dict()["cut"] == 4
+
+    def test_evaluate_counts_empty_parts(self, tiny_graph):
+        q = evaluate_partition(tiny_graph, np.zeros(8, dtype=int), 3)
+        assert q.empty_parts == 2

@@ -1,0 +1,100 @@
+"""Unit tests for vertex relabeling / orderings."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.graphs import (
+    bfs_order,
+    edge_cut,
+    from_edges,
+    identity_order,
+    permute,
+    random_order,
+    rcm_order,
+)
+from repro.graphs.generators import delaunay, grid2d, path_graph
+
+
+def bandwidth(g):
+    src = g.source_array()
+    if src.size == 0:
+        return 0
+    return int(np.abs(src - g.adjncy).max())
+
+
+class TestPermute:
+    def test_identity_is_noop(self, grid):
+        g2 = permute(grid, identity_order(grid))
+        assert np.array_equal(g2.adjncy, grid.adjncy)
+        assert np.array_equal(g2.adjwgt, grid.adjwgt)
+
+    def test_permuted_graph_is_isomorphic(self, medium_graph):
+        perm = random_order(medium_graph, seed=1)
+        g2 = permute(medium_graph, perm)
+        g2.validate()
+        assert g2.num_edges == medium_graph.num_edges
+        assert np.array_equal(np.sort(g2.degrees()), np.sort(medium_graph.degrees()))
+        assert g2.total_edge_weight == medium_graph.total_edge_weight
+
+    def test_vertex_weights_follow(self):
+        g = from_edges(3, [(0, 1), (1, 2)], vertex_weights=[5, 6, 7])
+        g2 = permute(g, np.array([2, 0, 1]))
+        # new id of old 0 is 2, so vwgt[2] == 5
+        assert g2.vwgt.tolist() == [6, 7, 5]
+
+    def test_cut_invariant_under_permutation(self, medium_graph):
+        perm = random_order(medium_graph, seed=2)
+        g2 = permute(medium_graph, perm)
+        part = np.random.default_rng(0).integers(0, 4, medium_graph.num_vertices)
+        part2 = np.empty_like(part)
+        part2[perm] = part
+        assert edge_cut(medium_graph, part) == edge_cut(g2, part2)
+
+    def test_not_a_permutation_rejected(self, grid):
+        bad = np.zeros(grid.num_vertices, dtype=np.int64)
+        with pytest.raises(InvalidParameterError, match="permutation"):
+            permute(grid, bad)
+
+    def test_wrong_length_rejected(self, grid):
+        with pytest.raises(InvalidParameterError, match="length"):
+            permute(grid, np.array([0, 1]))
+
+
+class TestOrders:
+    def test_bfs_is_permutation(self, medium_graph):
+        order = bfs_order(medium_graph)
+        assert np.array_equal(np.sort(order), np.arange(medium_graph.num_vertices))
+
+    def test_bfs_start_is_zero(self, grid):
+        order = bfs_order(grid, start=5)
+        assert order[5] == 0
+
+    def test_bfs_covers_components(self):
+        g = from_edges(4, [(0, 1), (2, 3)])
+        order = bfs_order(g)
+        assert np.array_equal(np.sort(order), np.arange(4))
+
+    def test_bfs_bad_start(self, grid):
+        with pytest.raises(InvalidParameterError):
+            bfs_order(grid, start=10**6)
+
+    def test_rcm_is_permutation(self, medium_graph):
+        order = rcm_order(medium_graph)
+        assert np.array_equal(np.sort(order), np.arange(medium_graph.num_vertices))
+
+    def test_rcm_reduces_bandwidth_vs_random(self):
+        g = delaunay(400, seed=6)
+        g_rand = permute(g, random_order(g, seed=1))
+        g_rcm = permute(g_rand, rcm_order(g_rand))
+        assert bandwidth(g_rcm) < bandwidth(g_rand)
+
+    def test_bfs_on_path_preserves_path_order(self):
+        g = path_graph(6)
+        order = bfs_order(g, start=0)
+        assert order.tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_empty_graph_orders(self):
+        g = from_edges(0, [])
+        assert bfs_order(g).size == 0
+        assert rcm_order(g).size == 0

@@ -1,0 +1,104 @@
+"""Property-based tests (hypothesis) for the graph substrate."""
+
+import io
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import edge_cut, from_edges, partition_weights, read_metis, write_metis
+from repro.graphs.permute import permute, random_order
+
+
+@st.composite
+def edge_lists(draw, max_n=24, max_m=60, weighted=True):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=max_m))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    if weighted:
+        weights = draw(
+            st.lists(st.integers(min_value=1, max_value=50), min_size=m, max_size=m)
+        )
+    else:
+        weights = None
+    return n, edges, weights
+
+
+@given(edge_lists())
+@settings(max_examples=120, deadline=None)
+def test_from_edges_always_valid(data):
+    n, edges, weights = data
+    g = from_edges(n, np.array(edges).reshape(-1, 2), weights)
+    g.validate()
+
+
+@given(edge_lists())
+@settings(max_examples=80, deadline=None)
+def test_total_edge_weight_conserved(data):
+    n, edges, weights = data
+    g = from_edges(n, np.array(edges).reshape(-1, 2), weights)
+    # Sum of weights over non-loop canonical edges equals the graph's.
+    seen = {}
+    for (u, v), w in zip(edges, weights or [1] * len(edges)):
+        if u == v:
+            continue
+        seen[(min(u, v), max(u, v))] = seen.get((min(u, v), max(u, v)), 0) + w
+    assert g.total_edge_weight == sum(seen.values())
+
+
+@given(edge_lists(weighted=False), st.integers(min_value=1, max_value=6))
+@settings(max_examples=80, deadline=None)
+def test_cut_plus_internal_equals_total(data, k):
+    n, edges, _ = data
+    g = from_edges(n, np.array(edges).reshape(-1, 2))
+    part = np.arange(n) % k
+    cut = edge_cut(g, part)
+    internal = sum(w for u, v, w in g.iter_edges() if part[u] == part[v])
+    assert cut + internal == g.total_edge_weight
+
+
+@given(edge_lists(), st.integers(min_value=1, max_value=5))
+@settings(max_examples=60, deadline=None)
+def test_partition_weights_sum_to_total(data, k):
+    n, edges, weights = data
+    g = from_edges(n, np.array(edges).reshape(-1, 2), weights)
+    part = np.arange(n) % k
+    assert partition_weights(g, part, k).sum() == g.total_vertex_weight
+
+
+@given(edge_lists(), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_permutation_preserves_cut(data, seed):
+    n, edges, weights = data
+    g = from_edges(n, np.array(edges).reshape(-1, 2), weights)
+    perm = random_order(g, seed=seed)
+    g2 = permute(g, perm)
+    part = np.arange(n) % 3
+    part2 = np.empty_like(part)
+    part2[perm] = part
+    assert edge_cut(g, part) == edge_cut(g2, part2)
+    assert g2.total_edge_weight == g.total_edge_weight
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_metis_roundtrip_property(data):
+    n, edges, weights = data
+    g = from_edges(n, np.array(edges).reshape(-1, 2), weights)
+    buf = io.StringIO()
+    write_metis(g, buf)
+    buf.seek(0)
+    back = read_metis(buf)
+    assert np.array_equal(back.adjp, g.adjp)
+    assert np.array_equal(back.adjncy, g.adjncy)
+    assert np.array_equal(back.adjwgt, g.adjwgt)
+    assert np.array_equal(back.vwgt, g.vwgt)

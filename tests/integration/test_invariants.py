@@ -1,0 +1,76 @@
+"""Property-based invariants across all partitioners (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import partition
+from repro.graphs import edge_cut, from_edges, partition_weights, validate_partition
+from repro.graphs.generators import delaunay
+
+METHODS = ["metis", "parmetis", "mt-metis", "gp-metis"]
+
+
+@st.composite
+def partition_problems(draw):
+    n = draw(st.integers(min_value=8, max_value=60))
+    m = draw(st.integers(min_value=n, max_value=4 * n))
+    k = draw(st.integers(min_value=2, max_value=min(6, n // 2)))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    edges = rng.integers(0, n, size=(m, 2))
+    weights = rng.integers(1, 10, size=m)
+    g = from_edges(n, edges, weights)
+    return g, k, seed
+
+
+@pytest.mark.parametrize("method", METHODS)
+@given(partition_problems())
+@settings(max_examples=15, deadline=None)
+def test_partition_always_valid(method, problem):
+    """Any input, any method: labels in range, every label charged to a
+    vertex, output deterministic in shape."""
+    g, k, seed = problem
+    res = partition(g, k, method=method, seed=seed % 1000 + 1)
+    part = res.part
+    assert part.shape[0] == g.num_vertices
+    assert part.min() >= 0 and part.max() < k
+    # Weights conserved.
+    assert partition_weights(g, part, k).sum() == g.total_vertex_weight
+    # Cut + internal == total.
+    internal = sum(w for u, v, w in g.iter_edges() if part[u] == part[v])
+    assert edge_cut(g, part) + internal == g.total_edge_weight
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_balance_tolerance_holds_on_realistic_graph(method):
+    g = delaunay(2000, seed=8)
+    res = partition(g, 16, method=method)
+    validate_partition(g, res.part, 16, ubfactor=1.031)
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_looser_tolerance_never_worse_cut(method):
+    """More slack can only help (or leave unchanged) the best cut found."""
+    g = delaunay(1500, seed=9)
+    tight = partition(g, 8, method=method, ubfactor=1.03).quality(g)
+    loose = partition(g, 8, method=method, ubfactor=1.30).quality(g)
+    assert loose.cut <= 1.25 * tight.cut  # allow heuristic noise
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_modeled_time_monotone_in_size(method):
+    small = delaunay(800, seed=3)
+    large = delaunay(6000, seed=3)
+    t_small = partition(small, 8, method=method).modeled_seconds
+    t_large = partition(large, 8, method=method).modeled_seconds
+    assert t_large > t_small
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_quality_improves_over_random_baseline(method):
+    g = delaunay(2000, seed=10)
+    res = partition(g, 8, method=method)
+    rnd = partition(g, 8, method="random")
+    assert res.quality(g).cut < 0.5 * rnd.quality(g).cut

@@ -1,0 +1,69 @@
+"""Unit tests for the simulated clock / cost ledger."""
+
+import pytest
+
+from repro.runtime.clock import OVERHEAD_CATEGORIES, VOLUME_CATEGORIES, SimClock
+
+
+class TestCharging:
+    def test_accumulates(self, clock):
+        clock.charge("compute", 0.5)
+        clock.charge("memory", 0.25)
+        assert clock.total_seconds == pytest.approx(0.75)
+
+    def test_phase_attribution(self):
+        c = SimClock()
+        c.set_phase("a")
+        c.charge("compute", 1.0)
+        c.set_phase("b")
+        c.charge("compute", 2.0)
+        assert c.seconds_by_phase() == {"a": 1.0, "b": 2.0}
+        assert c.seconds_for(phase="b") == 2.0
+        assert c.seconds_for(category="compute") == 3.0
+
+    def test_negative_rejected(self, clock):
+        with pytest.raises(ValueError):
+            clock.charge("compute", -1.0)
+
+    def test_counts(self, clock):
+        clock.charge("memory", 0.1, count=128)
+        clock.charge("memory", 0.1, count=64)
+        assert clock.counts_by_category()["memory"] == 192
+
+    def test_merge(self, clock):
+        other = SimClock()
+        other.set_phase("x")
+        other.charge("launch", 0.3)
+        clock.merge([other])
+        assert clock.total_seconds == pytest.approx(0.3)
+
+    def test_breakdown_text(self, clock):
+        clock.charge("compute", 1.5)
+        assert "1.5" in clock.breakdown()
+
+
+class TestExtrapolation:
+    def test_volume_scales_linearly(self, clock):
+        clock.charge("memory", 1.0)
+        assert clock.extrapolated_seconds(10.0, overhead_factor=1.0) == pytest.approx(10.0)
+
+    def test_overhead_scales_by_levels(self, clock):
+        clock.charge("launch", 1.0)
+        assert clock.extrapolated_seconds(1000.0, overhead_factor=2.0) == pytest.approx(2.0)
+
+    def test_default_overhead_factor_is_logarithmic(self, clock):
+        clock.charge("launch", 1.0)
+        t = clock.extrapolated_seconds(1024.0)
+        assert 1.0 < t < 2.0  # 1 + log2(1024)/20 = 1.5
+
+    def test_identity_at_factor_one(self, clock):
+        clock.charge("memory", 0.5)
+        clock.charge("launch", 0.5)
+        assert clock.extrapolated_seconds(1.0) == pytest.approx(1.0)
+
+    def test_invalid_factor(self, clock):
+        with pytest.raises(ValueError):
+            clock.extrapolated_seconds(0.0)
+
+    def test_category_sets_disjoint(self):
+        assert not (VOLUME_CATEGORIES & OVERHEAD_CATEGORIES)

@@ -1,0 +1,64 @@
+"""Unit tests for the hardware models."""
+
+import pytest
+
+from repro.runtime.machine import PAPER_MACHINE, CpuSpec, GpuSpec, InterconnectSpec
+
+
+class TestCpuSpec:
+    def test_edge_seconds(self):
+        cpu = CpuSpec(edge_ops_per_sec=1e6)
+        assert cpu.edge_seconds(1e6) == pytest.approx(1.0)
+
+    def test_locality_factor_bounds(self):
+        cpu = CpuSpec()
+        assert cpu.locality_factor(None) == 1.0
+        assert cpu.locality_factor(1.0) == 1.0
+        assert cpu.locality_factor(1e9) == cpu.locality_max_speedup
+
+    def test_dense_rows_faster(self):
+        cpu = CpuSpec()
+        assert cpu.edge_seconds(1e6, avg_degree=48) < cpu.edge_seconds(1e6, avg_degree=2.4)
+
+    def test_vertex_seconds(self):
+        cpu = CpuSpec(vertex_ops_per_sec=2e6)
+        assert cpu.vertex_seconds(1e6) == pytest.approx(0.5)
+
+
+class TestGpuSpec:
+    def test_paper_titan_constants(self):
+        gpu = PAPER_MACHINE.gpu
+        assert gpu.memory_bytes == 6 * 1024**3
+        assert gpu.warp_size == 32
+        assert gpu.transaction_bytes == 128
+        assert gpu.num_sms == 14
+
+    def test_stream_faster_than_gather(self):
+        gpu = GpuSpec()
+        assert gpu.transaction_seconds(1000) < gpu.gather_transaction_seconds(1000)
+
+    def test_compute_seconds(self):
+        gpu = GpuSpec(compute_ops_per_sec=1e9)
+        assert gpu.compute_seconds(1e9) == pytest.approx(1.0)
+
+
+class TestInterconnect:
+    def test_pcie_latency_floor(self):
+        net = InterconnectSpec()
+        assert net.pcie_seconds(0) == pytest.approx(net.pcie_latency_seconds)
+
+    def test_pcie_bandwidth_term(self):
+        net = InterconnectSpec(pcie_bytes_per_sec=1e9, pcie_latency_seconds=0.0)
+        assert net.pcie_seconds(1e9) == pytest.approx(1.0)
+
+    def test_mpi_message(self):
+        net = InterconnectSpec(mpi_latency_seconds=1e-6, mpi_bytes_per_sec=1e9)
+        assert net.mpi_message_seconds(1000) == pytest.approx(1e-6 + 1e-6)
+
+
+class TestMachineSpec:
+    def test_scaled_gpu_memory(self):
+        m = PAPER_MACHINE.scaled_gpu_memory(1024)
+        assert m.gpu.memory_bytes == 1024
+        assert m.cpu is PAPER_MACHINE.cpu  # other specs untouched
+        assert PAPER_MACHINE.gpu.memory_bytes == 6 * 1024**3  # original intact

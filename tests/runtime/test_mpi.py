@@ -1,0 +1,104 @@
+"""Unit tests for the simulated MPI layer."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CommunicationError, InvalidParameterError
+from repro.runtime.clock import SimClock
+from repro.runtime.machine import CpuSpec, InterconnectSpec
+from repro.runtime.mpi import MpiSim, block_distribution, rank_of_vertex
+
+
+@pytest.fixture
+def mpi(clock):
+    return MpiSim(4, CpuSpec(), InterconnectSpec(), clock)
+
+
+class TestDistribution:
+    def test_block(self):
+        assert block_distribution(8, 4).tolist() == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_uneven(self):
+        d = block_distribution(10, 4)
+        counts = np.bincount(d, minlength=4)
+        assert counts.max() - counts.min() <= 1 or counts.max() <= 3
+
+    def test_rank_of_vertex_consistent(self):
+        d = block_distribution(100, 8)
+        vs = np.array([0, 13, 50, 99])
+        assert np.array_equal(rank_of_vertex(vs, 100, 8), d[vs])
+
+    def test_invalid_ranks(self):
+        with pytest.raises(InvalidParameterError):
+            block_distribution(4, 0)
+
+
+class TestCompute:
+    def test_critical_rank(self, clock):
+        mpi = MpiSim(2, CpuSpec(edge_ops_per_sec=1e6), InterconnectSpec(), clock)
+        mpi.compute(np.array([100.0, 900.0]))
+        assert clock.seconds_for(category="compute") == pytest.approx(900e-6)
+
+    def test_wrong_length(self, mpi):
+        with pytest.raises(CommunicationError):
+            mpi.compute(np.ones(3))
+
+
+class TestExchange:
+    def test_aggregates_per_pair(self, mpi, clock):
+        # 100 items rank0 -> rank1 become ONE message.
+        src = np.zeros(100, dtype=np.int64)
+        dst = np.ones(100, dtype=np.int64)
+        mpi.exchange(src, dst, np.full(100, 8.0))
+        assert mpi.messages_sent == 1
+        assert mpi.bytes_sent == 800
+
+    def test_local_items_free(self, mpi, clock):
+        src = np.array([2, 2])
+        dst = np.array([2, 2])
+        mpi.exchange(src, dst, np.array([8.0, 8.0]))
+        assert mpi.messages_sent == 0
+
+    def test_alpha_beta_costs_charged(self, mpi, clock):
+        mpi.exchange(np.array([0]), np.array([3]), np.array([4000.0]))
+        assert clock.seconds_for(category="message_latency") > 0
+        assert clock.seconds_for(category="message_bytes") > 0
+
+    def test_bottleneck_rank_dominates(self, clock):
+        net = InterconnectSpec(mpi_latency_seconds=1.0, mpi_bytes_per_sec=1e12)
+        mpi = MpiSim(4, CpuSpec(), net, clock)
+        # Rank 0 sends to 1, 2, 3: its alpha cost is 3; others see 1 each.
+        mpi.exchange(
+            np.array([0, 0, 0]), np.array([1, 2, 3]), np.full(3, 8.0)
+        )
+        assert clock.seconds_for(category="message_latency") == pytest.approx(3.0)
+
+    def test_misaligned_rejected(self, mpi):
+        with pytest.raises(CommunicationError):
+            mpi.exchange(np.array([0]), np.array([1, 2]), np.array([8.0]))
+
+    def test_supersteps_counted(self, mpi):
+        before = mpi.supersteps
+        mpi.exchange(np.array([0]), np.array([1]), np.array([8.0]))
+        assert mpi.supersteps == before + 1
+
+
+class TestCollectives:
+    def test_allreduce_log_steps(self, clock):
+        net = InterconnectSpec(mpi_latency_seconds=1.0, mpi_bytes_per_sec=1e12)
+        mpi = MpiSim(8, CpuSpec(), net, clock)
+        mpi.allreduce()
+        # 2 * log2(8) = 6 latency steps.
+        assert clock.seconds_for(category="message_latency") == pytest.approx(6.0)
+
+    def test_broadcast_scales_with_bytes(self, clock):
+        mpi = MpiSim(4, CpuSpec(), InterconnectSpec(), clock)
+        mpi.broadcast(1e6)
+        t1 = clock.seconds_for(category="message_bytes")
+        mpi.broadcast(2e6)
+        assert clock.seconds_for(category="message_bytes") == pytest.approx(3 * t1)
+
+    def test_allgather_single_rank_noop(self, clock):
+        mpi = MpiSim(1, CpuSpec(), InterconnectSpec(), clock)
+        mpi.allgather(1e6)
+        assert clock.total_seconds == 0.0

@@ -1,0 +1,97 @@
+"""Unit tests for the simulated thread pool."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.runtime.clock import SimClock
+from repro.runtime.machine import CpuSpec
+from repro.runtime.threads import ThreadPoolSim, block_ownership, cyclic_ownership
+
+
+@pytest.fixture
+def pool(clock):
+    return ThreadPoolSim(4, CpuSpec(), clock)
+
+
+class TestOwnership:
+    def test_block(self):
+        own = block_ownership(10, 3)
+        assert own.tolist() == [0, 0, 0, 0, 1, 1, 1, 1, 2, 2]
+
+    def test_cyclic(self):
+        own = cyclic_ownership(7, 3)
+        assert own.tolist() == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_empty(self):
+        assert block_ownership(0, 4).size == 0
+
+    def test_more_threads_than_items(self):
+        own = block_ownership(2, 8)
+        assert own.max() < 8
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(InvalidParameterError):
+            block_ownership(4, 0)
+
+
+class TestCostModel:
+    def test_critical_path_is_max_thread(self, clock):
+        pool = ThreadPoolSim(2, CpuSpec(edge_ops_per_sec=1e6, barrier_seconds=0), clock)
+        work = np.array([100.0, 100.0, 100.0, 700.0])
+        own = np.array([0, 0, 0, 1])
+        pool.parallel_edge_work(work, own)
+        # Thread 1 carries 700 ops -> 700 us.
+        assert clock.seconds_for(category="compute") == pytest.approx(700e-6)
+
+    def test_barrier_charged(self, pool, clock):
+        pool.parallel_vertex_work(np.ones(4), np.arange(4) % 4)
+        assert clock.seconds_for(category="barrier") > 0
+
+    def test_perfect_balance_divides_by_threads(self, clock):
+        cpu = CpuSpec(edge_ops_per_sec=1e6, barrier_seconds=0)
+        serial = ThreadPoolSim(1, cpu, SimClock())
+        par_clock = SimClock()
+        par = ThreadPoolSim(4, cpu, par_clock)
+        work = np.ones(400)
+        serial.parallel_edge_work(work, block_ownership(400, 1))
+        par.parallel_edge_work(work, block_ownership(400, 4))
+        assert par_clock.total_seconds == pytest.approx(
+            serial.clock.total_seconds / 4
+        )
+
+    def test_oversubscription_slows(self, clock):
+        cpu = CpuSpec(num_cores=2, edge_ops_per_sec=1e6, barrier_seconds=0)
+        pool = ThreadPoolSim(8, cpu, clock)
+        pool.parallel_edge_work(np.ones(8), np.arange(8))
+        # 8 threads on 2 cores: each op-quantum takes 4x longer.
+        assert clock.seconds_for(category="compute") == pytest.approx(4e-6)
+
+    def test_serial_region(self, pool, clock):
+        pool.serial_edge_work(1000, detail="x")
+        assert clock.seconds_for(category="compute") > 0
+
+    def test_misaligned_inputs_rejected(self, pool):
+        with pytest.raises(InvalidParameterError):
+            pool.parallel_edge_work(np.ones(3), np.zeros(4, dtype=np.int64))
+
+
+class TestLockstep:
+    def test_batches_interleave_threads(self, pool):
+        items = np.arange(8)
+        own = np.array([0, 0, 0, 1, 1, 2, 2, 3])
+        batches = list(pool.lockstep_batches(items, own))
+        assert sorted(np.concatenate(batches).tolist()) == list(range(8))
+        # First batch: first item of every thread.
+        assert set(batches[0].tolist()) == {0, 3, 5, 7}
+        # Batch sizes shrink as short worklists drain.
+        assert [len(b) for b in batches] == [4, 3, 1]
+
+    def test_empty_items(self, pool):
+        assert list(pool.lockstep_batches(np.empty(0, np.int64), np.empty(0, np.int64))) == []
+
+    def test_single_thread_serialises(self, clock):
+        pool = ThreadPoolSim(1, CpuSpec(), clock)
+        items = np.arange(5)
+        batches = list(pool.lockstep_batches(items, np.zeros(5, dtype=np.int64)))
+        assert [b.tolist() for b in batches] == [[0], [1], [2], [3], [4]]

@@ -1,0 +1,105 @@
+"""Unit + property tests for graph contraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import edge_cut, from_edges
+from repro.serial.contraction import build_cmap, contract
+from repro.serial.matching import sequential_match
+
+
+class TestBuildCmap:
+    def test_identity_matching(self):
+        match = np.arange(4)
+        cmap, n = build_cmap(match)
+        assert n == 4
+        assert cmap.tolist() == [0, 1, 2, 3]
+
+    def test_paired(self):
+        match = np.array([1, 0, 3, 2])
+        cmap, n = build_cmap(match)
+        assert n == 2
+        assert cmap.tolist() == [0, 0, 1, 1]
+
+    def test_mixed(self):
+        match = np.array([2, 1, 0, 3])
+        cmap, n = build_cmap(match)
+        assert n == 3
+        assert cmap.tolist() == [0, 1, 0, 2]
+
+    def test_empty(self):
+        cmap, n = build_cmap(np.empty(0, dtype=np.int64))
+        assert n == 0
+
+
+class TestContract:
+    def test_square_collapse(self):
+        # 4-cycle, match (0,1) and (2,3): coarse = double edge merged.
+        g = from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)], weights=[1, 2, 1, 3])
+        coarse, cmap = contract(g, np.array([1, 0, 3, 2]))
+        coarse.validate()
+        assert coarse.num_vertices == 2
+        assert coarse.num_edges == 1
+        # Edge weight: (1,2) w=2 + (3,0) w=3 merge into w=5.
+        assert coarse.edge_weights(0).tolist() == [5]
+
+    def test_vertex_weight_conservation(self, medium_graph, rng):
+        res = sequential_match(medium_graph, "hem", rng)
+        coarse, _ = contract(medium_graph, res.match)
+        assert coarse.total_vertex_weight == medium_graph.total_vertex_weight
+
+    def test_edge_weight_conservation(self, medium_graph, rng):
+        """Total edge weight = coarse total + weight of collapsed edges."""
+        res = sequential_match(medium_graph, "hem", rng)
+        coarse, cmap = contract(medium_graph, res.match)
+        collapsed = sum(
+            w for u, v, w in medium_graph.iter_edges() if cmap[u] == cmap[v]
+        )
+        assert coarse.total_edge_weight + collapsed == medium_graph.total_edge_weight
+
+    def test_contraction_preserves_cut(self, medium_graph, rng):
+        """A coarse partition's cut equals the projected fine cut."""
+        res = sequential_match(medium_graph, "hem", rng)
+        coarse, cmap = contract(medium_graph, res.match)
+        coarse_part = np.arange(coarse.num_vertices) % 4
+        fine_part = coarse_part[cmap]
+        assert edge_cut(coarse, coarse_part) == edge_cut(medium_graph, fine_part)
+
+    def test_all_self_matched_is_copy(self, grid):
+        match = np.arange(grid.num_vertices)
+        coarse, cmap = contract(grid, match)
+        assert coarse.num_vertices == grid.num_vertices
+        assert np.array_equal(coarse.adjncy, grid.adjncy)
+        assert np.array_equal(coarse.adjwgt, grid.adjwgt)
+
+    def test_no_self_loops_in_coarse(self, medium_graph, rng):
+        res = sequential_match(medium_graph, "hem", rng)
+        coarse, _ = contract(medium_graph, res.match)
+        src = coarse.source_array()
+        assert not np.any(src == coarse.adjncy)
+
+
+@st.composite
+def graph_and_match(draw):
+    n = draw(st.integers(min_value=2, max_value=24))
+    m = draw(st.integers(min_value=1, max_value=60))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    g = from_edges(n, rng.integers(0, n, size=(m, 2)), rng.integers(1, 9, size=m))
+    res = sequential_match(g, "hem", rng)
+    return g, res.match
+
+
+@given(graph_and_match())
+@settings(max_examples=80, deadline=None)
+def test_contract_invariants_property(data):
+    g, match = data
+    coarse, cmap = contract(g, match)
+    coarse.validate()
+    assert coarse.total_vertex_weight == g.total_vertex_weight
+    # cmap is onto [0, n_coarse).
+    assert np.array_equal(np.unique(cmap), np.arange(coarse.num_vertices))
+    # Matched pairs land together.
+    assert np.array_equal(cmap, cmap[match])

@@ -1,0 +1,110 @@
+"""Unit tests for the downstream-application modules."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    fill_in_upper_bound,
+    nested_dissection,
+    random_task_graph,
+    schedule_tasks,
+    vertex_separator_from_bisection,
+)
+from repro.exceptions import InvalidParameterError
+from repro.graphs import from_edges
+from repro.graphs.generators import delaunay, grid2d, path_graph
+
+
+class TestVertexSeparator:
+    def test_separates_the_cut(self, grid):
+        labels = (np.arange(grid.num_vertices) % 12 >= 6).astype(np.int64)
+        sep = vertex_separator_from_bisection(grid, labels)
+        in_sep = np.zeros(grid.num_vertices, dtype=bool)
+        in_sep[sep] = True
+        # After removing the separator, no cut edge remains.
+        for u, v, _ in grid.iter_edges():
+            if labels[u] != labels[v]:
+                assert in_sep[u] or in_sep[v]
+
+    def test_no_cut_no_separator(self, grid):
+        sep = vertex_separator_from_bisection(
+            grid, np.zeros(grid.num_vertices, dtype=np.int64)
+        )
+        assert sep.size == 0
+
+    def test_separator_smaller_than_boundary(self):
+        g = grid2d(10, 10)
+        labels = (np.arange(100) % 10 >= 5).astype(np.int64)
+        sep = vertex_separator_from_bisection(g, labels)
+        # A column split of a 10x10 grid: 10 cut edges, cover of size 10
+        # at most (one side's column).
+        assert 1 <= sep.shape[0] <= 10
+
+
+class TestNestedDissection:
+    def test_perm_is_permutation(self, medium_graph):
+        res = nested_dissection(medium_graph, leaf_size=16)
+        assert np.array_equal(np.sort(res.perm), np.arange(medium_graph.num_vertices))
+        assert np.array_equal(res.perm[res.iperm], np.arange(medium_graph.num_vertices))
+
+    def test_beats_natural_order_on_mesh(self):
+        g = grid2d(20, 20)
+        res = nested_dissection(g, leaf_size=8)
+        natural = fill_in_upper_bound(g, np.arange(g.num_vertices))
+        nd = fill_in_upper_bound(g, res.iperm)
+        assert nd < natural
+
+    def test_beats_random_order_on_delaunay(self):
+        g = delaunay(600, seed=4)
+        res = nested_dissection(g, leaf_size=16)
+        rng_perm = np.random.default_rng(0).permutation(g.num_vertices)
+        assert fill_in_upper_bound(g, res.iperm) < fill_in_upper_bound(g, rng_perm)
+
+    def test_separator_sizes_recorded(self, medium_graph):
+        res = nested_dissection(medium_graph, leaf_size=32)
+        assert res.separator_sizes
+        assert res.total_separator_vertices == sum(res.separator_sizes)
+
+    def test_small_graph_is_leaf(self):
+        g = path_graph(8)
+        res = nested_dissection(g, leaf_size=32)
+        assert np.array_equal(np.sort(res.perm), np.arange(8))
+        assert res.separator_sizes == []
+
+    def test_invalid_leaf_size(self, grid):
+        with pytest.raises(InvalidParameterError):
+            nested_dissection(grid, leaf_size=1)
+
+
+class TestScheduling:
+    def test_task_graph_weights(self):
+        g = random_task_graph(200, seed=1)
+        g.validate()
+        assert g.vwgt.max() > 1
+        assert g.adjwgt.max() > 1
+
+    def test_schedule_balance_and_traffic(self):
+        g = random_task_graph(400, seed=2)
+        sched = schedule_tasks(g, 8, method="mt-metis")
+        assert sched.load_imbalance <= 1.1
+        assert sched.comm_traffic > 0
+        assert sched.makespan > sched.compute_per_processor.max() - 1e-9
+
+    def test_partitioned_beats_round_robin(self):
+        from repro.graphs.metrics import edge_cut
+
+        g = random_task_graph(400, seed=3)
+        sched = schedule_tasks(g, 8, method="gp-metis")
+        rr = np.arange(g.num_vertices) % 8
+        assert sched.comm_traffic < edge_cut(g, rr)
+
+    def test_invalid_processors(self):
+        g = random_task_graph(50, seed=1)
+        with pytest.raises(InvalidParameterError):
+            schedule_tasks(g, 0)
+
+    def test_single_processor(self):
+        g = random_task_graph(100, seed=1)
+        sched = schedule_tasks(g, 1)
+        assert sched.comm_traffic == 0
+        assert sched.load_imbalance == 1.0

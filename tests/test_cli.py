@@ -1,0 +1,91 @@
+"""Unit tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graphs import generators, read_partition, write_metis
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    g = generators.delaunay(400, seed=1)
+    p = tmp_path / "g.graph"
+    write_metis(g, p)
+    return p
+
+
+class TestParser:
+    def test_commands_exist(self):
+        parser = build_parser()
+        for argv in (
+            ["partition", "x.graph"],
+            ["generate", "--family", "delaunay", "-o", "x.graph"],
+            ["bench"],
+            ["info", "x.graph"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bad_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["partition", "x", "--method", "scotch"])
+
+
+class TestPartitionCommand:
+    def test_end_to_end(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "g.part"
+        rc = main([
+            "partition", str(graph_file), "-k", "8",
+            "--method", "mt-metis", "-o", str(out),
+        ])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "edge cut" in text and "imbalance" in text
+        part = read_partition(out)
+        assert part.shape[0] == 400
+        assert 0 <= part.min() and part.max() < 8
+
+    def test_no_output_file(self, graph_file, capsys):
+        rc = main(["partition", str(graph_file), "-k", "4"])
+        assert rc == 0
+        assert "wrote" not in capsys.readouterr().out
+
+
+class TestGenerateCommand:
+    def test_family_metis_output(self, tmp_path, capsys):
+        out = tmp_path / "gen.graph"
+        rc = main(["generate", "--family", "road", "-n", "300", "-o", str(out)])
+        assert rc == 0
+        assert out.exists()
+
+    def test_dataset_npz_output(self, tmp_path):
+        out = tmp_path / "gen.npz"
+        rc = main([
+            "generate", "--dataset", "delaunay", "--scale", "0.0005",
+            "-o", str(out),
+        ])
+        assert rc == 0
+        from repro.graphs import load_npz
+
+        g = load_npz(out)
+        g.validate()
+
+    def test_dataset_and_family_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["generate", "--dataset", "ldoor", "--family", "road", "-o", "x"]
+            )
+
+
+class TestInfoCommand:
+    def test_prints_stats(self, graph_file, capsys):
+        rc = main(["info", str(graph_file)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "vertices        : 400" in text
+        assert "components" in text

@@ -1,0 +1,111 @@
+"""Error-taxonomy tests and cross-cutting edge cases (failure injection)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import partition
+from repro.exceptions import (
+    CommunicationError,
+    DeviceMemoryError,
+    GraphFormatError,
+    InvalidGraphError,
+    InvalidParameterError,
+    KernelLaunchError,
+    PartitioningError,
+    ReproError,
+)
+from repro.graphs import from_edges, generators
+
+
+class TestTaxonomy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            GraphFormatError,
+            InvalidGraphError,
+            PartitioningError,
+            InvalidParameterError,
+            DeviceMemoryError,
+            KernelLaunchError,
+            CommunicationError,
+        ],
+    )
+    def test_all_derive_from_base(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_parameter_error_is_valueerror(self):
+        assert issubclass(InvalidParameterError, ValueError)
+
+    def test_device_memory_error_is_memoryerror(self):
+        assert issubclass(DeviceMemoryError, MemoryError)
+
+    def test_catchable_at_api_boundary(self, grid):
+        with pytest.raises(ReproError):
+            partition(grid, 0)
+        with pytest.raises(ReproError):
+            partition(grid, 4, method="nonsense")
+
+
+class TestDegenerateInputs:
+    @pytest.mark.parametrize(
+        "method", ["metis", "mt-metis", "parmetis", "gp-metis", "pt-scotch", "jostle"]
+    )
+    def test_single_vertex(self, method):
+        g = from_edges(1, [])
+        res = partition(g, 1, method=method)
+        assert res.part.tolist() == [0]
+
+    @pytest.mark.parametrize("method", ["metis", "mt-metis", "gp-metis"])
+    def test_two_vertices_two_parts(self, method):
+        g = from_edges(2, [(0, 1)])
+        res = partition(g, 2, method=method)
+        assert sorted(res.part.tolist()) == [0, 1]
+
+    @pytest.mark.parametrize("method", ["metis", "mt-metis", "gp-metis"])
+    def test_no_edges(self, method):
+        g = from_edges(20, [])
+        res = partition(g, 4, method=method)
+        counts = np.bincount(res.part, minlength=4)
+        assert counts.max() <= 6  # roughly balanced isolated vertices
+
+    def test_k_equals_n(self):
+        g = generators.cycle_graph(12)
+        res = partition(g, 12, method="metis")
+        assert len(set(res.part.tolist())) == 12
+
+    def test_heavy_single_vertex(self):
+        """One vertex heavier than the ideal partition weight: balance is
+        impossible, but the partitioner must still terminate validly."""
+        g = from_edges(
+            10,
+            [(i, i + 1) for i in range(9)],
+            vertex_weights=[50] + [1] * 9,
+        )
+        res = partition(g, 4, method="metis")
+        assert res.part.shape[0] == 10
+        assert res.part.min() >= 0 and res.part.max() < 4
+
+    def test_parallel_star_graph(self):
+        """Stars are adversarial for matching (the center saturates)."""
+        g = generators.star_graph(200)
+        for method in ("mt-metis", "gp-metis"):
+            res = partition(g, 4, method=method)
+            assert res.part.shape[0] == 200
+
+    def test_path_graph_high_k(self):
+        g = generators.path_graph(64)
+        res = partition(g, 16, method="gp-metis")
+        # A path's optimal 16-cut is 15; any sane result is close.
+        assert res.quality(g).cut <= 30
+
+
+class TestVersionAndMetadata:
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        int(parts[0])
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name

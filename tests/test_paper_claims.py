@@ -1,0 +1,243 @@
+"""One test per verifiable claim quoted from the paper.
+
+The reproduction's spine: each test quotes the paper's sentence and
+asserts the corresponding behaviour of this implementation.  Section
+numbers refer to the paper (Goodarzi, Burtscher, Goswami, IPPS 2016).
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import make_partitioner, partition
+from repro.graphs import edge_cut, from_edges, load_dataset, validate_partition
+from repro.graphs.generators import delaunay
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("delaunay", scale=0.005)
+
+
+class TestSectionII:
+    def test_hem_minimizes_coarse_weight(self, weighted_graph):
+        """II.A.1: "The rationale behind this policy is to minimize the
+        weight of the edges in the coarser graph."""
+        from repro.serial import contract, sequential_match
+
+        coarse_weights = {}
+        for scheme in ("hem", "rm"):
+            m = sequential_match(weighted_graph, scheme, np.random.default_rng(5))
+            c, _ = contract(weighted_graph, m.match)
+            coarse_weights[scheme] = c.total_edge_weight
+        assert coarse_weights["hem"] <= coarse_weights["rm"]
+
+    def test_gggp_grows_until_half(self, graph):
+        """II.A.2: "The region continues to grow until it includes almost
+        half of the vertices."""
+        from repro.serial.gggp import gggp_bisect
+
+        labels = gggp_bisect(graph, rng=np.random.default_rng(1))
+        share = labels.sum() / graph.num_vertices
+        assert 0.45 <= share <= 0.55
+
+    def test_parmetis_single_message_per_pair(self, graph):
+        """II.B: "each processor sends its match requests in one single
+        message to the corresponding processors"."""
+        res = make_partitioner("parmetis", num_ranks=4).partition(graph, 8)
+        # With 4 ranks, any superstep produces at most 4*3 = 12 messages;
+        # per-vertex messaging would produce thousands.
+        assert res.extras["messages"] < 50 * res.extras["supersteps"]
+
+    def test_ptscotch_large_part_matched(self, graph):
+        """II.B: "after a few iterations, a large part of the vertices are
+        matched" (Monte-Carlo matching)."""
+        from repro.parmetis.distgraph import DistGraph
+        from repro.ptscotch import montecarlo_match
+        from repro.runtime.clock import SimClock
+        from repro.runtime.machine import CpuSpec, InterconnectSpec
+        from repro.runtime.mpi import MpiSim
+
+        mpi = MpiSim(4, CpuSpec(), InterconnectSpec(), SimClock())
+        _, stats = montecarlo_match(
+            DistGraph.distribute(graph, 4), mpi, max_rounds=4,
+            rng=np.random.default_rng(2),
+        )
+        assert 2 * stats.pairs / graph.num_vertices > 0.6
+
+    def test_mtmetis_two_round_matching(self, graph):
+        """II.C: "the matching step is split into two rounds ... the
+        corresponding vertices are matched again to resolve any
+        conflicts" — conflicts occur and are all resolved."""
+        from repro.gpmetis.kernels.matching import consecutive_batches
+        from repro.mtmetis.matching import lockfree_match
+        from repro.serial.matching import match_is_valid
+
+        match, stats = lockfree_match(
+            graph, consecutive_batches(graph.num_vertices, 4096),
+            rng=np.random.default_rng(3),
+        )
+        assert stats.conflicts > 0
+        assert match_is_valid(graph, match)
+
+
+class TestSectionIII:
+    def test_csr_array_lengths(self, graph):
+        """III: "an adjacency array (adjncy) of length 2|E| ... an
+        adjacency pointer array (adjp) of length |V|+1 ... adjacency
+        weight (adjwgt) of length 2|E| and vertex weight (vwgt) of
+        length |V|"."""
+        assert graph.adjncy.shape[0] == 2 * graph.num_edges
+        assert graph.adjp.shape[0] == graph.num_vertices + 1
+        assert graph.adjwgt.shape[0] == 2 * graph.num_edges
+        assert graph.vwgt.shape[0] == graph.num_vertices
+
+    def test_contraction_weight_rules(self):
+        """III/II.A.1: collapsed vertex weight = sum of pair weights;
+        common-neighbor edges merge with summed weights."""
+        from repro.serial import contract
+
+        g = from_edges(
+            3, [(0, 1), (0, 2), (1, 2)], weights=[7, 2, 3],
+            vertex_weights=[4, 5, 6],
+        )
+        coarse, cmap = contract(g, np.array([1, 0, 2]))
+        assert coarse.vwgt.tolist() == [4 + 5, 6]
+        # w(c, 2) = w(0,2) + w(1,2) = 5.
+        assert coarse.edge_weights(0).tolist() == [5]
+
+    def test_coalesced_warp_single_transaction(self):
+        """III.A/Fig. 2: "If all the threads in a warp access locations
+        within a 128-byte block ... the hardware coalesces the accesses
+        into one transaction."""
+        from repro.gpusim import warp_transactions
+
+        assert warp_transactions(np.arange(32), itemsize=4) == 1
+        assert warp_transactions(np.arange(32) * 64, itemsize=4) == 32
+
+    def test_cmap_scan_count(self, graph):
+        """III.A/Fig. 4: "The last element in the [scanned] array indicates
+        the number of vertices in the coarser graph."""
+        from repro.gpmetis.kernels import gpu_build_cmap, gpu_match
+        from repro.gpusim import Device, transfer_graph_to_device
+        from repro.runtime.clock import SimClock
+        from repro.runtime.machine import PAPER_MACHINE
+
+        dev = Device(PAPER_MACHINE.gpu, SimClock())
+        d_csr = transfer_graph_to_device(dev, graph, PAPER_MACHINE.interconnect)
+        d_match, _ = gpu_match(dev, d_csr, graph, 512, "hem", np.random.default_rng(0))
+        d_cmap, n_coarse = gpu_build_cmap(dev, d_match, 512)
+        ids = np.arange(graph.num_vertices)
+        assert n_coarse == int((ids <= d_match.data).sum())
+
+    def test_contraction_frees_temporaries(self, graph):
+        """III.A: "At the end of the contraction step, we can free the
+        temp arrays.  So there is no extra memory overhead."""
+        from repro.gpmetis.kernels import gpu_build_cmap, gpu_contract, gpu_match
+        from repro.gpusim import Device, transfer_graph_to_device
+        from repro.runtime.clock import SimClock
+        from repro.runtime.machine import PAPER_MACHINE
+
+        dev = Device(PAPER_MACHINE.gpu, SimClock())
+        d_csr = transfer_graph_to_device(dev, graph, PAPER_MACHINE.interconnect)
+        d_match, _ = gpu_match(dev, d_csr, graph, 512, "hem", np.random.default_rng(0))
+        d_cmap, n_coarse = gpu_build_cmap(dev, d_match, 512)
+        out = gpu_contract(dev, d_csr, graph, d_match, d_cmap, n_coarse, 512)
+        live = (
+            sum(d.nbytes for d in d_csr.values()) + d_match.nbytes + d_cmap.nbytes
+            + sum(d.nbytes for d in out.d_coarse.values())
+        )
+        assert dev.allocated_bytes == live  # nothing else left allocated
+
+    def test_hash_sparse_only(self, graph):
+        """III.A: the hash merge "is applicable only when the graph is
+        sparse so that the hash table is not too large to fit inside the
+        GPU memory" — the guard falls back to sorting."""
+        from repro.gpmetis.kernels.merge_hash import hash_tables_fit
+        from repro.gpusim import Device
+        from repro.runtime.clock import SimClock
+        from repro.runtime.machine import GpuSpec
+
+        tiny = Device(GpuSpec(memory_bytes=1 << 16), SimClock())
+        assert not hash_tables_fit(tiny, n_coarse=10_000, n_threads=1024)
+
+    def test_initial_partitioning_on_cpu(self, graph):
+        """III.B: "the initial partitioning phase is also completed on the
+        CPU" — no GPU kernels carry an initpart phase label."""
+        res = make_partitioner("gp-metis").partition(graph, 8)
+        initpart_events = [
+            e for e in res.clock.events if e.phase == "initpart"
+        ]
+        assert initpart_events
+        assert all(e.category not in ("launch", "memory") for e in initpart_events)
+
+    def test_refinement_direction_ordering(self, graph):
+        """III.C: "vertices can move between the partitions only in one
+        direction" per sub-iteration."""
+        from repro.mtmetis.refinement import propose_moves
+
+        part = np.arange(graph.num_vertices) % 8
+        pweights = np.bincount(part, weights=graph.vwgt.astype(np.float64), minlength=8)
+        ideal = graph.total_vertex_weight / 8
+        for direction in (+1, -1):
+            vs, ds, _, _ = propose_moves(
+                graph, part, 8, direction, pweights, 1.2 * ideal, 0.0
+            )
+            if direction > 0:
+                assert np.all(ds > part[vs])
+            else:
+                assert np.all(ds < part[vs])
+
+    def test_buffer_slots_exclusive(self):
+        """III.C: "multiple threads are able to write to exclusive slots
+        of the buffer concurrently without resorting to locks."""
+        from repro.gpusim import Device, atomic_append
+        from repro.runtime.clock import SimClock
+        from repro.runtime.machine import PAPER_MACHINE
+
+        dev = Device(PAPER_MACHINE.gpu, SimClock())
+        ids = np.random.default_rng(0).integers(0, 16, 2000)
+        with dev.kernel("k", 2000) as k:
+            slots = atomic_append(k, ids, 16)
+        for b in range(16):
+            got = slots[ids == b]
+            assert len(set(got.tolist())) == got.shape[0]  # no slot reused
+
+    def test_thread_count_shrinks_with_levels(self, graph):
+        """III.A: "we reduce the number of launched threads in the
+        following levels of coarsening as the graph size gets smaller."""
+        from repro.gpusim import threads_for_items
+
+        assert threads_for_items(10_000, 28672) == 10_000
+        assert threads_for_items(2_000, 28672) == 2_000
+
+
+class TestSectionIV:
+    def test_protocol_constants(self):
+        """IV: "we partitioned the input graph into 64 partitions and the
+        imbalance tolerance for each partition was set to 3%"."""
+        from repro.bench import ExperimentConfig
+
+        cfg = ExperimentConfig()
+        assert cfg.k == 64
+        assert cfg.ubfactor == 1.03
+
+    def test_conflict_rate_higher_than_mtmetis(self, graph):
+        """IV: "thousands of threads are working concurrently, making the
+        conflict rate much higher in comparison to mt-metis, which only
+        runs a few threads"."""
+        gp = make_partitioner("gp-metis").partition(graph, 8)
+        mt = make_partitioner("mt-metis").partition(graph, 8)
+        gp_conf = sum(r.conflicts for r in gp.trace.levels if r.engine == "gpu")
+        if gp_conf:
+            assert gp_conf > 10 * max(1, mt.trace.total_conflicts)
+
+    def test_transfer_time_included(self, graph):
+        """IV/Table II note: "this time includes the time to transfer the
+        graph between CPU and the GPU"."""
+        res = make_partitioner("gp-metis").partition(graph, 8)
+        assert res.clock.seconds_for(phase="transfer") > 0
+
+    def test_all_partitions_valid_at_paper_protocol(self, graph):
+        for method in ("metis", "parmetis", "mt-metis", "gp-metis"):
+            res = partition(graph, 64, method=method)
+            validate_partition(graph, res.part, 64, ubfactor=1.031)

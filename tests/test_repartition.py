@@ -1,0 +1,75 @@
+"""Unit tests for dynamic repartitioning."""
+
+import numpy as np
+import pytest
+
+from repro.api import partition
+from repro.apps import migration_volume, repartition
+from repro.exceptions import InvalidParameterError
+from repro.graphs import CSRGraph, validate_partition
+from repro.graphs.generators import delaunay
+
+
+@pytest.fixture(scope="module")
+def adapted():
+    """A partitioned graph whose weights then drift (simulated AMR)."""
+    g = delaunay(2500, seed=12)
+    base = partition(g, 8, method="metis")
+    rng = np.random.default_rng(1)
+    vw = np.ones(g.num_vertices, dtype=np.int64)
+    vw[rng.choice(g.num_vertices, 250, replace=False)] = 6
+    g2 = CSRGraph(adjp=g.adjp, adjncy=g.adjncy, adjwgt=g.adjwgt, vwgt=vw, name="amr")
+    return g2, base.part
+
+
+class TestMigrationVolume:
+    def test_zero_for_identical(self, adapted):
+        g, old = adapted
+        assert migration_volume(g, old, old) == 0
+
+    def test_counts_weight_not_vertices(self):
+        from repro.graphs import from_edges
+
+        g = from_edges(3, [(0, 1), (1, 2)], vertex_weights=[5, 1, 1])
+        old = np.array([0, 0, 1])
+        new = np.array([1, 0, 1])
+        assert migration_volume(g, old, new) == 5
+
+    def test_length_mismatch(self, adapted):
+        g, old = adapted
+        with pytest.raises(InvalidParameterError):
+            migration_volume(g, old[:-1], old[:-1])
+
+
+class TestRepartition:
+    def test_diffusive_restores_balance(self, adapted):
+        g, old = adapted
+        res = repartition(g, old, 8, strategy="diffusive")
+        validate_partition(g, res.part, 8, ubfactor=1.04)
+        assert res.strategy == "diffusive"
+
+    def test_diffusive_migrates_little(self, adapted):
+        g, old = adapted
+        diff = repartition(g, old, 8, strategy="diffusive")
+        scratch = repartition(g, old, 8, strategy="scratch")
+        assert diff.migration_fraction < 0.25
+        assert diff.migration < scratch.migration
+
+    def test_scratch_cut_competitive(self, adapted):
+        g, old = adapted
+        diff = repartition(g, old, 8, strategy="diffusive")
+        scratch = repartition(g, old, 8, strategy="scratch", method="metis")
+        assert scratch.cut <= 1.3 * diff.cut
+
+    def test_unknown_strategy(self, adapted):
+        g, old = adapted
+        with pytest.raises(InvalidParameterError, match="strategy"):
+            repartition(g, old, 8, strategy="magic")
+
+    def test_already_balanced_is_cheap(self):
+        g = delaunay(1500, seed=13)
+        base = partition(g, 8, method="metis")
+        res = repartition(g, base.part, 8, strategy="diffusive")
+        # Nothing was out of balance: almost nothing should move.
+        assert res.migration_fraction < 0.05
+        assert res.cut <= base.quality(g).cut

@@ -1,0 +1,91 @@
+"""Unit tests for PartitionResult, Trace, and DeviceStats records."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.stats import DeviceStats, KernelStats
+from repro.result import PartitionResult
+from repro.runtime.clock import SimClock
+from repro.runtime.trace import LevelRecord, RefinementRecord, Trace
+from repro.serial import SerialMetis
+
+
+class TestTrace:
+    def test_level_accessors(self):
+        t = Trace()
+        t.levels.append(LevelRecord(0, 100, 300, matched_pairs=40, conflicts=5, engine="gpu"))
+        t.levels.append(LevelRecord(1, 60, 150, matched_pairs=20, conflicts=2, engine="cpu"))
+        assert t.num_levels == 2
+        assert t.total_conflicts == 7
+        assert t.coarsest_size == 60
+        assert [r.level for r in t.levels_on("gpu")] == [0]
+
+    def test_conflict_rate(self):
+        r = LevelRecord(0, 10, 20, matched_pairs=8, conflicts=2)
+        assert r.conflict_rate == pytest.approx(0.2)
+        assert LevelRecord(0, 10, 20).conflict_rate == 0.0
+
+    def test_notes(self):
+        t = Trace()
+        t.note("fell back")
+        assert t.notes == ["fell back"]
+
+    def test_empty_trace(self):
+        t = Trace()
+        assert t.num_levels == 0
+        assert t.coarsest_size == 0
+
+
+class TestPartitionResult:
+    def test_quality_and_summary(self, grid):
+        res = SerialMetis().partition(grid, 4)
+        q = res.quality(grid)
+        assert q.k == 4
+        s = res.summary(grid)
+        assert f"cut={q.cut}" in s
+        assert "levels=" in s
+
+    def test_modeled_seconds_is_clock_total(self, grid):
+        res = SerialMetis().partition(grid, 4)
+        assert res.modeled_seconds == pytest.approx(res.clock.total_seconds)
+
+    def test_manual_construction(self, grid):
+        clock = SimClock()
+        res = PartitionResult(
+            method="x", graph_name="g", k=2,
+            part=np.zeros(grid.num_vertices, dtype=np.int64),
+            clock=clock, trace=Trace(),
+        )
+        assert res.quality(grid).cut == 0
+        assert res.extras == {}
+
+
+class TestDeviceStats:
+    def test_kernel_aggregation(self):
+        s = DeviceStats()
+        k = s.kernel("phase.op")
+        k.launches += 2
+        k.seconds += 0.5
+        assert s.kernel("phase.op") is k
+        assert s.total_launches == 2
+        assert s.total_kernel_seconds == 0.5
+
+    def test_by_phase_prefix(self):
+        s = DeviceStats()
+        s.kernel("coarsen.a").seconds = 1.0
+        s.kernel("coarsen.b").seconds = 2.0
+        s.kernel("uncoarsen.c").seconds = 4.0
+        grouped = s.by_phase_prefix()
+        assert grouped == {"coarsen": 3.0, "uncoarsen": 4.0}
+
+    def test_coalescing_efficiency(self):
+        k = KernelStats("x", memory_transactions=10, bytes_requested=1280)
+        assert k.coalescing_efficiency == pytest.approx(1.0)
+        k2 = KernelStats("y", memory_transactions=0, bytes_requested=0)
+        assert k2.coalescing_efficiency == 1.0
+
+    def test_report_contains_transfers(self):
+        s = DeviceStats()
+        s.h2d_transfers, s.h2d_bytes = 3, 999
+        text = s.report()
+        assert "3 H2D (999 B)" in text

@@ -1,0 +1,99 @@
+"""Unit + property tests for the shared segment utilities."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._segments import aggregate_arcs, gather_ranges, segment_ids, segmented_argmax
+
+
+class TestGatherRanges:
+    def test_simple(self):
+        out = gather_ranges(np.array([0, 5, 7]), np.array([2, 1, 3]))
+        assert out.tolist() == [0, 1, 5, 7, 8, 9]
+
+    def test_empty_segments(self):
+        out = gather_ranges(np.array([3, 9]), np.array([0, 0]))
+        assert out.size == 0
+
+    def test_mixed_empty(self):
+        out = gather_ranges(np.array([0, 4, 4]), np.array([1, 0, 2]))
+        assert out.tolist() == [0, 4, 5]
+
+
+class TestSegmentIds:
+    def test_basic(self):
+        assert segment_ids(np.array([2, 0, 3])).tolist() == [0, 0, 2, 2, 2]
+
+
+class TestSegmentedArgmax:
+    def test_basic(self):
+        vals = np.array([1.0, 9.0, 3.0, 7.0, 2.0])
+        out = segmented_argmax(vals, np.array([2, 3]))
+        assert out.tolist() == [1, 3]
+
+    def test_ties_pick_first(self):
+        vals = np.array([5.0, 5.0, 5.0])
+        out = segmented_argmax(vals, np.array([3]))
+        assert out.tolist() == [0]
+
+    def test_masked(self):
+        vals = np.array([9.0, 1.0, 8.0])
+        valid = np.array([False, True, True])
+        out = segmented_argmax(vals, np.array([3]), valid=valid)
+        assert out.tolist() == [2]
+
+    def test_fully_masked_segment(self):
+        vals = np.array([9.0, 1.0])
+        out = segmented_argmax(vals, np.array([2]), valid=np.zeros(2, dtype=bool))
+        assert out.tolist() == [-1]
+
+    def test_empty_segment(self):
+        out = segmented_argmax(np.array([4.0]), np.array([0, 1]))
+        assert out.tolist() == [-1, 0]
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=6), min_size=1, max_size=10),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_python_loop(self, lengths, seed):
+        lengths = np.array(lengths)
+        total = int(lengths.sum())
+        rng = np.random.default_rng(seed)
+        vals = rng.integers(0, 10, total).astype(np.float64)
+        valid = rng.random(total) < 0.7
+        out = segmented_argmax(vals, lengths, valid=valid)
+        pos = 0
+        for i, L in enumerate(lengths):
+            best, best_v = -1, -np.inf
+            for j in range(pos, pos + L):
+                if valid[j] and vals[j] > best_v:
+                    best, best_v = j, vals[j]
+            assert out[i] == best
+            pos += L
+
+
+class TestAggregateArcs:
+    def test_merges_duplicates(self):
+        src = np.array([0, 0, 1])
+        dst = np.array([1, 1, 0])
+        w = np.array([2, 3, 5])
+        adjp, adjncy, adjwgt = aggregate_arcs(src, dst, w, 2)
+        assert adjp.tolist() == [0, 1, 2]
+        assert adjncy.tolist() == [1, 0]
+        assert adjwgt.tolist() == [5, 5]
+
+    def test_sorted_neighbors(self):
+        src = np.array([0, 0, 0])
+        dst = np.array([3, 1, 2])
+        w = np.array([1, 1, 1])
+        adjp, adjncy, _ = aggregate_arcs(src, dst, w, 4)
+        assert adjncy.tolist() == [1, 2, 3]
+
+    def test_empty(self):
+        adjp, adjncy, adjwgt = aggregate_arcs(
+            np.empty(0, np.int64), np.empty(0, np.int64), np.empty(0, np.int64), 3
+        )
+        assert adjp.tolist() == [0, 0, 0, 0]
+        assert adjncy.size == 0
