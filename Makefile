@@ -1,0 +1,21 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: check tier1 sanitize-smoke fuzz test
+
+# The gate: tier-1 suite + the sanitizer self-check.
+check: tier1 sanitize-smoke
+
+# Tier-1: the fast suite (fuzz-marked sweeps excluded via pyproject).
+tier1:
+	$(PYTHON) -m pytest -x -q
+
+# Race-sanitizer self-check: clean pipeline race-free, planted race caught.
+sanitize-smoke:
+	$(PYTHON) -m repro sanitize
+
+# Long adversarial-schedule sweeps (not part of tier-1).
+fuzz:
+	$(PYTHON) -m pytest -q -m fuzz
+
+test: check

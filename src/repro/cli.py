@@ -7,7 +7,10 @@ Commands mirror the classic ``gpmetis`` binary plus this repo's extras:
 * ``generate`` — build a synthetic graph (Table I analogues or any
   generator family) and write it to a file;
 * ``bench`` — run the paper's evaluation grid and print the tables;
-* ``info`` — print a graph file's statistics.
+* ``info`` — print a graph file's statistics;
+* ``sanitize`` — self-check of the GPU data-race sanitizer: a clean
+  GP-metis pipeline must come out race-free and a deliberately broken
+  matching kernel (conflict resolution disabled) must be flagged.
 """
 
 from __future__ import annotations
@@ -63,6 +66,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pp.add_argument("--ubfactor", type=float, default=1.03)
     pp.add_argument("--seed", type=int, default=1)
+    pp.add_argument(
+        "--sanitize", action="store_true",
+        help="run GPU kernels under the data-race sanitizer (gp-metis only) "
+             "and print the per-launch race report",
+    )
     pp.add_argument("-o", "--output", help="write a Metis .part file here")
 
     pg = sub.add_parser("generate", help="generate a synthetic graph")
@@ -91,15 +99,29 @@ def build_parser() -> argparse.ArgumentParser:
     pa.add_argument("graph")
     pa.add_argument("-k", type=int, default=64,
                     help="partition count for the cut lower bounds")
+
+    ps = sub.add_parser("sanitize", help="data-race sanitizer self-check")
+    ps.add_argument("-n", type=int, default=9000,
+                    help="vertices of the clean-run test graph")
+    ps.add_argument("--schedules", type=int, default=3,
+                    help="fuzzed thread schedules per kernel launch")
+    ps.add_argument("--seed", type=int, default=1)
     return p
 
 
 def _cmd_partition(args) -> int:
     graph = read_graph(args.graph)
     print(f"input: {graph}")
+    opts = {}
+    if args.sanitize:
+        if args.method not in ("gp-metis", "gpmetis", "gp_metis"):
+            print("--sanitize requires --method gp-metis", file=sys.stderr)
+            return 2
+        opts["sanitize"] = True
     t0 = time.perf_counter()
     result = api.partition(
-        graph, args.k, method=args.method, ubfactor=args.ubfactor, seed=args.seed
+        graph, args.k, method=args.method, ubfactor=args.ubfactor,
+        seed=args.seed, **opts,
     )
     wall = time.perf_counter() - t0
     q = evaluate_partition(graph, result.part, args.k)
@@ -109,10 +131,13 @@ def _cmd_partition(args) -> int:
     print(f"comm volume   : {q.comm_volume}")
     print(f"modeled time  : {result.modeled_seconds:.6f} s (simulated testbed)")
     print(f"wall time     : {wall:.3f} s (this Python process)")
+    san = result.extras.get("sanitizer") if args.sanitize else None
+    if san is not None:
+        print(san.render())
     if args.output:
         write_partition(result.part, args.output)
         print(f"wrote {args.output}")
-    return 0
+    return 1 if san is not None and not san.race_free else 0
 
 
 def _cmd_generate(args) -> int:
@@ -196,6 +221,74 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _cmd_sanitize(args) -> int:
+    """Self-check the race sanitizer: clean pipeline, then a planted race."""
+    import numpy as np
+
+    from .gpmetis.kernels.matching import gpu_match
+    from .gpusim.device import Device
+    from .gpusim.transfer import transfer_graph_to_device
+    from .runtime.clock import SimClock
+    from .runtime.machine import PAPER_MACHINE
+
+    if args.schedules < 1:
+        print("--schedules must be >= 1", file=sys.stderr)
+        return 2
+    if args.n < 3000:
+        print(f"-n {args.n} is below the GPU threshold; the clean-run check "
+              "needs a graph the GPU path actually executes (>= 3000)",
+              file=sys.stderr)
+        return 2
+
+    ok = True
+
+    # 1. The full GP-metis pipeline must be race-free under fuzzing.
+    graph = gen.delaunay(args.n, seed=args.seed)
+    result = api.partition(
+        graph, 8, method="gp-metis", seed=args.seed,
+        sanitize=True, fuzz_schedules=args.schedules, gpu_threshold_min=2048,
+    )
+    san = result.extras["sanitizer"]
+    print(san.summary())
+    kernels = san.kernels_checked()
+    families = sorted({name.split(".")[-1].split("_")[0] for name in kernels})
+    print(f"kernels checked: {sorted(kernels)}")
+    if not san.race_free:
+        print("FAIL clean pipeline reported races:")
+        for r in san.racy_reports:
+            print(r.render())
+        ok = False
+    else:
+        print(f"PASS clean pipeline race-free ({len(san.reports)} launches, "
+              f"families: {', '.join(families)})")
+    if not any(n.startswith("coarsen.match") for n in kernels):
+        print("FAIL clean run never reached the GPU matching kernel")
+        ok = False
+
+    # 2. Disabling conflict resolution must be caught (mutation self-check).
+    star = gen.star_graph(64)
+    dev = Device(PAPER_MACHINE.gpu, SimClock())
+    mut = dev.enable_sanitizer(fuzz_schedules=args.schedules, seed=args.seed)
+    d_csr = transfer_graph_to_device(dev, star, PAPER_MACHINE.interconnect)
+    gpu_match(
+        dev, d_csr, star, n_threads=32, scheme="hem",
+        rng=np.random.default_rng(args.seed), resolve_conflicts=False,
+    )
+    if mut.num_races:
+        kinds = sorted({
+            f.kind for r in mut.racy_reports for f in r.findings
+            if f.severity == "race"
+        })
+        print(f"PASS mutation detected: {mut.num_races} race(s) "
+              f"({', '.join(kinds)}) with resolution disabled")
+    else:
+        print("FAIL mutation not detected: resolution disabled but no race flagged")
+        ok = False
+
+    print("sanitizer self-check:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -204,6 +297,7 @@ def main(argv=None) -> int:
         "bench": _cmd_bench,
         "info": _cmd_info,
         "analyze": _cmd_analyze,
+        "sanitize": _cmd_sanitize,
     }[args.command]
     return handler(args)
 

@@ -82,6 +82,8 @@ def run_hybrid(
     """Execute the full GP-metis pipeline against a shared clock."""
     trace = Trace()
     dev = Device(machine.gpu, clock)
+    if opts.sanitize:
+        dev.enable_sanitizer(fuzz_schedules=opts.fuzz_schedules, seed=opts.seed)
     rng = np.random.default_rng(opts.seed)
     stop_at = gpu_stop_size(opts, k)
     mt = MtMetis(opts.mtmetis_options(), machine)
@@ -238,6 +240,14 @@ def run_hybrid(
             count=float(graph.num_directed_edges),
             detail=f"final rebalance ({moves} moves)",
         )
+
+    if dev.sanitizer is not None:
+        trace.race_reports = list(dev.sanitizer.reports)
+        if dev.sanitizer.num_races:
+            trace.note(
+                f"sanitizer: {dev.sanitizer.num_races} race(s) detected in "
+                f"kernels {sorted(dev.sanitizer.kernels_checked())}"
+            )
 
     return HybridOutcome(
         part=part,

@@ -52,14 +52,22 @@ def gpu_build_cmap(
         k.compute(n)
         k.stream_write(d_scanned, vals - 1)
 
-    # Kernel 4: non-representatives take their partner's label.
+    # Kernel 4: non-representatives take their partner's label.  Thread
+    # ownership is explicit for the sanitizer: vertex v's thread reads its
+    # partner's (representative's) entry and writes only its own — the
+    # read and write element sets are disjoint, so the launch is clean.
     with dev.kernel("coarsen.cmap_final", n_threads=n_threads) as k:
         m = k.stream_read(d_match)
         nonrep = ids > m
-        partner_labels = k.gather(d_scanned, m[nonrep]) if np.any(nonrep) else np.empty(0, np.int64)
+        nthreads = ids[nonrep] % n_threads
+        partner_labels = (
+            k.gather(d_scanned, m[nonrep], threads=nthreads)
+            if np.any(nonrep)
+            else np.empty(0, np.int64)
+        )
         k.compute(n)
         if np.any(nonrep):
-            k.scatter(d_scanned, ids[nonrep], partner_labels)
+            k.scatter(d_scanned, ids[nonrep], partner_labels, threads=nthreads)
 
     d_scanned.label = "cmap"
     return d_scanned, n_coarse

@@ -185,11 +185,14 @@ def gpu_contract(
             charge_sort_merge(k, per_thread_load)
         # Staged writes: merged entries land in per-thread regions (the
         # merged total never exceeds the staging size by construction).
+        # Each staged entry is written by the thread that merged its
+        # coarse vertex — exclusive regions, which the sanitizer verifies.
         n_merged = coarse.num_directed_edges
         if n_merged:
             out_positions = np.arange(n_merged, dtype=np.int64)
-            k.scatter(d_tadjncy, out_positions, coarse.adjncy)
-            k.scatter(d_tadjwgt, out_positions, coarse.adjwgt)
+            owner = np.repeat(thread_of_rep, np.diff(coarse.adjp))
+            k.scatter(d_tadjncy, out_positions, coarse.adjncy, threads=owner)
+            k.scatter(d_tadjwgt, out_positions, coarse.adjwgt, threads=owner)
 
     # Kernel 4: actual per-thread counts + second scan.
     d_temp2 = dev.alloc(n_threads, np.int64, label="temp2")

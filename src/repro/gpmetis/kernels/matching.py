@@ -44,11 +44,17 @@ def gpu_match(
     n_threads: int,
     scheme: str,
     rng: np.random.Generator,
+    resolve_conflicts: bool = True,
 ) -> tuple[DeviceArray, LockfreeMatchStats]:
     """Run the matching + conflict-resolution kernels; returns (d_match, stats).
 
     If every edge weight is equal, HEM degenerates and the paper switches
     to iterative random matching — handled by inspecting the weights once.
+
+    ``resolve_conflicts=False`` skips the second (resolution) kernel and
+    commits round 1's raw claims — the sanitizer's mutation self-check:
+    the asymmetric ``M[u]`` writes it leaves behind must be detected as a
+    write-write race.  Production callers never disable it.
     """
     n = graph.num_vertices
     if scheme == "hem" and graph.adjwgt.size and graph.adjwgt.min() == graph.adjwgt.max():
@@ -60,35 +66,42 @@ def gpu_match(
         scheme=scheme,
         rng=rng,
         retry_rounds=0,  # GP-metis self-matches conflicted vertices outright
+        resolve_conflicts=resolve_conflicts,
     )
 
     d_match = dev.alloc(n, np.int64, label="match")
 
     # Account the matching kernel: one launch covering all lockstep
-    # iterations (each thread loops over ceil(n/T) vertices).
+    # iterations (each thread loops over ceil(n/T) vertices).  Thread
+    # ownership follows Fig. 2: vertex v belongs to thread v % T, and v's
+    # thread issues both of the pair writes (M[v]=u and M[u]=v).
     with dev.kernel("coarsen.match", n_threads=n_threads) as k:
         verts = np.arange(n, dtype=np.int64)
-        k.gather(d_csr["adjp"], verts)          # row starts (coalesced)
-        k.gather(d_csr["adjp"], verts + 1)      # row ends
+        vthreads = verts % n_threads
+        k.gather(d_csr["adjp"], verts, threads=vthreads)      # row starts
+        k.gather(d_csr["adjp"], verts + 1, threads=vthreads)  # row ends
         degs = graph.degrees()
         flat = gather_ranges(graph.adjp[verts], degs)
-        k.gather(d_csr["adjncy"], flat)         # neighbor ids
-        k.gather(d_csr["adjwgt"], flat)         # edge weights
+        fthreads = np.repeat(vthreads, degs)
+        k.gather(d_csr["adjncy"], flat, threads=fthreads)     # neighbor ids
+        k.gather(d_csr["adjwgt"], flat, threads=fthreads)     # edge weights
         # Reading M[u] for every scanned neighbor: data-dependent gather.
-        k.gather(d_match, graph.adjncy[flat])
+        k.gather(d_match, graph.adjncy[flat], threads=fthreads)
         k.compute_divergent(degs.astype(np.float64))
         # Two writes per matched pair (M[v]=u, M[u]=v): v side coalesced,
         # u side scattered.
         ids = np.arange(n, dtype=np.int64)
         paired = match != ids
-        k.scatter(d_match, ids[paired], match[paired])
-        k.scatter(d_match, match[paired], ids[paired])
+        pthreads = ids[paired] % n_threads
+        k.scatter(d_match, ids[paired], match[paired], threads=pthreads)
+        k.scatter(d_match, match[paired], ids[paired], threads=pthreads)
 
-    # Conflict-resolution kernel: M[M[v]] check + self-match writes.
-    with dev.kernel("coarsen.resolve", n_threads=n_threads) as k:
-        vals = k.stream_read(d_match)
-        k.gather(d_match, np.maximum(vals, 0))
-        k.compute(2 * n)
-        k.stream_write(d_match, match)
+    if resolve_conflicts:
+        # Conflict-resolution kernel: M[M[v]] check + self-match writes.
+        with dev.kernel("coarsen.resolve", n_threads=n_threads) as k:
+            vals = k.stream_read(d_match)
+            k.gather(d_match, np.maximum(vals, 0))
+            k.compute(2 * n)
+            k.stream_write(d_match, match)
 
     return d_match, stats

@@ -8,6 +8,14 @@ adjacency list of the newly created vertex in the coarser graph."
 Faster than sorting (O(L) expected vs O(L log L)) but needs per-thread
 table memory — the sparsity precondition checked by
 :func:`hash_tables_fit`.
+
+Sanitizer note: the hash tables are *thread-private* scratch ("a hash
+table for each thread"), never shared device arrays, so their accesses
+are race-free by construction and exempt from recording.  What the
+sanitizer does see of the merge is the ``coarsen.contract_merge``
+launch's staged writes, attributed to each coarse vertex's owning thread
+(exclusive per-thread staging regions — see
+:mod:`repro.gpmetis.kernels.contraction`).
 """
 
 from __future__ import annotations

@@ -23,7 +23,12 @@ def gpu_project(
     n_fine: int,
     n_threads: int,
 ) -> DeviceArray:
-    """part_fine[v] = part_coarse[CM[v]]; returns the fine label array."""
+    """part_fine[v] = part_coarse[CM[v]]; returns the fine label array.
+
+    Under the sanitizer this launch is trivially race-free: the coarse
+    labels are only read (many threads may share one coarse vertex) and
+    each thread writes only its own fine vertex's label.
+    """
     d_fine = dev.alloc(n_fine, np.int64, label="part")
     with dev.kernel("uncoarsen.project", n_threads=n_threads) as k:
         cm = k.stream_read(d_cmap, n_elements=n_fine)

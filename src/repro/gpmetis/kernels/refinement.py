@@ -109,11 +109,15 @@ def gpu_refine_level(
             # to their destination partition's buffer via atomicAdd on S.
             if stats.boundary_size and vs.size:
                 with dev.kernel("uncoarsen.request", n_threads=n_threads) as kk:
-                    atomic_append(kk, ds, k)
+                    # The counter RMWs are atomic (many threads, one
+                    # element per partition — race-free by commutativity);
+                    # the buffer writes land in the exclusive slots the
+                    # counters handed out.
+                    atomic_append(kk, ds, k, d_counters=d_counters)
                     slots = np.arange(vs.shape[0], dtype=np.int64) % max(
                         1, d_buffers.size
                     )
-                    kk.scatter(d_buffers, slots, vs)
+                    kk.scatter(d_buffers, slots, vs, threads=vs % n_threads)
                     kk.compute(2 * vs.shape[0])
 
             before = part[vs].copy() if vs.size else np.empty(0, np.int64)
@@ -124,13 +128,16 @@ def gpu_refine_level(
             moved = vs[part[vs] != before] if vs.size else vs
 
             # Explore kernel: one thread per partition sorts + commits.
+            # Each commit write is issued by the destination partition's
+            # worker; a vertex moves to exactly one destination, so the
+            # writes are exclusive (the sanitizer checks this).
             with dev.kernel("uncoarsen.explore", n_threads=max(1, k)) as kk:
                 reqs = stats.requests_per_partition
                 if reqs.size:
                     charge_thread_quicksort(kk, reqs.astype(np.float64))
                     kk.compute_divergent(reqs.astype(np.float64))
                 if moved.size:
-                    kk.scatter(d_part, moved, part[moved])
+                    kk.scatter(d_part, moved, part[moved], threads=part[moved])
                 kk.stream_read(d_counters)
 
             all_stats.append(stats)

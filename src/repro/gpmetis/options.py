@@ -44,6 +44,13 @@ class GPMetisOptions:
     #: following levels") — one thread per vertex up to this cap.
     max_gpu_threads: int = 14 * 2048
     seed: int = 1
+    #: Enable the gpusim data-race sanitizer: every GPU kernel launch
+    #: records per-thread read/write sets, is checked for conflicting
+    #: non-atomic accesses, and is replayed under ``fuzz_schedules``
+    #: adversarial thread orderings.  Reports land in ``Trace.race_reports``.
+    sanitize: bool = False
+    #: Number of fuzzed thread schedules per launch when ``sanitize`` is on.
+    fuzz_schedules: int = 3
 
     def __post_init__(self) -> None:
         if self.ubfactor < 1.0:
@@ -60,6 +67,8 @@ class GPMetisOptions:
             raise InvalidParameterError("thread counts out of range")
         if self.refine_passes < 1:
             raise InvalidParameterError("refine_passes must be >= 1")
+        if self.fuzz_schedules < 1:
+            raise InvalidParameterError("fuzz_schedules must be >= 1")
 
     def gpu_threshold(self, k: int) -> int:
         """Vertex count below which the graph moves to the CPU."""

@@ -57,5 +57,6 @@ class GPMetis:
                 "fell_back_to_cpu": outcome.fell_back_to_cpu,
                 "merge_fallbacks": outcome.merge_fallbacks,
                 "merge_strategy": self.options.merge_strategy,
+                "sanitizer": outcome.device.sanitizer,
             },
         )

@@ -1,7 +1,9 @@
-"""Simulated SIMT GPU: device memory, kernels, coalescing, scans, atomics."""
+"""Simulated SIMT GPU: device memory, kernels, coalescing, scans, atomics,
+and an opt-in data-race sanitizer with schedule fuzzing."""
 
 from .atomics import atomic_add_scalar, atomic_append
 from .device import Device, KernelContext
+from .sanitizer import LaunchRaceReport, RaceFinding, RaceSanitizer
 from .hashtable import ClusteredHashTable, charge_hash_merge, hash_table_bytes
 from .memory import DeviceArray, stream_transactions, warp_transactions
 from .reduce import device_count_nonzero, device_max, device_sum
@@ -14,6 +16,9 @@ from .transfer import d2h, h2d, transfer_graph_to_device
 __all__ = [
     "Device",
     "KernelContext",
+    "RaceSanitizer",
+    "RaceFinding",
+    "LaunchRaceReport",
     "DeviceArray",
     "warp_transactions",
     "stream_transactions",

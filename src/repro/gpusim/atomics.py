@@ -21,7 +21,10 @@ __all__ = ["atomic_append", "atomic_add_scalar"]
 
 
 def atomic_append(
-    k: KernelContext, buffer_ids: np.ndarray, num_buffers: int
+    k: KernelContext,
+    buffer_ids: np.ndarray,
+    num_buffers: int,
+    d_counters=None,
 ) -> np.ndarray:
     """Assign each request an exclusive slot in its destination buffer.
 
@@ -29,6 +32,11 @@ def atomic_append(
     thread ``i``) targets.  Returns ``slots`` such that requests targeting
     the same buffer receive 0, 1, 2, ... in thread order — the result of
     each thread's ``atomicAdd(&S[buf], 1)``.
+
+    Passing the counter array ``d_counters`` applies the increments to it
+    and lets the sanitizer record the RMWs as *atomic* accesses: many
+    threads may hit one counter element without being flagged, which is
+    exactly the lock-freedom claim of paper Sec. III.C.
     """
     ids = np.asarray(buffer_ids, dtype=np.int64)
     n = ids.shape[0]
@@ -43,7 +51,15 @@ def atomic_append(
         first_pos[run_idx[run_start]] = np.where(run_start)[0]
         slots[order] = np.arange(n, dtype=np.int64) - first_pos[run_idx]
     distinct = int(np.unique(ids).shape[0]) if n else 0
-    k.atomic(n, distinct_targets=distinct)
+    if d_counters is not None:
+        d_counters._require_live()
+        k.atomic(n, distinct_targets=distinct, darr=d_counters, targets=ids)
+        if n:
+            d_counters.data[: min(num_buffers, d_counters.size)] += np.bincount(
+                ids, minlength=num_buffers
+            )[: d_counters.size]
+    else:
+        k.atomic(n, distinct_targets=distinct)
     return slots
 
 

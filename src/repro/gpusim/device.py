@@ -42,6 +42,27 @@ class Device:
     clock: SimClock
     stats: DeviceStats = field(default_factory=DeviceStats)
     allocated_bytes: int = 0
+    #: Opt-in data-race sanitizer (see :mod:`repro.gpusim.sanitizer`).
+    #: ``None`` disables all access recording — the default fast path.
+    sanitizer: object | None = None
+
+    def enable_sanitizer(self, fuzz_schedules: int = 3, seed: int = 0, **kwargs):
+        """Attach a :class:`~repro.gpusim.sanitizer.RaceSanitizer`.
+
+        Every subsequent kernel launch records per-thread read/write sets,
+        is checked for conflicting non-atomic accesses, and has its writes
+        replayed under ``fuzz_schedules`` adversarial thread orderings.
+        Returns the sanitizer so callers can inspect ``.reports``.
+        """
+        from .sanitizer import RaceSanitizer
+
+        self.sanitizer = RaceSanitizer(
+            fuzz_schedules=fuzz_schedules,
+            seed=seed,
+            warp_size=self.spec.warp_size,
+            **kwargs,
+        )
+        return self.sanitizer
 
     # ------------------------------------------------------------------
     # Memory management
@@ -105,6 +126,9 @@ class KernelContext:
         self._atomic_ops = 0.0
         self._atomic_conflicts = 0.0
         self._entered = False
+        self._san = device.sanitizer
+        self._accesses: list | None = [] if self._san is not None else None
+        self._seq = 0
 
     # -- context protocol ------------------------------------------------
     def __enter__(self) -> "KernelContext":
@@ -114,6 +138,40 @@ class KernelContext:
     def __exit__(self, exc_type, exc, tb) -> None:
         if exc_type is None:
             self._commit()
+
+    # -- sanitizer recording ----------------------------------------------
+    def _record(
+        self,
+        darr: DeviceArray,
+        elements: np.ndarray,
+        kind: str,
+        values=None,
+        threads: np.ndarray | None = None,
+    ) -> None:
+        """Log one access batch for the race sanitizer (sanitize mode only).
+
+        ``threads`` names the logical owning thread of each access;
+        without it the Fig. 2 layout applies (access ``i`` -> thread
+        ``i % n_threads``).
+        """
+        if self._accesses is None:
+            return
+        from .sanitizer import AccessRecord
+
+        elems = np.asarray(elements, dtype=np.int64).ravel()
+        if threads is None:
+            thr = np.arange(elems.shape[0], dtype=np.int64) % self.n_threads
+        else:
+            thr = np.asarray(threads, dtype=np.int64).ravel() % self.n_threads
+        vals = None
+        if values is not None:
+            vals = np.broadcast_to(
+                np.asarray(values, dtype=darr.dtype), elems.shape
+            ).ravel()
+        self._accesses.append(
+            AccessRecord(darr.uid, darr.label, elems, thr, kind, vals, self._seq)
+        )
+        self._seq += 1
 
     # -- access recording -------------------------------------------------
     def _account_indexed(self, darr: DeviceArray, idx: np.ndarray) -> None:
@@ -132,18 +190,31 @@ class KernelContext:
             self._random_transactions += excess
         self._bytes_requested += nbytes
 
-    def gather(self, darr: DeviceArray, indices: np.ndarray) -> np.ndarray:
+    def gather(
+        self,
+        darr: DeviceArray,
+        indices: np.ndarray,
+        threads: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Warp-ordered irregular read; returns the gathered values."""
         darr._require_live()
         idx = np.asarray(indices, dtype=np.int64)
         self._account_indexed(darr, idx)
+        self._record(darr, idx, "read", threads=threads)
         return darr.data[idx]
 
-    def scatter(self, darr: DeviceArray, indices: np.ndarray, values) -> None:
-        """Warp-ordered irregular write."""
+    def scatter(
+        self,
+        darr: DeviceArray,
+        indices: np.ndarray,
+        values,
+        threads: np.ndarray | None = None,
+    ) -> None:
+        """Warp-ordered irregular write (duplicate indices: last writer wins)."""
         darr._require_live()
         idx = np.asarray(indices, dtype=np.int64)
         self._account_indexed(darr, idx)
+        self._record(darr, idx, "write", values=values, threads=threads)
         darr.data[idx] = values
 
     def stream_read(self, darr: DeviceArray, n_elements: int | None = None) -> np.ndarray:
@@ -153,6 +224,8 @@ class KernelContext:
         nbytes = n * darr.itemsize
         self._transactions += stream_transactions(nbytes, self.device.spec.transaction_bytes)
         self._bytes_requested += nbytes
+        if self._accesses is not None:
+            self._record(darr, np.arange(n, dtype=np.int64), "read")
         return darr.data[:n] if n_elements is not None else darr.data
 
     def stream_write(self, darr: DeviceArray, values, n_elements: int | None = None) -> None:
@@ -162,6 +235,8 @@ class KernelContext:
         nbytes = n * darr.itemsize
         self._transactions += stream_transactions(nbytes, self.device.spec.transaction_bytes)
         self._bytes_requested += nbytes
+        if self._accesses is not None:
+            self._record(darr, np.arange(n, dtype=np.int64), "write", values=values)
         if n_elements is None:
             darr.data[...] = values
         else:
@@ -182,9 +257,24 @@ class KernelContext:
             np.asarray(per_thread_ops, dtype=np.float64), self.device.spec.warp_size
         )
 
-    def atomic(self, n_ops: int, distinct_targets: int | None = None) -> None:
-        """n_ops atomic RMWs; contention modeled from target multiplicity."""
+    def atomic(
+        self,
+        n_ops: int,
+        distinct_targets: int | None = None,
+        darr: DeviceArray | None = None,
+        targets: np.ndarray | None = None,
+        threads: np.ndarray | None = None,
+    ) -> None:
+        """n_ops atomic RMWs; contention modeled from target multiplicity.
+
+        ``darr``/``targets`` optionally name the counter array and the
+        element each RMW hits so the sanitizer can prove the accesses
+        atomic (atomic adds commute — concurrent same-element RMWs are
+        race-free by construction, unlike plain stores).
+        """
         n_ops = int(n_ops)
+        if darr is not None and targets is not None:
+            self._record(darr, targets, "atomic", threads=threads)
         self._atomic_ops += n_ops
         if distinct_targets is not None and distinct_targets > 0 and n_ops > distinct_targets:
             # Ops beyond one-per-target serialise on the memory controller.
@@ -221,6 +311,9 @@ class KernelContext:
                 clock.charge("compute", cmp_t, count=self._compute_ops, detail=self.name)
                 if atomic_t:
                     clock.charge("atomic", atomic_t, count=self._atomic_ops, detail=self.name)
+
+        if self._san is not None:
+            self._san.analyze_launch(self.name, self.n_threads, self._accesses)
 
         k = self.device.stats.kernel(self.name)
         k.launches += 1

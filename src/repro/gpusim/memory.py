@@ -17,27 +17,35 @@ its block and counts distinct blocks per warp.
 
 from __future__ import annotations
 
+import itertools
+
 import numpy as np
 
 from ..exceptions import DeviceMemoryError
 
 __all__ = ["DeviceArray", "warp_transactions", "stream_transactions"]
 
+#: Monotone allocation ids — the sanitizer keys access logs by ``uid``
+#: because ``id()`` values can be recycled after a ``free()``.
+_UID_COUNTER = itertools.count()
+
 
 class DeviceArray:
     """A numpy array living in simulated device global memory.
 
     The wrapper intentionally does not subclass ndarray: algorithm code
-    must go through kernel accessors so accesses are accounted.  ``.data``
-    exposes the raw array for the kernel implementations.
+    must go through kernel accessors so accesses are accounted (and, in
+    sanitize mode, race-checked).  ``.data`` exposes the raw array for
+    the kernel implementations.
     """
 
-    __slots__ = ("data", "device", "_freed", "label")
+    __slots__ = ("data", "device", "_freed", "label", "uid")
 
     def __init__(self, data: np.ndarray, device, label: str = "") -> None:
         self.data = data
         self.device = device
         self.label = label or "darray"
+        self.uid = next(_UID_COUNTER)
         self._freed = False
 
     @property

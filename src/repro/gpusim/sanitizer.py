@@ -1,0 +1,440 @@
+"""Data-race / atomicity sanitizer for the simulated GPU.
+
+The paper's correctness story rests on *lock-free* kernels: two-round
+matching (claim, then resolve non-reciprocated claims) and refinement
+request buffers filled through ``atomicAdd`` counters.  A kernel that
+silently relies on a lucky thread interleaving would still produce a
+plausible partition, so nothing short of access-level checking can tell
+"lock-free by design" from "racy by luck".  This module adds that check
+to ``gpusim`` as an opt-in mode (``Device.enable_sanitizer``):
+
+* **Read/write-set recording** — every ``gather``/``scatter``/
+  ``stream_read``/``stream_write``/``atomic`` issued inside a kernel
+  launch records which *logical thread* touched which *element* of which
+  :class:`~repro.gpusim.memory.DeviceArray` (and, for writes, the value
+  committed).  Kernels may pass an explicit ``threads=`` ownership array;
+  the default is the Fig. 2 layout (access ``i`` belongs to thread
+  ``i % n_threads``).
+
+* **Static conflict detection** — per launch and per array, accesses to
+  the same element from different threads are classified:
+
+  - ``write-write`` (**race**): two threads' final writes to one element
+    disagree in value — the committed state depends on hardware
+    arbitration.
+  - ``atomic-mix`` (**race**): an element is updated both atomically and
+    with a plain store — the plain store can tear the RMW.
+  - ``stale-read`` (*warning*): a thread reads an element another thread
+    writes in the same launch.  Under the simulator's lockstep semantics
+    (reads see the pre-launch snapshot) this is well defined; it is
+    exactly the staleness the two-round matching scheme tolerates, so it
+    is reported but does not fail a launch.
+  - ``silent-store`` (*benign*): several threads write the same value
+    (e.g. the symmetric ``M[v]=u`` / ``M[u]=v`` pair writes of a
+    conflict-free matching).
+
+* **Schedule fuzzing** — the launch's recorded writes are replayed under
+  seeded adversarial thread orderings (reverse thread ids, warp-shuffled,
+  random permutations) and the final per-element state of each replay is
+  compared against the committed state.  Any element whose value depends
+  on the ordering is a ``schedule-divergence`` **race**: the kernel's
+  committed result is not interleaving-independent.
+
+The sanitizer never alters kernel results or modeled time; it only
+observes.  Atomic accesses are exempt from replay because atomic adds
+commute — which is precisely the property the paper's request buffers
+rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "AccessRecord",
+    "RaceFinding",
+    "LaunchRaceReport",
+    "RaceSanitizer",
+    "RACE_KINDS",
+    "WARNING_KINDS",
+    "BENIGN_KINDS",
+]
+
+#: Finding kinds that fail a launch (non-deterministic or torn state).
+RACE_KINDS = ("write-write", "atomic-mix", "schedule-divergence")
+#: Tolerated-by-design hazards, reported for visibility.
+WARNING_KINDS = ("stale-read",)
+#: Redundant but harmless concurrent accesses.
+BENIGN_KINDS = ("silent-store",)
+
+
+@dataclass(frozen=True)
+class AccessRecord:
+    """One instrumented access batch inside a kernel launch."""
+
+    array_uid: int
+    label: str
+    elements: np.ndarray
+    threads: np.ndarray
+    kind: str  # "read" | "write" | "atomic"
+    values: np.ndarray | None
+    seq: int  # program-order sequence number within the launch
+
+
+@dataclass(frozen=True)
+class RaceFinding:
+    """One flagged element of one array in one launch."""
+
+    kind: str
+    severity: str  # "race" | "warning" | "benign"
+    array_label: str
+    element: int
+    threads: tuple[int, ...] = ()
+    detail: str = ""
+
+    def render(self) -> str:
+        t = ",".join(str(x) for x in self.threads) or "?"
+        msg = f"{self.severity}:{self.kind} {self.array_label}[{self.element}] threads={{{t}}}"
+        return f"{msg} {self.detail}" if self.detail else msg
+
+
+@dataclass
+class LaunchRaceReport:
+    """Per-launch race report (the unit surfaced in Trace / CLI)."""
+
+    kernel: str
+    launch_index: int
+    n_threads: int
+    schedules_checked: int
+    schedule_names: tuple[str, ...] = ()
+    #: Full per-kind finding counts (findings list below may be truncated).
+    counts: dict = field(default_factory=dict)
+    findings: list = field(default_factory=list)
+    arrays_checked: int = 0
+    accesses_checked: int = 0
+
+    @property
+    def num_races(self) -> int:
+        return sum(self.counts.get(k, 0) for k in RACE_KINDS)
+
+    @property
+    def num_warnings(self) -> int:
+        return sum(self.counts.get(k, 0) for k in WARNING_KINDS)
+
+    @property
+    def num_benign(self) -> int:
+        return sum(self.counts.get(k, 0) for k in BENIGN_KINDS)
+
+    @property
+    def race_free(self) -> bool:
+        return self.num_races == 0
+
+    def render(self) -> str:
+        head = (
+            f"launch {self.launch_index} {self.kernel} "
+            f"(threads={self.n_threads}, schedules={self.schedules_checked}): "
+            f"{self.num_races} race(s), {self.num_warnings} stale-read(s), "
+            f"{self.num_benign} benign"
+        )
+        lines = [head]
+        for f in self.findings:
+            lines.append(f"  {f.render()}")
+        shown = len(self.findings)
+        total = sum(self.counts.values())
+        if total > shown:
+            lines.append(f"  ... and {total - shown} more finding(s)")
+        return "\n".join(lines)
+
+
+def _per_thread_final_writes(elem, thr, val, seq, pos):
+    """Reduce raw writes to each (element, thread)'s last-written value."""
+    order = np.lexsort((pos, seq, thr, elem))
+    e, t, v = elem[order], thr[order], val[order]
+    group_end = np.ones(e.shape[0], dtype=bool)
+    group_end[:-1] = (e[1:] != e[:-1]) | (t[1:] != t[:-1])
+    return e[group_end], t[group_end], v[group_end]
+
+
+def _distinct_per_elem(elem_sorted_by, other):
+    """Distinct ``other`` count per element for (element, other) pairs.
+
+    ``elem_sorted_by`` need not be pre-sorted; returns (unique elements,
+    per-element distinct counts) without mixing dtypes.
+    """
+    order = np.lexsort((other, elem_sorted_by))
+    e, o = elem_sorted_by[order], other[order]
+    new_elem = np.ones(e.shape[0], dtype=bool)
+    new_elem[1:] = e[1:] != e[:-1]
+    new_pair = new_elem.copy()
+    new_pair[1:] |= o[1:] != o[:-1]
+    starts = np.where(new_elem)[0]
+    counts = np.add.reduceat(new_pair.astype(np.int64), starts)
+    return e[new_elem], counts
+
+
+def _final_values(elem, val, order_keys):
+    """Last-writer-wins value per element under the given ordering.
+
+    ``order_keys`` are lexsort keys, least significant first; the write
+    sorted *last* within each element group wins.  Returns (elements,
+    values) with elements ascending.
+    """
+    order = np.lexsort(order_keys)
+    e, v = elem[order], val[order]
+    regroup = np.argsort(e, kind="stable")
+    e, v = e[regroup], v[regroup]
+    last = np.ones(e.shape[0], dtype=bool)
+    last[:-1] = e[1:] != e[:-1]
+    return e[last], v[last]
+
+
+class RaceSanitizer:
+    """Collects per-launch access logs and produces race reports.
+
+    Attach via :meth:`repro.gpusim.Device.enable_sanitizer`; every
+    subsequent kernel launch appends one :class:`LaunchRaceReport` to
+    :attr:`reports`.
+    """
+
+    def __init__(
+        self,
+        fuzz_schedules: int = 3,
+        seed: int = 0,
+        warp_size: int = 32,
+        max_findings_per_launch: int = 16,
+    ) -> None:
+        if fuzz_schedules < 1:
+            raise ValueError("fuzz_schedules must be >= 1")
+        self.fuzz_schedules = int(fuzz_schedules)
+        self.seed = int(seed)
+        self.warp_size = int(warp_size)
+        self.max_findings_per_launch = int(max_findings_per_launch)
+        self.reports: list[LaunchRaceReport] = []
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def num_races(self) -> int:
+        return sum(r.num_races for r in self.reports)
+
+    @property
+    def num_warnings(self) -> int:
+        return sum(r.num_warnings for r in self.reports)
+
+    @property
+    def race_free(self) -> bool:
+        return all(r.race_free for r in self.reports)
+
+    @property
+    def racy_reports(self) -> list[LaunchRaceReport]:
+        return [r for r in self.reports if not r.race_free]
+
+    def kernels_checked(self) -> set[str]:
+        return {r.kernel for r in self.reports}
+
+    def reset(self) -> None:
+        self.reports.clear()
+
+    def summary(self) -> str:
+        accesses = sum(r.accesses_checked for r in self.reports)
+        return (
+            f"sanitizer: {len(self.reports)} launches / {accesses} accesses checked, "
+            f"{self.fuzz_schedules} schedules per launch: {self.num_races} race(s), "
+            f"{self.num_warnings} stale-read warning(s)"
+        )
+
+    def render(self) -> str:
+        lines = [self.summary()]
+        for r in self.racy_reports:
+            lines.append(r.render())
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Schedules
+    # ------------------------------------------------------------------
+    def schedule_priorities(
+        self, index: int, n_threads: int, launch_index: int
+    ) -> tuple[np.ndarray, str]:
+        """Thread priority vector of adversarial schedule ``index``.
+
+        Higher priority = the thread's writes arbitrate *later* (win).
+        Schedule 0 reverses thread ids, schedule 1 shuffles whole warps
+        (intra-warp order preserved — the hardware never splits a warp),
+        further schedules are full random permutations.  All draws are
+        seeded from (sanitizer seed, launch index, schedule index).
+        """
+        t = np.arange(n_threads, dtype=np.int64)
+        if index == 0:
+            return n_threads - 1 - t, "reverse"
+        rng = np.random.default_rng((self.seed, launch_index, index))
+        if index == 1:
+            w = self.warp_size
+            n_warps = -(-n_threads // w)
+            perm = rng.permutation(n_warps).astype(np.int64)
+            return perm[t // w] * w + (t % w), "warp-shuffle"
+        return rng.permutation(n_threads).astype(np.int64), f"random-{index - 1}"
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def analyze_launch(
+        self, kernel: str, n_threads: int, accesses: list[AccessRecord]
+    ) -> LaunchRaceReport:
+        """Analyze one launch's access log; append and return the report."""
+        launch_index = len(self.reports)
+        report = LaunchRaceReport(
+            kernel=kernel,
+            launch_index=launch_index,
+            n_threads=n_threads,
+            schedules_checked=self.fuzz_schedules,
+        )
+        by_array: dict[int, list[AccessRecord]] = {}
+        for rec in accesses:
+            if rec.elements.size:
+                by_array.setdefault(rec.array_uid, []).append(rec)
+        report.arrays_checked = len(by_array)
+        report.accesses_checked = int(
+            sum(r.elements.size for recs in by_array.values() for r in recs)
+        )
+
+        names: list[str] = []
+        for i in range(self.fuzz_schedules):
+            _, name = self.schedule_priorities(i, n_threads, launch_index)
+            names.append(name)
+        report.schedule_names = tuple(names)
+
+        findings: list[RaceFinding] = []
+        counts: dict[str, int] = {}
+        for recs in by_array.values():
+            self._analyze_array(recs, n_threads, launch_index, findings, counts)
+        # Races first, then warnings, then benign; truncate for display.
+        sev_rank = {"race": 0, "warning": 1, "benign": 2}
+        findings.sort(key=lambda f: sev_rank[f.severity])
+        report.findings = findings[: self.max_findings_per_launch]
+        report.counts = counts
+        self.reports.append(report)
+        return report
+
+    def _analyze_array(
+        self,
+        recs: list[AccessRecord],
+        n_threads: int,
+        launch_index: int,
+        findings: list[RaceFinding],
+        counts: dict[str, int],
+    ) -> None:
+        label = recs[-1].label
+
+        def add(kind: str, severity: str, elements, threads_of=None, detail: str = ""):
+            counts[kind] = counts.get(kind, 0) + int(len(elements))
+            budget = self.max_findings_per_launch - len(findings)
+            for e in np.asarray(elements).ravel()[: max(0, budget)]:
+                thr = ()
+                if threads_of is not None:
+                    thr = tuple(int(x) for x in threads_of(int(e))[:4])
+                findings.append(
+                    RaceFinding(
+                        kind=kind,
+                        severity=severity,
+                        array_label=label,
+                        element=int(e),
+                        threads=thr,
+                        detail=detail,
+                    )
+                )
+
+        w_elem, w_thr, w_val, w_seq, w_pos = [], [], [], [], []
+        r_elem, r_thr = [], []
+        a_elem = []
+        for rec in recs:
+            if rec.kind == "write":
+                w_elem.append(rec.elements)
+                w_thr.append(rec.threads)
+                w_val.append(rec.values)
+                w_seq.append(np.full(rec.elements.shape[0], rec.seq, dtype=np.int64))
+                w_pos.append(np.arange(rec.elements.shape[0], dtype=np.int64))
+            elif rec.kind == "read":
+                r_elem.append(rec.elements)
+                r_thr.append(rec.threads)
+            else:  # atomic
+                a_elem.append(rec.elements)
+
+        atomic_elems = (
+            np.unique(np.concatenate(a_elem)) if a_elem else np.empty(0, np.int64)
+        )
+
+        if w_elem:
+            elem = np.concatenate(w_elem)
+            thr = np.concatenate(w_thr)
+            val = np.concatenate(w_val)
+            seq = np.concatenate(w_seq)
+            pos = np.concatenate(w_pos)
+
+            # --- static: per-thread final writes ---------------------------
+            ef, tf, vf = _per_thread_final_writes(elem, thr, val, seq, pos)
+            ue, thread_counts = _distinct_per_elem(ef, tf)
+            _, value_counts = _distinct_per_elem(ef, vf)
+            shared = thread_counts >= 2
+
+            def threads_of(e: int):
+                return tf[ef == e]
+
+            ww = ue[shared & (value_counts >= 2)]
+            if ww.size:
+                add("write-write", "race", ww, threads_of,
+                    "conflicting unsynchronized writes (final values differ)")
+            ss = ue[shared & (value_counts == 1)]
+            if ss.size:
+                add("silent-store", "benign", ss, threads_of,
+                    "duplicate same-value writes")
+
+            # --- static: atomic / plain-store mix --------------------------
+            if atomic_elems.size:
+                mixed = np.intersect1d(atomic_elems, ue, assume_unique=False)
+                if mixed.size:
+                    add("atomic-mix", "race", mixed, threads_of,
+                        "element updated both atomically and with a plain store")
+
+            # --- static: cross-thread stale reads --------------------------
+            if r_elem:
+                relem = np.concatenate(r_elem)
+                rthr = np.concatenate(r_thr)
+                pairs_e, pairs_t = np.unique(
+                    np.stack([relem, rthr]), axis=1
+                )
+                idx = np.searchsorted(ue, pairs_e)
+                idx_ok = (idx < ue.shape[0]) & (ue[np.minimum(idx, ue.shape[0] - 1)] == pairs_e)
+                # Single-writer elements: stale only if read from another
+                # thread; multi-writer elements: any cross-read is stale.
+                single = np.zeros(pairs_e.shape[0], dtype=bool)
+                single[idx_ok] = thread_counts[idx[idx_ok]] == 1
+                writer = np.full(pairs_e.shape[0], -1, dtype=np.int64)
+                first_writer = tf[np.searchsorted(ef, ue)]
+                writer[idx_ok] = first_writer[idx[idx_ok]]
+                stale = idx_ok & (~single | (writer != pairs_t))
+                stale_elems = np.unique(pairs_e[stale])
+                if stale_elems.size:
+                    add("stale-read", "warning", stale_elems, threads_of,
+                        "read of an element concurrently written by another thread")
+
+            # --- behavioral: schedule fuzzing ------------------------------
+            ce, cv = _final_values(elem, val, (pos, seq))
+            for i in range(self.fuzz_schedules):
+                prio, name = self.schedule_priorities(i, n_threads, launch_index)
+                se, sv = _final_values(elem, val, (pos, seq, prio[thr]))
+                diverged = se[sv != cv]
+                if diverged.size:
+                    add(
+                        "schedule-divergence", "race", diverged, threads_of,
+                        f"committed value changes under schedule {name!r}",
+                    )
+
+        elif atomic_elems.size and r_elem:
+            relem = np.unique(np.concatenate(r_elem))
+            mixed = np.intersect1d(atomic_elems, relem)
+            if mixed.size:
+                add("stale-read", "warning", mixed, None,
+                    "plain read of an atomically updated element")

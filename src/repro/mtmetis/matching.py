@@ -85,6 +85,7 @@ def lockfree_match(
     rng: np.random.Generator | None = None,
     retry_rounds: int = 0,
     batch_maker=None,
+    resolve_conflicts: bool = True,
 ) -> tuple[np.ndarray, LockfreeMatchStats]:
     """Run the two-round lock-free matching.
 
@@ -97,6 +98,12 @@ def lockfree_match(
         in additional lock-free rounds (mt-metis style).  ``batch_maker``
         must then be provided: a callable ``(vertices) -> iterable of
         batches`` producing the retry schedule.
+    resolve_conflicts:
+        ``False`` skips round 2 entirely, leaving non-reciprocated claims
+        (``match[match[v]] != v``) in the output — an **intentionally
+        broken** mode that exists only as the sanitizer's mutation
+        self-check: the resulting asymmetric writes must be flagged as a
+        data race.  Never disable this in production paths.
     """
     rng = rng or np.random.default_rng(0)
     n = graph.num_vertices
@@ -133,6 +140,18 @@ def lockfree_match(
         bad = claimed[match[match[claimed]] != claimed]
         match[bad] = -1
         return bad
+
+    if not resolve_conflicts:
+        # Mutation mode: count (but keep) the asymmetric claims round 2
+        # would have repaired, then self-match only the never-claimed.
+        claimed = np.where(match >= 0)[0]
+        stats.conflicts += int((match[match[claimed]] != claimed).sum())
+        left = match < 0
+        match[left] = np.where(left)[0]
+        stats.self_matches = int(left.sum())
+        ids = np.arange(n, dtype=np.int64)
+        stats.pairs = int(((match != ids) & (ids < match)).sum())
+        return match, stats
 
     conflicted = resolve()
     stats.conflicts += int(conflicted.shape[0])

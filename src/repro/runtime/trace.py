@@ -51,10 +51,17 @@ class Trace:
     levels: list[LevelRecord] = field(default_factory=list)
     refinements: list[RefinementRecord] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    #: Per-launch :class:`repro.gpusim.sanitizer.LaunchRaceReport` entries,
+    #: populated when the run executed with the sanitizer enabled.
+    race_reports: list = field(default_factory=list)
 
     @property
     def num_levels(self) -> int:
         return len(self.levels)
+
+    @property
+    def races_detected(self) -> int:
+        return sum(r.num_races for r in self.race_reports)
 
     @property
     def total_conflicts(self) -> int:
@@ -98,6 +105,19 @@ class Trace:
                     f"  L{r.level:<2d} cut {r.cut_before:>8d} -> "
                     f"{r.cut_after:>8d} {arrow} [{r.engine}]"
                 )
+        if self.race_reports:
+            races = self.races_detected
+            warnings = sum(r.num_warnings for r in self.race_reports)
+            kernels = {r.kernel for r in self.race_reports}
+            lines.append(
+                f"sanitizer: {len(self.race_reports)} launches over "
+                f"{len(kernels)} kernels, {races} race(s), "
+                f"{warnings} stale-read warning(s)"
+            )
+            for r in self.race_reports:
+                if not r.race_free:
+                    for sub in r.render().splitlines():
+                        lines.append(f"  {sub}")
         for n in self.notes:
             lines.append(f"  note: {n}")
         return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""Schedule-fuzzing suites for the race sanitizer.
+
+The short smoke test always runs; the ``fuzz``-marked sweeps replay the
+pipeline under many more adversarial schedules and seeds (``pytest -m
+fuzz`` / ``make fuzz``) and are excluded from tier-1 by pyproject's
+addopts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpmetis import GPMetis, GPMetisOptions
+from repro.gpmetis.kernels.matching import gpu_match
+from repro.gpusim import Device, transfer_graph_to_device
+from repro.graphs.generators import delaunay, random_geometric, star_graph
+from repro.runtime.clock import SimClock
+from repro.runtime.machine import PAPER_MACHINE
+
+
+def match_under_sanitizer(graph, schedules, seed, resolve=True, n_threads=64):
+    dev = Device(PAPER_MACHINE.gpu, SimClock())
+    san = dev.enable_sanitizer(fuzz_schedules=schedules, seed=seed)
+    d_csr = transfer_graph_to_device(dev, graph, PAPER_MACHINE.interconnect)
+    gpu_match(dev, d_csr, graph, n_threads, "hem",
+              np.random.default_rng(seed), resolve_conflicts=resolve)
+    return san
+
+
+def test_smoke_three_schedules_clean_and_mutated():
+    """Fast always-on check of the fuzzer in both directions."""
+    g = delaunay(300, seed=0)
+    assert match_under_sanitizer(g, 3, seed=0).race_free
+    assert match_under_sanitizer(star_graph(32), 3, seed=0,
+                                 resolve=False).num_races >= 1
+
+
+@pytest.mark.fuzz
+@pytest.mark.parametrize("seed", range(6))
+def test_matching_invariant_under_many_schedules(seed):
+    """Resolved two-round matching survives 10 adversarial schedules."""
+    g = random_geometric(1500, seed=seed)
+    san = match_under_sanitizer(g, 10, seed=seed)
+    assert san.race_free, san.render()
+    for rep in san.reports:
+        assert rep.schedules_checked == 10
+
+
+@pytest.mark.fuzz
+@pytest.mark.parametrize("seed", range(4))
+def test_mutation_caught_under_every_seed(seed):
+    """The planted race never escapes, whatever the fuzzer seed."""
+    san = match_under_sanitizer(star_graph(128), 10, seed=seed, resolve=False)
+    assert san.num_races >= 1
+
+
+@pytest.mark.fuzz
+@pytest.mark.parametrize("schedules", [5, 8])
+def test_full_pipeline_schedule_sweep(schedules):
+    """The whole GP-metis pipeline stays race-free as schedules grow."""
+    g = delaunay(9000, seed=7)
+    opts = GPMetisOptions(
+        gpu_threshold_min=2048, sanitize=True, fuzz_schedules=schedules, seed=7
+    )
+    res = GPMetis(opts).partition(g, 8)
+    san = res.extras["sanitizer"]
+    assert san.race_free, san.render()
+    assert res.extras["gpu_levels"] >= 1

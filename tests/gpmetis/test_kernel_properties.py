@@ -1,0 +1,119 @@
+"""Invariant properties of the GPU kernels on seeded random CSR graphs.
+
+Complements the hypothesis oracle-equality suite
+(:mod:`tests.gpmetis.test_gpu_properties`) with the structural
+conservation laws the paper's pipeline relies on: matching validity,
+cmap surjectivity/contiguity, vertex/edge-weight conservation through
+contraction (accounting the collapsed self-loop mass), and the
+refinement balance tolerance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpmetis.kernels import (
+    gpu_build_cmap,
+    gpu_contract,
+    gpu_match,
+    gpu_refine_level,
+)
+from repro.gpusim import Device, transfer_graph_to_device
+from repro.graphs import from_edges, imbalance
+from repro.graphs.generators import delaunay
+from repro.runtime.clock import SimClock
+from repro.runtime.machine import PAPER_MACHINE
+from repro.serial.matching import match_is_valid
+
+SEEDS = [0, 1, 2, 17, 101]
+
+
+def random_csr(seed, n_lo=8, n_hi=120):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(n_lo, n_hi))
+    m = int(rng.integers(n, 4 * n))
+    edges = rng.integers(0, n, size=(m, 2))
+    weights = rng.integers(1, 10, size=m)
+    g = from_edges(n, edges, weights, name=f"rand{seed}")
+    # Give some graphs non-uniform vertex weights too.
+    if seed % 2:
+        g.vwgt[:] = rng.integers(1, 5, size=n)
+    return g
+
+
+def run_coarsen(graph, seed, n_threads=64):
+    dev = Device(PAPER_MACHINE.gpu, SimClock())
+    d_csr = transfer_graph_to_device(dev, graph, PAPER_MACHINE.interconnect)
+    d_match, _ = gpu_match(
+        dev, d_csr, graph, n_threads, "hem", np.random.default_rng(seed)
+    )
+    d_cmap, n_coarse = gpu_build_cmap(dev, d_match, n_threads)
+    out = gpu_contract(
+        dev, d_csr, graph, d_match, d_cmap, n_coarse, n_threads
+    )
+    return d_match.data, d_cmap.data, n_coarse, out.coarse
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestCoarseningInvariants:
+    def test_matching_is_valid(self, seed):
+        g = random_csr(seed)
+        match, _, _, _ = run_coarsen(g, seed)
+        assert match_is_valid(g, match)
+        # Involution: pairs are mutual, everything is matched.
+        assert np.array_equal(match[match], np.arange(g.num_vertices))
+
+    def test_cmap_is_surjective_contiguous(self, seed):
+        g = random_csr(seed)
+        match, cmap, n_coarse, _ = run_coarsen(g, seed)
+        # Labels cover exactly [0, n_coarse) with no gaps.
+        assert np.array_equal(np.unique(cmap), np.arange(n_coarse))
+        # Pairs share a label; representatives own ascending labels.
+        assert np.array_equal(cmap, cmap[match])
+        ids = np.arange(g.num_vertices)
+        reps = ids[ids <= match]
+        assert np.array_equal(cmap[reps], np.arange(n_coarse))
+
+    def test_contraction_conserves_vertex_weight(self, seed):
+        g = random_csr(seed)
+        match, cmap, _, coarse = run_coarsen(g, seed)
+        assert coarse.total_vertex_weight == g.total_vertex_weight
+        # Per coarse vertex: exactly the weight of its collapsed pair.
+        expect = np.bincount(cmap, weights=g.vwgt, minlength=coarse.num_vertices)
+        assert np.array_equal(coarse.vwgt, expect.astype(np.int64))
+
+    def test_contraction_conserves_edge_weight_plus_self_loops(self, seed):
+        g = random_csr(seed)
+        match, cmap, _, coarse = run_coarsen(g, seed)
+        # Arcs whose endpoints collapse together become self-loop mass and
+        # are dropped; everything else must survive with summed weights.
+        src = g.source_array()
+        intra = cmap[src] == cmap[g.adjncy]
+        dropped = int(g.adjwgt[intra].sum()) // 2
+        assert coarse.total_edge_weight + dropped == g.total_edge_weight
+        # The coarse graph itself stores no self-loops.
+        csrc = coarse.source_array()
+        assert not np.any(csrc == coarse.adjncy)
+
+    def test_coarse_graph_is_valid_and_smaller(self, seed):
+        g = random_csr(seed)
+        match, _, n_coarse, coarse = run_coarsen(g, seed)
+        coarse.validate()
+        assert coarse.num_vertices == n_coarse <= g.num_vertices
+
+
+@pytest.mark.parametrize("seed", [3, 11])
+@pytest.mark.parametrize("k", [2, 5])
+def test_refinement_respects_balance_tolerance(seed, k):
+    """From a balanced start, refinement must never exceed 1.03."""
+    g = delaunay(600, seed=seed)
+    n = g.num_vertices
+    part = (np.arange(n, dtype=np.int64) * k) // n  # balanced blocks
+    dev = Device(PAPER_MACHINE.gpu, SimClock())
+    d_csr = transfer_graph_to_device(dev, g, PAPER_MACHINE.interconnect)
+    d_part = dev.adopt(part.copy(), label="part")
+    from repro.graphs import edge_cut
+
+    cut0 = edge_cut(g, part)
+    gpu_refine_level(dev, d_csr, g, d_part, k, 1.03, 4, n_threads=128)
+    assert imbalance(g, d_part.data, k) <= 1.03 + 1e-9
+    assert edge_cut(g, d_part.data) <= cut0  # refinement never worsens

@@ -1,0 +1,217 @@
+"""Unit tests for the data-race sanitizer (access-level checking)."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import Device, LaunchRaceReport, RaceSanitizer
+from repro.gpusim.atomics import atomic_append
+from repro.runtime.machine import PAPER_MACHINE
+
+
+@pytest.fixture
+def dev(clock):
+    return Device(PAPER_MACHINE.gpu, clock)
+
+
+@pytest.fixture
+def sdev(clock):
+    d = Device(PAPER_MACHINE.gpu, clock)
+    d.enable_sanitizer(fuzz_schedules=3, seed=7)
+    return d
+
+
+class TestOffMode:
+    def test_sanitizer_off_by_default(self, dev):
+        assert dev.sanitizer is None
+        a = dev.alloc(8)
+        with dev.kernel("k", n_threads=4) as k:
+            k.scatter(a, np.array([0, 0]), np.array([1, 2]))
+        # No recording, no reports, result unchanged.
+        assert a.data[0] == 2
+
+    def test_enable_returns_sanitizer(self, dev):
+        san = dev.enable_sanitizer(fuzz_schedules=2, seed=3)
+        assert isinstance(san, RaceSanitizer)
+        assert dev.sanitizer is san
+        assert san.fuzz_schedules == 2
+        assert san.warp_size == PAPER_MACHINE.gpu.warp_size
+
+    def test_bad_schedule_count_rejected(self):
+        with pytest.raises(ValueError):
+            RaceSanitizer(fuzz_schedules=0)
+
+
+class TestCleanLaunches:
+    def test_exclusive_scatter_is_clean(self, sdev):
+        a = sdev.alloc(16)
+        with sdev.kernel("k", n_threads=8) as k:
+            idx = np.arange(16, dtype=np.int64)
+            k.scatter(a, idx, idx * 10)
+        (rep,) = sdev.sanitizer.reports
+        assert isinstance(rep, LaunchRaceReport)
+        assert rep.race_free
+        assert rep.num_races == 0
+        assert rep.counts == {}
+        assert rep.accesses_checked == 16
+
+    def test_stream_rw_distinct_arrays_clean(self, sdev):
+        a = sdev.alloc(32)
+        b = sdev.alloc(32)
+        with sdev.kernel("k", n_threads=32) as k:
+            vals = k.stream_read(a)
+            k.stream_write(b, vals + 1)
+        assert sdev.sanitizer.race_free
+
+    def test_same_thread_overwrite_not_a_race(self, sdev):
+        # One thread writing an element twice is program order, not a race.
+        a = sdev.alloc(4)
+        with sdev.kernel("k", n_threads=4) as k:
+            k.scatter(a, np.array([2]), np.array([5]), threads=np.array([1]))
+            k.scatter(a, np.array([2]), np.array([9]), threads=np.array([1]))
+        (rep,) = sdev.sanitizer.reports
+        assert rep.race_free
+        assert a.data[2] == 9
+
+
+class TestRaceDetection:
+    def test_write_write_race(self, sdev):
+        a = sdev.alloc(8)
+        with sdev.kernel("k", n_threads=4) as k:
+            # Threads 0 and 1 commit different values to element 3.
+            k.scatter(a, np.array([3, 3]), np.array([10, 20]),
+                      threads=np.array([0, 1]))
+        (rep,) = sdev.sanitizer.reports
+        assert not rep.race_free
+        assert rep.counts.get("write-write", 0) >= 1
+        kinds = {f.kind for f in rep.findings}
+        assert "write-write" in kinds
+        f = next(f for f in rep.findings if f.kind == "write-write")
+        assert f.element == 3
+        assert f.severity == "race"
+        assert "[3]" in f.render()
+
+    def test_schedule_divergence_flagged(self, sdev):
+        a = sdev.alloc(8)
+        with sdev.kernel("k", n_threads=4) as k:
+            k.scatter(a, np.array([5, 5]), np.array([1, 2]),
+                      threads=np.array([0, 3]))
+        (rep,) = sdev.sanitizer.reports
+        # Reverse-thread replay flips the winner: behavioral divergence.
+        assert rep.counts.get("schedule-divergence", 0) >= 1
+
+    def test_silent_store_benign(self, sdev):
+        a = sdev.alloc(8)
+        with sdev.kernel("k", n_threads=4) as k:
+            # Two threads write the SAME value — redundant, not a race.
+            k.scatter(a, np.array([3, 3]), np.array([7, 7]),
+                      threads=np.array([0, 1]))
+        (rep,) = sdev.sanitizer.reports
+        assert rep.race_free
+        assert rep.counts.get("silent-store", 0) == 1
+        assert rep.num_benign == 1
+
+    def test_stale_read_is_warning_not_race(self, sdev):
+        a = sdev.alloc(8)
+        with sdev.kernel("k", n_threads=4) as k:
+            # Thread 2 reads element 1 while thread 0 writes it.
+            k.gather(a, np.array([1]), threads=np.array([2]))
+            k.scatter(a, np.array([1]), np.array([9]), threads=np.array([0]))
+        (rep,) = sdev.sanitizer.reports
+        assert rep.race_free
+        assert rep.counts.get("stale-read", 0) == 1
+        assert rep.num_warnings == 1
+
+    def test_own_write_read_back_not_stale(self, sdev):
+        a = sdev.alloc(8)
+        with sdev.kernel("k", n_threads=4) as k:
+            k.gather(a, np.array([1]), threads=np.array([0]))
+            k.scatter(a, np.array([1]), np.array([9]), threads=np.array([0]))
+        (rep,) = sdev.sanitizer.reports
+        assert rep.counts.get("stale-read", 0) == 0
+
+
+class TestAtomics:
+    def test_atomic_counters_are_race_free(self, sdev):
+        counters = sdev.alloc(4)
+        targets = np.array([0, 0, 1, 2, 2, 2], dtype=np.int64)
+        with sdev.kernel("k", n_threads=8) as k:
+            atomic_append(k, targets, 4, d_counters=counters)
+        (rep,) = sdev.sanitizer.reports
+        assert rep.race_free
+        assert counters.data.tolist() == [2, 1, 3, 0]
+
+    def test_atomic_plus_plain_store_is_race(self, sdev):
+        counters = sdev.alloc(4)
+        with sdev.kernel("k", n_threads=8) as k:
+            k.atomic(2, distinct_targets=1, darr=counters,
+                     targets=np.array([1, 1]))
+            k.scatter(counters, np.array([1]), np.array([0]),
+                      threads=np.array([3]))
+        (rep,) = sdev.sanitizer.reports
+        assert not rep.race_free
+        assert rep.counts.get("atomic-mix", 0) == 1
+
+
+class TestSchedules:
+    def test_schedule_zero_is_reverse(self):
+        san = RaceSanitizer(seed=0)
+        prio, name = san.schedule_priorities(0, 8, launch_index=0)
+        assert name == "reverse"
+        assert prio.tolist() == [7, 6, 5, 4, 3, 2, 1, 0]
+
+    def test_warp_shuffle_preserves_intra_warp_order(self):
+        san = RaceSanitizer(seed=1, warp_size=4)
+        prio, name = san.schedule_priorities(1, 16, launch_index=2)
+        assert name == "warp-shuffle"
+        # Within each warp of 4, priorities stay consecutive ascending.
+        for w in range(4):
+            chunk = prio[4 * w: 4 * w + 4]
+            assert np.all(np.diff(chunk) == 1)
+        assert sorted(prio.tolist()) == list(range(16))
+
+    def test_random_schedules_are_seeded_permutations(self):
+        san = RaceSanitizer(seed=5)
+        p1, n1 = san.schedule_priorities(2, 32, launch_index=1)
+        p2, _ = san.schedule_priorities(2, 32, launch_index=1)
+        p3, _ = san.schedule_priorities(2, 32, launch_index=9)
+        assert n1.startswith("random")
+        assert np.array_equal(p1, p2)  # deterministic per (seed, launch, idx)
+        assert not np.array_equal(p1, p3)  # varies with the launch
+        assert sorted(p1.tolist()) == list(range(32))
+
+
+class TestReporting:
+    def test_summary_and_render(self, sdev):
+        a = sdev.alloc(8)
+        with sdev.kernel("kern.x", n_threads=4) as k:
+            k.scatter(a, np.array([0, 0]), np.array([1, 2]),
+                      threads=np.array([0, 1]))
+        san = sdev.sanitizer
+        assert san.num_races >= 1
+        assert not san.race_free
+        assert san.kernels_checked() == {"kern.x"}
+        assert "race(s)" in san.summary()
+        assert "kern.x" in san.render()
+
+    def test_findings_truncated_but_counts_full(self, clock):
+        d = Device(PAPER_MACHINE.gpu, clock)
+        san = d.enable_sanitizer(fuzz_schedules=1, max_findings_per_launch=4)
+        a = d.alloc(64)
+        idx = np.arange(32, dtype=np.int64)
+        with d.kernel("k", n_threads=64) as k:
+            # 32 distinct write-write conflicts on elements 0..31.
+            k.scatter(a, np.concatenate([idx, idx]),
+                      np.concatenate([idx, idx + 100]),
+                      threads=np.concatenate([idx, idx + 32]))
+        (rep,) = san.reports
+        assert rep.counts["write-write"] == 32
+        assert len(rep.findings) == 4
+        assert "more finding(s)" in rep.render()
+
+    def test_reset_clears_reports(self, sdev):
+        a = sdev.alloc(4)
+        with sdev.kernel("k", n_threads=2) as k:
+            k.stream_write(a, np.zeros(4, dtype=np.int64))
+        assert sdev.sanitizer.reports
+        sdev.sanitizer.reset()
+        assert not sdev.sanitizer.reports

@@ -1,0 +1,119 @@
+"""Unit tests for the structured execution trace records."""
+
+import numpy as np
+
+from repro.gpusim.sanitizer import LaunchRaceReport, RaceFinding
+from repro.runtime.trace import LevelRecord, RefinementRecord, Trace
+
+
+class TestLevelRecord:
+    def test_defaults(self):
+        r = LevelRecord(level=2, num_vertices=50, num_edges=120)
+        assert r.matched_pairs == 0
+        assert r.conflicts == 0
+        assert r.self_matches == 0
+        assert r.engine == "cpu"
+
+    def test_conflict_rate(self):
+        r = LevelRecord(0, 100, 200, matched_pairs=30, conflicts=10)
+        assert r.conflict_rate == 10 / 40
+        assert LevelRecord(0, 100, 200).conflict_rate == 0.0
+
+
+class TestRefinementRecord:
+    def test_fields(self):
+        r = RefinementRecord(
+            level=1, pass_index=0, moves_proposed=12, moves_committed=7,
+            cut_before=90, cut_after=80, engine="gpu",
+        )
+        assert r.moves_committed <= r.moves_proposed
+        assert r.cut_after < r.cut_before
+
+
+def make_trace():
+    t = Trace()
+    t.levels.append(LevelRecord(0, 1000, 3000, matched_pairs=400,
+                                conflicts=50, engine="gpu"))
+    t.levels.append(LevelRecord(1, 550, 1500, matched_pairs=200,
+                                conflicts=20, engine="gpu"))
+    t.levels.append(LevelRecord(2, 300, 700, matched_pairs=120,
+                                conflicts=4, engine="cpu-threads"))
+    t.refinements.append(RefinementRecord(1, 0, 40, 25, 500, 430, engine="gpu"))
+    t.refinements.append(RefinementRecord(0, 0, 80, 60, 430, 380, engine="gpu"))
+    return t
+
+
+class TestTraceAggregation:
+    def test_num_levels_and_conflicts(self):
+        t = make_trace()
+        assert t.num_levels == 3
+        assert t.total_conflicts == 74
+        assert t.coarsest_size == 300
+        assert Trace().coarsest_size == 0
+
+    def test_levels_on_engine(self):
+        t = make_trace()
+        assert len(t.levels_on("gpu")) == 2
+        assert len(t.levels_on("cpu-threads")) == 1
+        assert t.levels_on("mpi") == []
+
+    def test_notes(self):
+        t = Trace()
+        t.note("fell back")
+        assert t.notes == ["fell back"]
+        assert "note: fell back" in t.render()
+
+    def test_render_funnel_and_refinement(self):
+        out = make_trace().render()
+        assert "coarsening funnel:" in out
+        assert "|V|=    1000" in out
+        assert "[gpu]" in out and "[cpu-threads]" in out
+        assert "refinement:" in out
+        assert "500 ->      430 v" in out
+
+    def test_render_empty_trace(self):
+        assert Trace().render() == ""
+
+
+class TestTraceRaceReports:
+    def clean_report(self):
+        return LaunchRaceReport(kernel="coarsen.match", launch_index=0,
+                               n_threads=64, schedules_checked=3)
+
+    def racy_report(self):
+        rep = LaunchRaceReport(kernel="coarsen.match", launch_index=1,
+                              n_threads=64, schedules_checked=3)
+        rep.counts = {"write-write": 2}
+        rep.findings = [RaceFinding(
+            kind="write-write", severity="race", array_label="match",
+            element=5, threads=(0, 3),
+        )]
+        return rep
+
+    def test_default_no_reports(self):
+        t = Trace()
+        assert t.race_reports == []
+        assert t.races_detected == 0
+        assert "sanitizer" not in t.render()
+
+    def test_races_detected_sums_reports(self):
+        t = Trace()
+        t.race_reports = [self.clean_report(), self.racy_report()]
+        assert t.races_detected == 2
+
+    def test_render_includes_sanitizer_section(self):
+        t = make_trace()
+        t.race_reports = [self.clean_report(), self.racy_report()]
+        out = t.render()
+        assert "sanitizer: 2 launches" in out
+        assert "2 race(s)" in out
+        # Only the racy launch is expanded.
+        assert "match[5]" in out
+        assert out.count("launch") >= 1
+
+    def test_clean_reports_render_one_line(self):
+        t = Trace()
+        t.race_reports = [self.clean_report()]
+        out = t.render()
+        assert "0 race(s)" in out
+        assert "match[" not in out

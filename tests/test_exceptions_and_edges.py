@@ -99,6 +99,41 @@ class TestDegenerateInputs:
         # A path's optimal 16-cut is 15; any sane result is close.
         assert res.quality(g).cut <= 30
 
+    @pytest.mark.parametrize("method", repro.available_methods())
+    def test_empty_graph(self, method):
+        """Zero vertices: an empty label array, not a crash."""
+        g = from_edges(0, [])
+        res = partition(g, 1, method=method)
+        assert res.part.shape == (0,)
+        assert res.part.dtype == np.int64
+
+    @pytest.mark.parametrize("method", repro.available_methods())
+    def test_k_equals_one(self, method):
+        """k=1 is trivially everything-in-partition-0 for every method."""
+        g = generators.cycle_graph(10)
+        res = partition(g, 1, method=method)
+        assert res.part.tolist() == [0] * 10
+        assert res.quality(g).cut == 0
+
+    @pytest.mark.parametrize("method", repro.available_methods())
+    def test_k_exceeds_n(self, method):
+        """More parts than vertices: labels stay valid (< k), every vertex
+        gets one, and no method crashes on the inevitable empty parts."""
+        g = from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        res = partition(g, 9, method=method)
+        assert res.part.shape == (5,)
+        assert res.part.min() >= 0 and res.part.max() < 9
+        # n distinct singleton parts is the best any method can do.
+        assert len(set(res.part.tolist())) == 5
+
+    def test_sanitize_mode_on_degenerate_inputs(self):
+        """The sanitizer must cope with launches that record no accesses."""
+        g = from_edges(2, [(0, 1)])
+        res = partition(g, 2, method="gp-metis", sanitize=True)
+        assert sorted(res.part.tolist()) == [0, 1]
+        san = res.extras["sanitizer"]
+        assert san is not None and san.race_free
+
 
 class TestVersionAndMetadata:
     def test_version_string(self):
