@@ -1,12 +1,12 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check tier1 sanitize-smoke fuzz test
+.PHONY: check tier1 sanitize-smoke profile-smoke baseline fuzz bench test
 
-# The gate: tier-1 suite + the sanitizer self-check.
-check: tier1 sanitize-smoke
+# The gate: tier-1 suite + the sanitizer and observability self-checks.
+check: tier1 sanitize-smoke profile-smoke
 
-# Tier-1: the fast suite (fuzz-marked sweeps excluded via pyproject).
+# Tier-1: the fast suite (fuzz/bench-marked tests excluded via pyproject).
 tier1:
 	$(PYTHON) -m pytest -x -q
 
@@ -14,8 +14,22 @@ tier1:
 sanitize-smoke:
 	$(PYTHON) -m repro sanitize
 
+# Observability self-check: profile a tiny graph, export both formats,
+# schema-validate the JSON, require the per-engine metric set.
+profile-smoke:
+	$(PYTHON) benchmarks/profile_smoke.py
+
+# Perf gate: diff the profiled workload against benchmarks/BENCH_profile.json
+# (seeds the baseline on first run; --update after intentional perf changes).
+baseline:
+	$(PYTHON) benchmarks/baseline.py
+
 # Long adversarial-schedule sweeps (not part of tier-1).
 fuzz:
 	$(PYTHON) -m pytest -q -m fuzz
+
+# Slow end-to-end benchmark tests (bench-marked, not part of tier-1).
+bench:
+	$(PYTHON) -m pytest -q -m bench
 
 test: check

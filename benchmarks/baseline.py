@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Perf-baseline harness: snapshot the profiled workload, diff vs the
+committed baseline.
+
+Workflow (see docs/OBSERVABILITY.md):
+
+* first run (no ``BENCH_profile.json`` yet) — seeds the baseline file
+  and exits 0;
+* subsequent runs — re-collect the snapshot and diff it against the
+  committed baseline; any phase (or the total, or the edge cut) that
+  regressed beyond ``--tolerance`` prints a REGRESSED row and the
+  process exits 1;
+* after an *intentional* perf change — rerun with ``--update`` to
+  rewrite the baseline, and commit the new file with the PR that caused
+  the movement.
+
+Modeled seconds are deterministic, so a diff is always a real change in
+charged work, never timer noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.bench.baseline import (  # noqa: E402
+    BaselineConfig,
+    collect_snapshot,
+    diff_snapshots,
+    load_snapshot,
+    render_diff,
+    write_snapshot,
+)
+
+DEFAULT_BASELINE = pathlib.Path(__file__).resolve().parent / "BENCH_profile.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline", default=str(DEFAULT_BASELINE),
+        help="baseline snapshot path (default: benchmarks/BENCH_profile.json)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.10,
+        help="relative slowdown allowed per phase before failing (default 0.10)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the baseline with the current snapshot and exit 0",
+    )
+    parser.add_argument("-n", type=int, default=6000, help="workload graph size")
+    parser.add_argument("-k", type=int, default=16, help="partition count")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    config = BaselineConfig(n=args.n, k=args.k, seed=args.seed)
+    print(
+        f"collecting snapshot: {config.family} n={config.n} k={config.k} "
+        f"seed={config.seed} methods={', '.join(config.methods)}"
+    )
+    current = collect_snapshot(config)
+
+    path = pathlib.Path(args.baseline)
+    if args.update or not path.exists():
+        write_snapshot(current, path)
+        print(f"wrote baseline {path}")
+        return 0
+
+    baseline = load_snapshot(path)
+    if baseline.get("config") != current.get("config"):
+        print(
+            f"note: baseline config {baseline.get('config')} differs from "
+            f"current {current.get('config')}; diffing shared methods only"
+        )
+    print(render_diff(baseline, current, args.tolerance))
+    regressions = diff_snapshots(baseline, current, args.tolerance)
+    if regressions:
+        print(
+            f"FAIL: {len(regressions)} regression(s) beyond "
+            f"{args.tolerance:.0%} tolerance"
+        )
+        return 1
+    print(f"PASS: no phase regressed beyond {args.tolerance:.0%} tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Smoke test of the observability layer (``make profile-smoke``).
+
+Partitions a tiny generated graph with GP-metis under the profiler,
+writes both exporters to a temp directory, schema-validates the JSON,
+and checks the structural acceptance bar: a span tree at least three
+deep (run -> phase -> kernel) and the standard per-engine metrics for
+both the GPU and the CPU (mt-metis) stages.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import tempfile
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+import repro  # noqa: E402
+from repro.obs import (  # noqa: E402
+    validate_chrome_trace,
+    validate_metrics,
+    write_chrome_trace,
+    write_metrics_json,
+)
+
+REQUIRED_METRICS = (
+    ("gauges", "matching.conflict_rate{engine=gpu}"),
+    ("gauges", "matching.conflict_rate{engine=cpu-threads}"),
+    ("gauges", "refine.commit_ratio{engine=gpu}"),
+    ("gauges", "refine.commit_ratio{engine=cpu-threads}"),
+    ("gauges", "kernel.coalescing_efficiency"),
+    ("counters", "transfer.h2d_bytes"),
+    ("counters", "transfer.d2h_bytes"),
+)
+
+
+def main() -> int:
+    graph = repro.graphs.generators.delaunay(6000, seed=7)
+    result = repro.partition(
+        graph, 16, method="gp-metis", seed=7, gpu_threshold_min=2048
+    )
+    profiler = result.profiler
+    ok = True
+
+    depth = profiler.root.max_depth
+    kernels = len(profiler.root.find_category("kernel"))
+    print(f"span tree: depth={depth}, {kernels} kernel spans")
+    if depth < 3 or kernels == 0:
+        print("FAIL span tree shallower than run -> phase -> kernel")
+        ok = False
+
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = pathlib.Path(tmp) / "run.json"
+        metrics_path = pathlib.Path(tmp) / "metrics.json"
+        write_chrome_trace(profiler, trace_path)
+        write_metrics_json(profiler, metrics_path)
+        trace_doc = json.loads(trace_path.read_text())
+        metrics_doc = json.loads(metrics_path.read_text())
+
+    try:
+        validate_chrome_trace(trace_doc)
+        print(f"chrome trace ok: {len(trace_doc['traceEvents'])} events")
+    except ValueError as exc:
+        print(f"FAIL chrome trace schema: {exc}")
+        ok = False
+    try:
+        validate_metrics(metrics_doc)
+        print("metrics schema ok")
+    except ValueError as exc:
+        print(f"FAIL metrics schema: {exc}")
+        ok = False
+
+    for kind, key in REQUIRED_METRICS:
+        if key not in metrics_doc["metrics"][kind]:
+            print(f"FAIL missing metric {key} ({kind})")
+            ok = False
+    if ok:
+        print(f"all {len(REQUIRED_METRICS)} required metrics present")
+
+    print("profile smoke:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,6 +27,7 @@ from . import (
     graphs,
     jostle,
     mtmetis,
+    obs,
     parmetis,
     ptscotch,
     runtime,
@@ -83,6 +84,7 @@ __all__ = [
     "graphs",
     "serial",
     "runtime",
+    "obs",
     "gpusim",
     "mtmetis",
     "parmetis",

@@ -1,0 +1,220 @@
+"""Perf-baseline snapshots and regression diffing.
+
+The harness partitions a fixed, deterministic workload under the span
+profiler, collapses each run into a flat snapshot (per-phase modeled
+seconds plus the standard metric set), and compares snapshots with a
+relative tolerance.  ``benchmarks/baseline.py`` drives it; the committed
+``benchmarks/BENCH_profile.json`` is the reference every later perf PR
+is measured against — a phase that slows beyond tolerance fails the run,
+so perf claims carry their own evidence.
+
+Everything here is driven by *modeled* seconds, which are deterministic
+for a fixed (graph, seed, options) triple: a diff is a real change in
+charged work, never measurement noise.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..api import partition
+from ..graphs import generators
+from ..obs.export import metrics_json
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "BaselineConfig",
+    "Regression",
+    "collect_snapshot",
+    "diff_snapshots",
+    "render_diff",
+    "load_snapshot",
+    "write_snapshot",
+]
+
+BASELINE_SCHEMA = "repro.obs.baseline/1"
+
+#: Metrics copied from the registry into the snapshot (scalars only).
+SNAPSHOT_METRICS = (
+    "matching.conflict_rate{engine=gpu}",
+    "matching.conflict_rate{engine=cpu-threads}",
+    "refine.commit_ratio{engine=gpu}",
+    "refine.commit_ratio{engine=cpu-threads}",
+    "kernel.coalescing_efficiency",
+    "kernel.launches",
+    "transfer.h2d_bytes",
+    "transfer.d2h_bytes",
+    "memory.peak_bytes",
+)
+
+
+@dataclass(frozen=True)
+class BaselineConfig:
+    """The fixed workload the baseline tracks."""
+
+    family: str = "delaunay"
+    n: int = 6000
+    k: int = 16
+    seed: int = 7
+    methods: tuple[str, ...] = ("gp-metis", "mt-metis")
+    #: Method-specific option overrides applied on top of the defaults.
+    options: dict = field(
+        default_factory=lambda: {"gp-metis": {"gpu_threshold_min": 2048}}
+    )
+
+    def make_graph(self):
+        maker = getattr(generators, self.family)
+        return maker(self.n, seed=self.seed)
+
+
+def collect_snapshot(config: BaselineConfig | None = None) -> dict:
+    """Run the workload and flatten every method's profile into one doc."""
+    config = config or BaselineConfig()
+    graph = config.make_graph()
+    runs: dict[str, dict] = {}
+    for method in config.methods:
+        opts = dict(config.options.get(method, {}))
+        result = partition(graph, config.k, method=method, seed=config.seed, **opts)
+        profiler = result.profiler
+        if profiler is None:
+            raise RuntimeError(f"method {method!r} did not attach a profiler")
+        doc = metrics_json(profiler)
+        quality = result.quality(graph)
+        flat_metrics = {
+            key: doc["metrics"]["counters"].get(key, doc["metrics"]["gauges"].get(key))
+            for key in SNAPSHOT_METRICS
+        }
+        runs[method] = {
+            "modeled_seconds": result.modeled_seconds,
+            "phases": {
+                name: entry["seconds"] for name, entry in doc["phases"].items()
+            },
+            "cut": int(quality.cut),
+            "imbalance": float(quality.imbalance),
+            "metrics": {k: v for k, v in flat_metrics.items() if v is not None},
+        }
+    return {
+        "schema": BASELINE_SCHEMA,
+        "config": {
+            "family": config.family,
+            "n": config.n,
+            "k": config.k,
+            "seed": config.seed,
+            "methods": list(config.methods),
+        },
+        "runs": runs,
+    }
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One quantity that moved past tolerance against the baseline."""
+
+    method: str
+    quantity: str  # "phase:<name>", "total", or "cut"
+    baseline: float
+    current: float
+
+    @property
+    def ratio(self) -> float:
+        return self.current / self.baseline if self.baseline else float("inf")
+
+
+def diff_snapshots(
+    baseline: dict,
+    current: dict,
+    tolerance: float = 0.10,
+    min_seconds: float = 1e-6,
+) -> list[Regression]:
+    """Quantities in ``current`` that regressed beyond ``tolerance``.
+
+    A phase regresses when its modeled seconds exceed the baseline by
+    more than ``tolerance`` (relative) *and* ``min_seconds`` (absolute —
+    sub-microsecond phases cannot fail the build).  The total and the
+    edge cut are checked the same way.  New phases/methods with no
+    baseline counterpart are skipped: they fail nothing until committed.
+    """
+    regressions: list[Regression] = []
+    for method, base_run in baseline.get("runs", {}).items():
+        cur_run = current.get("runs", {}).get(method)
+        if cur_run is None:
+            continue
+
+        def check(quantity: str, base_value, cur_value, floor: float) -> None:
+            if base_value is None or cur_value is None:
+                return
+            if cur_value > base_value * (1.0 + tolerance) and (
+                cur_value - base_value
+            ) > floor:
+                regressions.append(
+                    Regression(method, quantity, float(base_value), float(cur_value))
+                )
+
+        for phase, base_secs in base_run.get("phases", {}).items():
+            check(
+                f"phase:{phase}",
+                base_secs,
+                cur_run.get("phases", {}).get(phase),
+                min_seconds,
+            )
+        check(
+            "total",
+            base_run.get("modeled_seconds"),
+            cur_run.get("modeled_seconds"),
+            min_seconds,
+        )
+        check("cut", base_run.get("cut"), cur_run.get("cut"), 0.0)
+    return regressions
+
+
+def render_diff(baseline: dict, current: dict, tolerance: float = 0.10) -> str:
+    """Side-by-side phase table with the regression verdicts."""
+    lines: list[str] = []
+    regressed = {
+        (r.method, r.quantity)
+        for r in diff_snapshots(baseline, current, tolerance)
+    }
+    for method, base_run in sorted(baseline.get("runs", {}).items()):
+        cur_run = current.get("runs", {}).get(method)
+        if cur_run is None:
+            lines.append(f"{method}: missing from current run")
+            continue
+        lines.append(f"{method}:")
+        lines.append(
+            f"  {'quantity':<24s} {'baseline':>12s} {'current':>12s} {'ratio':>7s}"
+        )
+        rows = [
+            (f"phase:{name}", secs, cur_run.get("phases", {}).get(name))
+            for name, secs in sorted(base_run.get("phases", {}).items())
+        ]
+        rows.append(
+            ("total", base_run.get("modeled_seconds"), cur_run.get("modeled_seconds"))
+        )
+        rows.append(("cut", base_run.get("cut"), cur_run.get("cut")))
+        for quantity, base_value, cur_value in rows:
+            if base_value is None or cur_value is None:
+                continue
+            ratio = cur_value / base_value if base_value else float("inf")
+            flag = "  REGRESSED" if (method, quantity) in regressed else ""
+            lines.append(
+                f"  {quantity:<24s} {base_value:>12.6f} {cur_value:>12.6f} "
+                f"{ratio:>6.2f}x{flag}"
+            )
+    return "\n".join(lines)
+
+
+def load_snapshot(path) -> dict:
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"{path}: schema {doc.get('schema')!r} != {BASELINE_SCHEMA!r}"
+        )
+    return doc
+
+
+def write_snapshot(doc: dict, path) -> None:
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")

@@ -8,6 +8,9 @@ Commands mirror the classic ``gpmetis`` binary plus this repo's extras:
   generator family) and write it to a file;
 * ``bench`` — run the paper's evaluation grid and print the tables;
 * ``info`` — print a graph file's statistics;
+* ``profile`` — partition under the span profiler and export the run as
+  Chrome trace-event JSON (``--trace-out``, open in Perfetto) and/or a
+  flat metrics JSON (``--metrics-out``), printing the ASCII span tree;
 * ``sanitize`` — self-check of the GPU data-race sanitizer: a clean
   GP-metis pipeline must come out race-free and a deliberately broken
   matching kernel (conflict resolution disabled) must be flagged.
@@ -95,6 +98,29 @@ def build_parser() -> argparse.ArgumentParser:
     pi = sub.add_parser("info", help="print a graph file's statistics")
     pi.add_argument("graph")
 
+    pf = sub.add_parser(
+        "profile",
+        help="partition under the span profiler and export trace/metrics",
+    )
+    pf.add_argument("graph", help="input .graph/.metis/.gr/.npz file")
+    pf.add_argument("-k", type=int, default=64, help="number of partitions")
+    pf.add_argument(
+        "--method", default="gp-metis", choices=api.available_methods(),
+    )
+    pf.add_argument("--ubfactor", type=float, default=1.03)
+    pf.add_argument("--seed", type=int, default=1)
+    pf.add_argument(
+        "--trace-out", metavar="FILE",
+        help="write Chrome trace-event JSON here (open at ui.perfetto.dev)",
+    )
+    pf.add_argument(
+        "--metrics-out", metavar="FILE", help="write the flat metrics JSON here"
+    )
+    pf.add_argument(
+        "--depth", type=int, default=None,
+        help="limit the printed ASCII tree to this many levels",
+    )
+
     pa = sub.add_parser("analyze", help="structural profile + cut bounds")
     pa.add_argument("graph")
     pa.add_argument("-k", type=int, default=64,
@@ -138,6 +164,34 @@ def _cmd_partition(args) -> int:
         write_partition(result.part, args.output)
         print(f"wrote {args.output}")
     return 1 if san is not None and not san.race_free else 0
+
+
+def _cmd_profile(args) -> int:
+    from .obs import (
+        render_tree,
+        validate_chrome_trace,
+        validate_metrics,
+        write_chrome_trace,
+        write_metrics_json,
+    )
+
+    graph = read_graph(args.graph)
+    print(f"input: {graph}")
+    result = api.partition(
+        graph, args.k, method=args.method, ubfactor=args.ubfactor, seed=args.seed,
+    )
+    profiler = result.profiler
+    if profiler is None:
+        print(f"method {args.method!r} does not attach a profiler", file=sys.stderr)
+        return 2
+    print(render_tree(profiler, max_depth=args.depth))
+    if args.trace_out:
+        validate_chrome_trace(write_chrome_trace(profiler, args.trace_out))
+        print(f"wrote {args.trace_out} (chrome trace-event; open at ui.perfetto.dev)")
+    if args.metrics_out:
+        validate_metrics(write_metrics_json(profiler, args.metrics_out))
+        print(f"wrote {args.metrics_out}")
+    return 0
 
 
 def _cmd_generate(args) -> int:
@@ -296,6 +350,7 @@ def main(argv=None) -> int:
         "generate": _cmd_generate,
         "bench": _cmd_bench,
         "info": _cmd_info,
+        "profile": _cmd_profile,
         "analyze": _cmd_analyze,
         "sanitize": _cmd_sanitize,
     }[args.command]

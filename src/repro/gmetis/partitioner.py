@@ -19,6 +19,8 @@ import numpy as np
 from ..exceptions import InvalidParameterError
 from ..graphs.csr import CSRGraph
 from ..graphs.metrics import edge_cut, imbalance
+from ..obs.hooks import finish_run, profile_run
+from ..obs.spans import clock_span
 from ..result import PartitionResult
 from ..runtime.clock import SimClock
 from ..runtime.machine import PAPER_MACHINE, MachineSpec
@@ -127,6 +129,7 @@ class Gmetis:
         opts = self.options
         clock = SimClock()
         trace = Trace()
+        profiler = profile_run(clock, engine=self.name, graph=graph, k=k)
         executor = SpeculativeExecutor(opts.num_threads, self.machine.cpu, clock)
         rng = np.random.default_rng(opts.seed)
         t0 = time.perf_counter()
@@ -138,21 +141,25 @@ class Gmetis:
         level_idx = 0
         total_aborts = 0
         while current.num_vertices > target:
-            match, sstats = self._speculative_match(
-                current, executor, rng, detail=f"match L{level_idx}"
-            )
-            total_aborts += sstats.aborted
-            coarse, cmap = contract(current, match)
-            # Contraction as another speculative loop over coarse vertices.
-            clock.charge(
-                "compute",
-                self.machine.cpu.edge_seconds(
-                    current.num_directed_edges,
-                    avg_degree=2 * current.num_edges / max(1, current.num_vertices),
-                ) / max(1, min(opts.num_threads, self.machine.cpu.num_cores)),
-                count=float(current.num_directed_edges),
-                detail=f"contract L{level_idx}",
-            )
+            with clock_span(
+                clock, f"level {level_idx}", category="level",
+                engine="galois", num_vertices=current.num_vertices,
+            ):
+                match, sstats = self._speculative_match(
+                    current, executor, rng, detail=f"match L{level_idx}"
+                )
+                total_aborts += sstats.aborted
+                coarse, cmap = contract(current, match)
+                # Contraction as another speculative loop over coarse vertices.
+                clock.charge(
+                    "compute",
+                    self.machine.cpu.edge_seconds(
+                        current.num_directed_edges,
+                        avg_degree=2 * current.num_edges / max(1, current.num_vertices),
+                    ) / max(1, min(opts.num_threads, self.machine.cpu.num_cores)),
+                    count=float(current.num_directed_edges),
+                    detail=f"contract L{level_idx}",
+                )
             ids = np.arange(current.num_vertices)
             trace.levels.append(
                 LevelRecord(
@@ -185,42 +192,46 @@ class Gmetis:
         clock.set_phase("uncoarsening")
         for li in range(len(levels) - 1, -1, -1):
             level = levels[li]
-            part = project_partition(part, level.cmap)
-            cut_before = edge_cut(level.graph, part)
-            part, passes = kway_refine(
-                level.graph, part, k, ubfactor=opts.ubfactor,
-                max_passes=opts.refine_passes, rng=rng,
-            )
-            # Refinement as speculative loops: boundary iterations lock
-            # their neighborhoods; the abort tax scales with the boundary
-            # connectivity (model it at the measured matching abort rate).
-            for pres in passes:
-                clock.charge(
-                    "compute",
-                    self.machine.cpu.edge_seconds(
-                        pres.edge_scans,
-                        avg_degree=2 * level.graph.num_edges
-                        / max(1, level.graph.num_vertices),
-                    ) / max(1, min(opts.num_threads, self.machine.cpu.num_cores))
-                    * (1.0 + 2.0 * (total_aborts / max(1, graph.num_vertices))),
-                    count=float(pres.edge_scans),
-                    detail=f"speculative refine L{li}",
+            with clock_span(
+                clock, f"level {li}", category="level",
+                engine="galois", num_vertices=level.graph.num_vertices,
+            ):
+                part = project_partition(part, level.cmap)
+                cut_before = edge_cut(level.graph, part)
+                part, passes = kway_refine(
+                    level.graph, part, k, ubfactor=opts.ubfactor,
+                    max_passes=opts.refine_passes, rng=rng,
                 )
-                clock.charge(
-                    "sync",
-                    pres.edge_scans * executor.lock_op_seconds,
-                    count=float(pres.edge_scans),
-                    detail=f"refine lock traffic L{li}",
+                # Refinement as speculative loops: boundary iterations lock
+                # their neighborhoods; the abort tax scales with the boundary
+                # connectivity (model it at the measured matching abort rate).
+                for pres in passes:
+                    clock.charge(
+                        "compute",
+                        self.machine.cpu.edge_seconds(
+                            pres.edge_scans,
+                            avg_degree=2 * level.graph.num_edges
+                            / max(1, level.graph.num_vertices),
+                        ) / max(1, min(opts.num_threads, self.machine.cpu.num_cores))
+                        * (1.0 + 2.0 * (total_aborts / max(1, graph.num_vertices))),
+                        count=float(pres.edge_scans),
+                        detail=f"speculative refine L{li}",
+                    )
+                    clock.charge(
+                        "sync",
+                        pres.edge_scans * executor.lock_op_seconds,
+                        count=float(pres.edge_scans),
+                        detail=f"refine lock traffic L{li}",
+                    )
+                trace.refinements.append(
+                    RefinementRecord(
+                        level=li, pass_index=0,
+                        moves_proposed=sum(p.moves_proposed for p in passes),
+                        moves_committed=sum(p.moves_committed for p in passes),
+                        cut_before=cut_before, cut_after=edge_cut(level.graph, part),
+                        engine="galois",
+                    )
                 )
-            trace.refinements.append(
-                RefinementRecord(
-                    level=li, pass_index=0,
-                    moves_proposed=sum(p.moves_proposed for p in passes),
-                    moves_committed=sum(p.moves_committed for p in passes),
-                    cut_before=cut_before, cut_after=edge_cut(level.graph, part),
-                    engine="galois",
-                )
-            )
 
         if k > 1 and imbalance(graph, part, k) > opts.ubfactor:
             pweights = np.bincount(
@@ -229,6 +240,13 @@ class Gmetis:
             ideal = graph.total_vertex_weight / k
             rebalance_pass(graph, part, pweights, k, opts.ubfactor * ideal)
 
+        finish_run(
+            profiler,
+            trace=trace,
+            cut=edge_cut(graph, part),
+            imbalance=imbalance(graph, part, k),
+            aborts=total_aborts,
+        )
         return PartitionResult(
             method=self.name,
             graph_name=graph.name,

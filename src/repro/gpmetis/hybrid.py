@@ -35,6 +35,7 @@ from ..gpusim.simt import threads_for_items
 from ..gpusim.transfer import d2h, h2d, transfer_graph_to_device
 from ..mtmetis.initpart import parallel_recursive_bisection
 from ..mtmetis.partitioner import MtMetis
+from ..obs.spans import clock_span
 from ..runtime.clock import SimClock
 from ..runtime.machine import MachineSpec
 from ..runtime.threads import ThreadPoolSim
@@ -118,14 +119,18 @@ def run_hybrid(
         nv = current.graph.num_vertices
         n_threads = threads_for_items(nv, opts.max_gpu_threads)
         try:
-            d_match, mstats = gpu_match(
-                dev, current.d_csr, current.graph, n_threads, opts.matching, rng
-            )
-            d_cmap, n_coarse = gpu_build_cmap(dev, d_match, n_threads)
-            outcome = gpu_contract(
-                dev, current.d_csr, current.graph, d_match, d_cmap, n_coarse,
-                n_threads, opts.merge_strategy, opts.merge_impl,
-            )
+            with clock_span(
+                clock, f"level {level_idx}", category="level",
+                engine="gpu", num_vertices=nv, num_edges=current.graph.num_edges,
+            ):
+                d_match, mstats = gpu_match(
+                    dev, current.d_csr, current.graph, n_threads, opts.matching, rng
+                )
+                d_cmap, n_coarse = gpu_build_cmap(dev, d_match, n_threads)
+                outcome = gpu_contract(
+                    dev, current.d_csr, current.graph, d_match, d_cmap, n_coarse,
+                    n_threads, opts.merge_strategy, opts.merge_impl,
+                )
         except DeviceMemoryError as exc:
             trace.note(f"device OOM at level {level_idx} ({exc}); continuing on CPU")
             fell_back = True
@@ -198,17 +203,21 @@ def run_hybrid(
             level = gpu_levels[li]
             n_threads = threads_for_items(level.graph.num_vertices, opts.max_gpu_threads)
             assert level.d_cmap is not None
-            d_fine_part = gpu_project(
-                dev, d_part, level.d_cmap, level.graph.num_vertices, n_threads
-            )
-            d_part.free()
-            d_part = d_fine_part
-            cut_before = edge_cut(level.graph, d_part.data)
-            sub_stats = gpu_refine_level(
-                dev, level.d_csr, level.graph, d_part, k,
-                opts.ubfactor, opts.refine_passes, n_threads,
-            )
-            cut_after = edge_cut(level.graph, d_part.data)
+            with clock_span(
+                clock, f"level {li}", category="level",
+                engine="gpu", num_vertices=level.graph.num_vertices,
+            ):
+                d_fine_part = gpu_project(
+                    dev, d_part, level.d_cmap, level.graph.num_vertices, n_threads
+                )
+                d_part.free()
+                d_part = d_fine_part
+                cut_before = edge_cut(level.graph, d_part.data)
+                sub_stats = gpu_refine_level(
+                    dev, level.d_csr, level.graph, d_part, k,
+                    opts.ubfactor, opts.refine_passes, n_threads,
+                )
+                cut_after = edge_cut(level.graph, d_part.data)
             for si, st in enumerate(sub_stats):
                 trace.refinements.append(
                     RefinementRecord(

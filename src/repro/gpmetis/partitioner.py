@@ -8,6 +8,8 @@ import numpy as np
 
 from ..exceptions import InvalidParameterError
 from ..graphs.csr import CSRGraph
+from ..graphs.metrics import edge_cut, imbalance
+from ..obs.hooks import finish_run, profile_run
 from ..result import PartitionResult
 from ..runtime.clock import SimClock
 from ..runtime.machine import PAPER_MACHINE, MachineSpec
@@ -40,13 +42,25 @@ class GPMetis:
         if k < 1:
             raise InvalidParameterError(f"k must be >= 1, got {k}")
         clock = SimClock()
+        profiler = profile_run(clock, engine=self.name, graph=graph, k=k)
         t0 = time.perf_counter()
         outcome = run_hybrid(graph, k, self.options, self.machine, clock)
+        part = np.asarray(outcome.part, dtype=np.int64)
+        finish_run(
+            profiler,
+            trace=outcome.trace,
+            device_stats=outcome.device.stats,
+            cut=edge_cut(graph, part),
+            imbalance=imbalance(graph, part, k),
+            gpu_levels=outcome.gpu_levels,
+            cpu_levels=outcome.cpu_levels,
+            fell_back_to_cpu=outcome.fell_back_to_cpu,
+        )
         return PartitionResult(
             method=self.name,
             graph_name=graph.name,
             k=k,
-            part=np.asarray(outcome.part, dtype=np.int64),
+            part=part,
             clock=clock,
             trace=outcome.trace,
             wall_seconds=time.perf_counter() - t0,

@@ -283,6 +283,7 @@ class KernelContext:
     # -- commit ------------------------------------------------------------
     def _commit(self) -> None:
         spec = self.device.spec
+        t_start = self.device.clock.total_seconds
         streamed = (
             self._transactions - self._random_transactions - self._cached_transactions
         )
@@ -323,3 +324,20 @@ class KernelContext:
         k.compute_ops += self._compute_ops
         k.atomic_ops += self._atomic_ops
         k.seconds += total
+
+        profiler = getattr(clock, "profiler", None)
+        if profiler is not None:
+            moved = self._transactions * 128.0
+            profiler.add_span(
+                self.name,
+                t_start,
+                clock.total_seconds,
+                category="kernel",
+                threads=self.n_threads,
+                transactions=self._transactions,
+                bytes_requested=self._bytes_requested,
+                coalescing=self._bytes_requested / moved if moved else 1.0,
+                compute_ops=self._compute_ops,
+                atomic_ops=self._atomic_ops,
+                bound="memory" if mem_t >= cmp_t else "compute",
+            )

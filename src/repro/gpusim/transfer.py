@@ -18,12 +18,27 @@ from .memory import DeviceArray
 __all__ = ["h2d", "d2h", "transfer_graph_to_device"]
 
 
+def _transfer_span(dev: Device, direction: str, label: str, t_start: float, nbytes: int) -> None:
+    """Emit one PCIe-transfer span when a profiler observes the clock."""
+    profiler = getattr(dev.clock, "profiler", None)
+    if profiler is not None:
+        profiler.add_span(
+            f"{direction}.{label}" if label else direction,
+            t_start,
+            dev.clock.total_seconds,
+            category="transfer",
+            direction=direction,
+            bytes=nbytes,
+        )
+
+
 def h2d(
     dev: Device, host: np.ndarray, net: InterconnectSpec, label: str = ""
 ) -> DeviceArray:
     """cudaMemcpy host->device: allocates and charges the PCIe model."""
     darr = dev.adopt(host.copy(), label=label)
     seconds = net.pcie_seconds(host.nbytes)
+    t_start = dev.clock.total_seconds
     dev.clock.charge("transfer_latency", net.pcie_latency_seconds, count=1.0, detail=label)
     dev.clock.charge(
         "transfer_bytes", seconds - net.pcie_latency_seconds,
@@ -31,6 +46,7 @@ def h2d(
     )
     dev.stats.h2d_transfers += 1
     dev.stats.h2d_bytes += int(host.nbytes)
+    _transfer_span(dev, "h2d", label, t_start, int(host.nbytes))
     return darr
 
 
@@ -39,6 +55,7 @@ def d2h(darr: DeviceArray, net: InterconnectSpec, label: str = "") -> np.ndarray
     darr._require_live()
     dev = darr.device
     seconds = net.pcie_seconds(darr.nbytes)
+    t_start = dev.clock.total_seconds
     dev.clock.charge("transfer_latency", net.pcie_latency_seconds, count=1.0, detail=label)
     dev.clock.charge(
         "transfer_bytes", seconds - net.pcie_latency_seconds,
@@ -46,6 +63,7 @@ def d2h(darr: DeviceArray, net: InterconnectSpec, label: str = "") -> np.ndarray
     )
     dev.stats.d2h_transfers += 1
     dev.stats.d2h_bytes += int(darr.nbytes)
+    _transfer_span(dev, "d2h", label, t_start, int(darr.nbytes))
     return darr.data.copy()
 
 

@@ -20,6 +20,8 @@ import numpy as np
 from ..exceptions import InvalidParameterError
 from ..graphs.csr import CSRGraph
 from ..graphs.metrics import edge_cut, imbalance
+from ..obs.hooks import finish_run, profile_run
+from ..obs.spans import clock_span
 from ..result import PartitionResult
 from ..runtime.clock import SimClock
 from ..runtime.machine import PAPER_MACHINE, MachineSpec
@@ -72,26 +74,31 @@ class MtMetis:
             def batch_maker(items, _own=ownership):
                 return pool.lockstep_batches(items, _own[items])
 
-            match, mstats = lockfree_match(
-                current,
-                pool.lockstep_batches(
-                    np.arange(current.num_vertices, dtype=np.int64), ownership
-                ),
-                scheme=opts.matching,
-                rng=rng,
-                retry_rounds=opts.match_retry_rounds,
-                batch_maker=batch_maker,
-            )
-            per_vertex_scans = current.degrees().astype(np.float64)
-            for _ in range(mstats.rounds):
-                pool.parallel_edge_work(
-                    per_vertex_scans, ownership, detail="match",
-                    avg_degree=2 * current.num_edges / max(1, current.num_vertices),
+            with clock_span(
+                pool.clock, f"level {level_idx}", category="level",
+                engine="cpu-threads", num_vertices=current.num_vertices,
+                num_edges=current.num_edges,
+            ):
+                match, mstats = lockfree_match(
+                    current,
+                    pool.lockstep_batches(
+                        np.arange(current.num_vertices, dtype=np.int64), ownership
+                    ),
+                    scheme=opts.matching,
+                    rng=rng,
+                    retry_rounds=opts.match_retry_rounds,
+                    batch_maker=batch_maker,
                 )
-            pool.parallel_vertex_work(
-                np.ones(current.num_vertices), ownership, detail="match.resolve"
-            )
-            coarse, _cmap = threaded_contract(current, match, pool, ownership)
+                per_vertex_scans = current.degrees().astype(np.float64)
+                for _ in range(mstats.rounds):
+                    pool.parallel_edge_work(
+                        per_vertex_scans, ownership, detail="match",
+                        avg_degree=2 * current.num_edges / max(1, current.num_vertices),
+                    )
+                pool.parallel_vertex_work(
+                    np.ones(current.num_vertices), ownership, detail="match.resolve"
+                )
+                coarse, _cmap = threaded_contract(current, match, pool, ownership)
             trace.levels.append(
                 LevelRecord(
                     level=level_idx,
@@ -126,52 +133,63 @@ class MtMetis:
         opts = self.options
         for level_idx in range(len(levels) - 1, -1, -1):
             level = levels[level_idx]
-            part = project_partition(part, level.cmap)
-            ownership = block_ownership(level.graph.num_vertices, opts.num_threads)
-            pool.parallel_vertex_work(
-                np.ones(level.graph.num_vertices), ownership, detail="project"
-            )
-            cut_before = edge_cut(level.graph, part)
-            part, sub_stats = refine_level(
-                level.graph, part, k, opts.ubfactor, opts.refine_passes
-            )
-            cut_after = edge_cut(level.graph, part)
-            for si, st in enumerate(sub_stats):
-                # Propose cost: persistent threads keep incremental
-                # boundary/gain state (Sec. III.D — "data ownership is
-                # given to the threads at the beginning ... and stays the
-                # same"), so only the first sub-iteration of a level pays
-                # the full arc sweep; later ones touch boundary arcs only.
-                if si == 0:
-                    scans = float(st.edge_scans)
-                else:
-                    scans = float(
-                        max(0, st.edge_scans - level.graph.num_directed_edges)
-                    )
-                pool.parallel_edge_work(
-                    np.full(opts.num_threads, scans / opts.num_threads),
-                    np.arange(opts.num_threads, dtype=np.int64),
-                    detail="refine.propose",
-                    avg_degree=2 * level.graph.num_edges
-                    / max(1, level.graph.num_vertices),
+            with clock_span(
+                pool.clock, f"level {level_idx}", category="level",
+                engine="cpu-threads", num_vertices=level.graph.num_vertices,
+            ):
+                part = project_partition(part, level.cmap)
+                ownership = block_ownership(level.graph.num_vertices, opts.num_threads)
+                pool.parallel_vertex_work(
+                    np.ones(level.graph.num_vertices), ownership, detail="project"
                 )
-                if st.requests_per_partition.size:
-                    buf_owner = np.arange(k, dtype=np.int64) % opts.num_threads
-                    sort_cost = st.requests_per_partition * np.maximum(
-                        1.0, np.log2(np.maximum(st.requests_per_partition, 2))
-                    )
-                    pool.parallel_vertex_work(sort_cost, buf_owner, detail="refine.commit")
-                trace.refinements.append(
-                    RefinementRecord(
-                        level=level_offset + level_idx,
-                        pass_index=si,
-                        moves_proposed=st.proposals,
-                        moves_committed=st.committed,
-                        cut_before=cut_before,
-                        cut_after=cut_after,
-                        engine="cpu-threads",
-                    )
+                cut_before = edge_cut(level.graph, part)
+                part, sub_stats = refine_level(
+                    level.graph, part, k, opts.ubfactor, opts.refine_passes
                 )
+                cut_after = edge_cut(level.graph, part)
+                for si, st in enumerate(sub_stats):
+                    # Propose cost: persistent threads keep incremental
+                    # boundary/gain state (Sec. III.D — "data ownership is
+                    # given to the threads at the beginning ... and stays the
+                    # same"), so only the first sub-iteration of a level pays
+                    # the full arc sweep; later ones touch boundary arcs only.
+                    if si == 0:
+                        scans = float(st.edge_scans)
+                    else:
+                        scans = float(
+                            max(0, st.edge_scans - level.graph.num_directed_edges)
+                        )
+                    with clock_span(
+                        pool.clock, f"pass {si}", category="pass",
+                        engine="cpu-threads", proposed=st.proposals,
+                        committed=st.committed,
+                    ):
+                        pool.parallel_edge_work(
+                            np.full(opts.num_threads, scans / opts.num_threads),
+                            np.arange(opts.num_threads, dtype=np.int64),
+                            detail="refine.propose",
+                            avg_degree=2 * level.graph.num_edges
+                            / max(1, level.graph.num_vertices),
+                        )
+                        if st.requests_per_partition.size:
+                            buf_owner = np.arange(k, dtype=np.int64) % opts.num_threads
+                            sort_cost = st.requests_per_partition * np.maximum(
+                                1.0, np.log2(np.maximum(st.requests_per_partition, 2))
+                            )
+                            pool.parallel_vertex_work(
+                                sort_cost, buf_owner, detail="refine.commit"
+                            )
+                    trace.refinements.append(
+                        RefinementRecord(
+                            level=level_offset + level_idx,
+                            pass_index=si,
+                            moves_proposed=st.proposals,
+                            moves_committed=st.committed,
+                            cut_before=cut_before,
+                            cut_after=cut_after,
+                            engine="cpu-threads",
+                        )
+                    )
         return part
 
     # ------------------------------------------------------------------
@@ -181,6 +199,7 @@ class MtMetis:
         opts = self.options
         clock = SimClock()
         trace = Trace()
+        profiler = profile_run(clock, engine=self.name, graph=graph, k=k)
         pool = ThreadPoolSim(opts.num_threads, self.machine.cpu, clock)
         rng = np.random.default_rng(opts.seed)
         t0 = time.perf_counter()
@@ -222,6 +241,12 @@ class MtMetis:
                 detail=f"final rebalance ({moves} moves)",
             )
 
+        finish_run(
+            profiler,
+            trace=trace,
+            cut=edge_cut(graph, part),
+            imbalance=imbalance(graph, part, k),
+        )
         return PartitionResult(
             method=self.name,
             graph_name=graph.name,

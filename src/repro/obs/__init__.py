@@ -1,0 +1,51 @@
+"""Span-based observability: hierarchical profiler, metrics, exporters.
+
+The paper's entire argument is a runtime breakdown (Tables II-III,
+Fig. 5); this package is the layer that produces those breakdowns from
+live runs.  A :class:`Profiler` attached to a run's
+:class:`~repro.runtime.clock.SimClock` builds the span tree
+(run -> phase -> level -> kernel/pass) over simulated time, every engine
+reports the same metric set through :func:`profile_run` /
+:func:`finish_run`, and exporters emit Chrome trace-event JSON
+(Perfetto-loadable), a flat metrics JSON, and an ASCII tree.
+
+See docs/OBSERVABILITY.md for the span model, exporter formats, and the
+perf-baseline workflow (``benchmarks/baseline.py``).
+"""
+
+from .export import (
+    CHROME_TRACE_SCHEMA,
+    METRICS_SCHEMA,
+    chrome_trace,
+    metrics_json,
+    render_tree,
+    write_chrome_trace,
+    write_metrics_json,
+)
+from .hooks import finish_run, profile_run
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, metric_key
+from .schema import SchemaError, validate_chrome_trace, validate_metrics
+from .spans import Profiler, Span, clock_span
+
+__all__ = [
+    "CHROME_TRACE_SCHEMA",
+    "METRICS_SCHEMA",
+    "Span",
+    "Profiler",
+    "clock_span",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "metric_key",
+    "profile_run",
+    "finish_run",
+    "chrome_trace",
+    "metrics_json",
+    "render_tree",
+    "write_chrome_trace",
+    "write_metrics_json",
+    "SchemaError",
+    "validate_chrome_trace",
+    "validate_metrics",
+]

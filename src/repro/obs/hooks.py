@@ -1,0 +1,146 @@
+"""The shared engine hook: one way for every partitioner to report.
+
+``profile_run`` opens the standard root span (same name, same attribute
+schema, whatever the engine), and ``finish_run`` derives the standard
+metric set from the run's :class:`~repro.runtime.trace.Trace` and
+optional :class:`~repro.gpusim.stats.DeviceStats`.  Because all engines
+funnel through these two functions, a GP-metis tree and an mt-metis tree
+are directly comparable — same span categories, same metric names, with
+``engine=...`` labels separating the GPU and CPU stages of the hybrid.
+
+Standard metrics (labels in braces):
+
+====================================  =======  ==============================
+``matching.conflict_rate{engine}``    gauge    conflicts / match attempts
+``matching.conflicts{engine}``        counter  conflicted match attempts
+``matching.pairs{engine}``            counter  committed match pairs
+``refine.commit_ratio{engine}``       gauge    committed / proposed moves
+``refine.moves_proposed{engine}``     counter  proposed moves, all passes
+``refine.moves_committed{engine}``    counter  committed moves, all passes
+``refine.passes{engine}``             counter  refinement passes executed
+``kernel.coalescing_efficiency``      gauge    bytes-weighted mean over kernels
+``kernel.launches``                   counter  GPU kernel launches
+``transfer.h2d_bytes``                counter  PCIe host->device bytes
+``transfer.d2h_bytes``                counter  PCIe device->host bytes
+``transfer.h2d_count``                counter  host->device transfers
+``transfer.d2h_count``                counter  device->host transfers
+``memory.peak_bytes``                 gauge    peak simulated device memory
+``sanitizer.races``                   counter  data races detected
+``sanitizer.warnings``                counter  stale-read warnings
+``sanitizer.launches_checked``        counter  launches the sanitizer replayed
+``partition.cut``                     gauge    final edge cut
+``partition.imbalance``               gauge    final imbalance
+====================================  =======  ==============================
+"""
+
+from __future__ import annotations
+
+from ..runtime.clock import SimClock
+from .spans import Profiler
+
+__all__ = ["profile_run", "finish_run"]
+
+
+def profile_run(clock: SimClock, *, engine: str, graph, k: int, **attrs) -> Profiler:
+    """Open the standard run-root span and attach the profiler to the clock."""
+    return Profiler(
+        clock,
+        name=f"{engine} {graph.name}",
+        category="run",
+        engine=engine,
+        graph=graph.name,
+        num_vertices=int(graph.num_vertices),
+        num_edges=int(graph.num_edges),
+        k=int(k),
+        **attrs,
+    )
+
+
+def finish_run(
+    profiler: Profiler,
+    *,
+    trace=None,
+    device_stats=None,
+    cut: int | None = None,
+    imbalance: float | None = None,
+    **attrs,
+) -> Profiler:
+    """Close the run span and derive the standard metrics.
+
+    ``trace`` feeds the matching/refinement/sanitizer metrics (labelled
+    by each record's ``engine``); ``device_stats`` feeds the kernel,
+    transfer and device-memory metrics.
+    """
+    m = profiler.metrics
+    if trace is not None:
+        profiler.attach_trace(trace)
+        _matching_metrics(m, trace)
+        _refinement_metrics(m, trace)
+        _sanitizer_metrics(m, trace)
+    if device_stats is not None:
+        _device_metrics(m, device_stats)
+    if cut is not None:
+        m.gauge("partition.cut").set(cut)
+        attrs.setdefault("cut", int(cut))
+    if imbalance is not None:
+        m.gauge("partition.imbalance").set(imbalance)
+    profiler.finish(**attrs)
+    return profiler
+
+
+# ----------------------------------------------------------------------
+def _matching_metrics(m, trace) -> None:
+    by_engine: dict[str, tuple[int, int]] = {}
+    for rec in trace.levels:
+        pairs, conflicts = by_engine.get(rec.engine, (0, 0))
+        by_engine[rec.engine] = (pairs + rec.matched_pairs, conflicts + rec.conflicts)
+    for engine, (pairs, conflicts) in by_engine.items():
+        m.counter("matching.pairs", engine=engine).inc(pairs)
+        m.counter("matching.conflicts", engine=engine).inc(conflicts)
+        attempts = pairs + conflicts
+        m.gauge("matching.conflict_rate", engine=engine).set(
+            conflicts / attempts if attempts else 0.0
+        )
+
+
+def _refinement_metrics(m, trace) -> None:
+    by_engine: dict[str, tuple[int, int, int]] = {}
+    for rec in trace.refinements:
+        prop, comm, passes = by_engine.get(rec.engine, (0, 0, 0))
+        by_engine[rec.engine] = (
+            prop + rec.moves_proposed, comm + rec.moves_committed, passes + 1
+        )
+    for engine, (proposed, committed, passes) in by_engine.items():
+        m.counter("refine.moves_proposed", engine=engine).inc(proposed)
+        m.counter("refine.moves_committed", engine=engine).inc(committed)
+        m.counter("refine.passes", engine=engine).inc(passes)
+        m.gauge("refine.commit_ratio", engine=engine).set(
+            committed / proposed if proposed else 0.0
+        )
+
+
+def _sanitizer_metrics(m, trace) -> None:
+    if not trace.race_reports:
+        return
+    m.counter("sanitizer.launches_checked").inc(len(trace.race_reports))
+    m.counter("sanitizer.races").inc(trace.races_detected)
+    m.counter("sanitizer.warnings").inc(
+        sum(r.num_warnings for r in trace.race_reports)
+    )
+
+
+def _device_metrics(m, stats) -> None:
+    m.counter("kernel.launches").inc(stats.total_launches)
+    total_bytes = sum(k.bytes_requested for k in stats.kernels.values())
+    if total_bytes > 0:
+        weighted = sum(
+            k.coalescing_efficiency * k.bytes_requested for k in stats.kernels.values()
+        )
+        m.gauge("kernel.coalescing_efficiency").set(weighted / total_bytes)
+    for k in stats.kernels.values():
+        m.histogram("kernel.seconds").observe(k.seconds)
+    m.counter("transfer.h2d_bytes").inc(stats.h2d_bytes)
+    m.counter("transfer.d2h_bytes").inc(stats.d2h_bytes)
+    m.counter("transfer.h2d_count").inc(stats.h2d_transfers)
+    m.counter("transfer.d2h_count").inc(stats.d2h_transfers)
+    m.gauge("memory.peak_bytes").set(stats.peak_memory_bytes)

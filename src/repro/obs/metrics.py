@@ -1,0 +1,140 @@
+"""Run-scoped metrics: counters, gauges, histograms.
+
+Every partitioner run aggregates the quantities the paper argues about —
+matching conflict rate, coalescing efficiency, refinement commit ratio,
+PCIe traffic — into one :class:`MetricsRegistry` so exporters and the
+perf-baseline harness read them from a single place instead of re-mining
+``Trace``/``DeviceStats``/``SimClock``.
+
+Metrics are named ``family.quantity`` and may carry labels (notably
+``engine=gpu`` vs ``engine=cpu-threads``), which keeps the hybrid
+GP-metis run's GPU and CPU stages separately comparable against a pure
+mt-metis run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "metric_key"]
+
+
+def metric_key(name: str, labels: dict[str, str] | None = None) -> str:
+    """Canonical ``name{k=v,...}`` key with sorted labels."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing total (bytes moved, conflicts seen...)."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Last-written value (a ratio, a peak, a final cut)."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+@dataclass
+class Histogram:
+    """Streaming summary of a per-event quantity (no stored samples)."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    min: float = field(default=float("inf"))
+    max: float = field(default=float("-inf"))
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": None, "max": None, "mean": None}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Registry of named metrics; one per run."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # -- accessors (create on first use) -----------------------------------
+    def counter(self, name: str, **labels) -> Counter:
+        key = metric_key(name, labels)
+        if key not in self.counters:
+            self._check_unique(key, self.counters)
+            self.counters[key] = Counter(key)
+        return self.counters[key]
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = metric_key(name, labels)
+        if key not in self.gauges:
+            self._check_unique(key, self.gauges)
+            self.gauges[key] = Gauge(key)
+        return self.gauges[key]
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        key = metric_key(name, labels)
+        if key not in self.histograms:
+            self._check_unique(key, self.histograms)
+            self.histograms[key] = Histogram(key)
+        return self.histograms[key]
+
+    def _check_unique(self, key: str, own: dict) -> None:
+        for other in (self.counters, self.gauges, self.histograms):
+            if other is not own and key in other:
+                raise ValueError(f"metric {key!r} already registered with another type")
+
+    # -- reads -------------------------------------------------------------
+    def value(self, name: str, **labels) -> float | None:
+        """The counter/gauge value (or histogram mean) under this key."""
+        key = metric_key(name, labels)
+        if key in self.counters:
+            return self.counters[key].value
+        if key in self.gauges:
+            return self.gauges[key].value
+        if key in self.histograms:
+            return self.histograms[key].mean
+        return None
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot of every metric."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self.counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self.gauges.items())},
+            "histograms": {k: h.summary() for k, h in sorted(self.histograms.items())},
+        }

@@ -1,0 +1,79 @@
+"""Structural validation of the exported JSON documents.
+
+Pure-Python checks (no jsonschema dependency): ``make profile-smoke``
+and the baseline harness call these so a malformed export fails loudly
+instead of silently producing a trace Perfetto cannot open.
+"""
+
+from __future__ import annotations
+
+from .export import CHROME_TRACE_SCHEMA, METRICS_SCHEMA
+
+__all__ = ["SchemaError", "validate_chrome_trace", "validate_metrics"]
+
+
+class SchemaError(ValueError):
+    """An exported document does not match its schema."""
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise SchemaError(message)
+
+
+def validate_chrome_trace(doc: dict) -> None:
+    """Check a :func:`repro.obs.export.chrome_trace` document."""
+    _require(isinstance(doc, dict), "trace document must be an object")
+    _require("traceEvents" in doc, "missing traceEvents")
+    events = doc["traceEvents"]
+    _require(isinstance(events, list) and events, "traceEvents must be a non-empty list")
+    _require(
+        doc.get("otherData", {}).get("schema") == CHROME_TRACE_SCHEMA,
+        f"otherData.schema must be {CHROME_TRACE_SCHEMA!r}",
+    )
+    saw_complete = False
+    for i, ev in enumerate(events):
+        _require(isinstance(ev, dict), f"event {i} must be an object")
+        _require("name" in ev and "ph" in ev, f"event {i} missing name/ph")
+        ph = ev["ph"]
+        _require(ph in ("X", "M", "i"), f"event {i} has unknown phase {ph!r}")
+        _require("pid" in ev and "tid" in ev, f"event {i} missing pid/tid")
+        if ph == "X":
+            saw_complete = True
+            _require("ts" in ev and "dur" in ev, f"event {i} missing ts/dur")
+            _require(
+                float(ev["dur"]) >= 0 and float(ev["ts"]) >= 0,
+                f"event {i} has negative ts/dur",
+            )
+    _require(saw_complete, "no complete ('X') span events")
+
+
+def validate_metrics(doc: dict) -> None:
+    """Check a :func:`repro.obs.export.metrics_json` document."""
+    _require(isinstance(doc, dict), "metrics document must be an object")
+    _require(doc.get("schema") == METRICS_SCHEMA, f"schema must be {METRICS_SCHEMA!r}")
+    run = doc.get("run")
+    _require(isinstance(run, dict), "missing run block")
+    for key in ("engine", "graph", "k", "modeled_seconds", "max_depth"):
+        _require(key in run, f"run block missing {key!r}")
+    phases = doc.get("phases")
+    _require(isinstance(phases, dict), "missing phases block")
+    for name, entry in phases.items():
+        for key in ("seconds", "share", "spans"):
+            _require(key in entry, f"phase {name!r} missing {key!r}")
+    metrics = doc.get("metrics")
+    _require(isinstance(metrics, dict), "missing metrics block")
+    for kind in ("counters", "gauges", "histograms"):
+        _require(isinstance(metrics.get(kind), dict), f"metrics missing {kind!r}")
+    for key, value in metrics["counters"].items():
+        _require(
+            isinstance(value, (int, float)) and value >= 0,
+            f"counter {key!r} must be a non-negative number",
+        )
+    for key, value in metrics["gauges"].items():
+        _require(isinstance(value, (int, float)), f"gauge {key!r} must be a number")
+    for key, value in metrics["histograms"].items():
+        _require(
+            isinstance(value, dict) and "count" in value and "sum" in value,
+            f"histogram {key!r} must carry count/sum",
+        )

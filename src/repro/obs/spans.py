@@ -1,0 +1,179 @@
+"""Hierarchical spans over simulated time.
+
+A :class:`Profiler` owns one *run* span and a stack of open child spans
+(run -> phase -> level -> kernel/pass).  Span start/stop timestamps are
+read from a :class:`~repro.runtime.clock.SimClock`'s accumulated seconds,
+so the tree is a structured view of the same modeled time the paper's
+Tables II-III break down by phase — not a second clock that could drift
+from the ledger.
+
+Engines do not need to know about the profiler: attaching one to a clock
+(``Profiler(clock)`` sets ``clock.profiler``) makes ``SimClock.set_phase``
+open phase spans automatically, and the GPU simulator emits one span per
+kernel launch and PCIe transfer through the same attribute.  Code that
+wants explicit spans (per-level, per-pass) uses :func:`clock_span`, which
+degrades to a no-op when no profiler is attached.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..runtime.clock import SimClock
+from .metrics import MetricsRegistry
+
+__all__ = ["Span", "Profiler", "clock_span"]
+
+
+@dataclass
+class Span:
+    """One timed region of a run, in simulated seconds."""
+
+    name: str
+    category: str = "span"
+    start: float = 0.0
+    end: float | None = None
+    attrs: dict = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def closed(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    @property
+    def self_seconds(self) -> float:
+        """Duration not covered by child spans."""
+        return max(0.0, self.duration - sum(c.duration for c in self.children))
+
+    def walk(self, depth: int = 0) -> Iterator[tuple["Span", int]]:
+        """Depth-first (span, depth) traversal including this span."""
+        yield self, depth
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def find(self, name: str) -> list["Span"]:
+        """All descendant spans (including self) with this name."""
+        return [s for s, _ in self.walk() if s.name == name]
+
+    def find_category(self, category: str) -> list["Span"]:
+        return [s for s, _ in self.walk() if s.category == category]
+
+    @property
+    def max_depth(self) -> int:
+        """Depth of the deepest leaf, counting this span as depth 1."""
+        return 1 + max((c.max_depth for c in self.children), default=0)
+
+
+class Profiler:
+    """Builds a span tree against a :class:`SimClock` and aggregates a
+    :class:`MetricsRegistry` for the run.
+
+    Constructing a profiler attaches it to the clock: subsequent
+    ``clock.set_phase(...)`` calls open/close phase spans under the root,
+    and instrumented subsystems (the GPU simulator, the partitioner
+    drivers) discover it through ``clock.profiler``.
+    """
+
+    def __init__(
+        self, clock: SimClock, name: str = "run", category: str = "run", **attrs
+    ) -> None:
+        self.clock = clock
+        self.root = Span(name, category, start=clock.total_seconds, attrs=dict(attrs))
+        self._stack: list[Span] = [self.root]
+        self._phase_span: Span | None = None
+        self.metrics = MetricsRegistry()
+        #: The run's :class:`~repro.runtime.trace.Trace`, once attached.
+        self.trace = None
+        clock.profiler = self
+
+    # -- stack management --------------------------------------------------
+    @property
+    def current(self) -> Span:
+        return self._stack[-1]
+
+    def begin(self, name: str, category: str = "span", **attrs) -> Span:
+        """Open a child span of the current span at the clock's now."""
+        span = Span(name, category, start=self.clock.total_seconds, attrs=dict(attrs))
+        self.current.children.append(span)
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Span | None = None, **attrs) -> Span:
+        """Close the top span (which must be ``span``, when given)."""
+        if len(self._stack) == 1:
+            raise ValueError("cannot end the root span; use finish()")
+        top = self._stack[-1]
+        if span is not None and top is not span:
+            raise ValueError(f"span mismatch: closing {top.name!r}, expected {span.name!r}")
+        self._stack.pop()
+        top.end = self.clock.total_seconds
+        top.attrs.update(attrs)
+        if top is self._phase_span:
+            self._phase_span = None
+        return top
+
+    @contextmanager
+    def span(self, name: str, category: str = "span", **attrs):
+        span = self.begin(name, category, **attrs)
+        try:
+            yield span
+        finally:
+            # Close any deeper spans left open (e.g. by an exception).
+            while self.current is not span:
+                self.end()
+            self.end(span)
+
+    def add_span(
+        self, name: str, start: float, end: float, category: str = "kernel", **attrs
+    ) -> Span:
+        """Attach an already-complete span as a child of the current span."""
+        span = Span(name, category, start=start, end=end, attrs=dict(attrs))
+        self.current.children.append(span)
+        return span
+
+    # -- phase integration (driven by SimClock.set_phase) ------------------
+    def on_phase(self, phase: str) -> Span:
+        """Close the open phase span (and anything under it), open a new one.
+
+        ``SimClock.set_phase`` calls this, so every engine that labels its
+        phases on the clock gets a comparable run -> phase tree for free.
+        """
+        if self._phase_span is not None:
+            while self.current is not self._phase_span:
+                self.end()
+            self.end(self._phase_span)
+        self._phase_span = self.begin(phase, category="phase")
+        return self._phase_span
+
+    # -- lifecycle ---------------------------------------------------------
+    def attach_trace(self, trace) -> None:
+        """Associate the run's structured trace (levels, refinements,
+        race reports) with the span tree."""
+        self.trace = trace
+
+    def finish(self, **attrs) -> Span:
+        """Close all open spans (root included) at the clock's now."""
+        while len(self._stack) > 1:
+            self.end()
+        if self.root.end is None:
+            self.root.end = self.clock.total_seconds
+        self.root.attrs.update(attrs)
+        return self.root
+
+
+def clock_span(clock: SimClock, name: str, category: str = "span", **attrs):
+    """Context manager for a span on whatever profiler the clock carries.
+
+    A no-op (yielding ``None``) when the clock has no profiler attached,
+    so library code can instrument unconditionally.
+    """
+    prof = getattr(clock, "profiler", None)
+    if prof is None:
+        return nullcontext(None)
+    return prof.span(name, category, **attrs)

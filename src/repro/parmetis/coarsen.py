@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs.spans import clock_span
 from ..runtime.mpi import MpiSim
 from ..runtime.trace import LevelRecord, Trace
 from ..serial.coarsen import CoarseningLevel
@@ -36,35 +37,42 @@ def distributed_coarsen(
     current = dist
     level_idx = 0
     while current.graph.num_vertices > target:
-        match, mstats = distributed_match(
-            current, mpi, scheme=opts.matching, num_passes=opts.match_passes, rng=rng
-        )
-        # Adjacency migration for cross-rank pairs: the higher-id endpoint's
-        # list moves to the lower-id endpoint's owner (8 B per arc entry x 2
-        # for the id+weight pair).
-        ids = np.arange(current.graph.num_vertices, dtype=np.int64)
-        cross = (match > ids) & (current.rank_of[ids] != current.rank_of[match])
-        if np.any(cross):
-            movers = match[cross]  # vertices whose lists migrate
-            deg = (
-                current.graph.adjp[movers + 1] - current.graph.adjp[movers]
-            ).astype(np.float64)
-            mpi.exchange(
-                current.rank_of[movers],
-                current.rank_of[ids[cross]],
-                deg * 16.0,
-                detail=f"adjacency migration L{level_idx}",
+        with clock_span(
+            mpi.clock, f"level {level_idx}", category="level",
+            engine="mpi", num_vertices=current.graph.num_vertices,
+        ):
+            match, mstats = distributed_match(
+                current, mpi, scheme=opts.matching, num_passes=opts.match_passes,
+                rng=rng,
             )
-        # Local contraction work: every rank merges its pairs' lists.
-        src_rank = current.arcs_src_rank()
-        per_rank = np.bincount(src_rank, minlength=current.num_ranks).astype(np.float64)
-        mpi.compute(
-            per_rank, detail=f"contract L{level_idx}",
-            avg_degree=2 * current.graph.num_edges
-            / max(1, current.graph.num_vertices),
-        )
+            # Adjacency migration for cross-rank pairs: the higher-id
+            # endpoint's list moves to the lower-id endpoint's owner (8 B
+            # per arc entry x 2 for the id+weight pair).
+            ids = np.arange(current.graph.num_vertices, dtype=np.int64)
+            cross = (match > ids) & (current.rank_of[ids] != current.rank_of[match])
+            if np.any(cross):
+                movers = match[cross]  # vertices whose lists migrate
+                deg = (
+                    current.graph.adjp[movers + 1] - current.graph.adjp[movers]
+                ).astype(np.float64)
+                mpi.exchange(
+                    current.rank_of[movers],
+                    current.rank_of[ids[cross]],
+                    deg * 16.0,
+                    detail=f"adjacency migration L{level_idx}",
+                )
+            # Local contraction work: every rank merges its pairs' lists.
+            src_rank = current.arcs_src_rank()
+            per_rank = np.bincount(
+                src_rank, minlength=current.num_ranks
+            ).astype(np.float64)
+            mpi.compute(
+                per_rank, detail=f"contract L{level_idx}",
+                avg_degree=2 * current.graph.num_edges
+                / max(1, current.graph.num_vertices),
+            )
 
-        coarse_graph, cmap = contract(current.graph, match)
+            coarse_graph, cmap = contract(current.graph, match)
         trace.levels.append(
             LevelRecord(
                 level=level_idx,

@@ -8,7 +8,9 @@ import numpy as np
 
 from ..exceptions import InvalidParameterError
 from ..graphs.csr import CSRGraph
-from ..graphs.metrics import imbalance
+from ..graphs.metrics import edge_cut, imbalance
+from ..obs.hooks import finish_run, profile_run
+from ..obs.spans import clock_span
 from ..result import PartitionResult
 from ..runtime.clock import SimClock
 from ..runtime.machine import PAPER_MACHINE, MachineSpec
@@ -44,6 +46,7 @@ class ParMetis:
         opts = self.options
         clock = SimClock()
         trace = Trace()
+        profiler = profile_run(clock, engine=self.name, graph=graph, k=k)
         mpi = MpiSim(opts.num_ranks, self.machine.cpu, self.machine.interconnect, clock)
         rng = np.random.default_rng(opts.seed)
         t0 = time.perf_counter()
@@ -60,15 +63,19 @@ class ParMetis:
         clock.set_phase("uncoarsening")
         for level_idx in range(len(levels) - 1, -1, -1):
             level = levels[level_idx]
-            part = project_partition(part, level.cmap)
-            level_dist = DistGraph.distribute(level.graph, opts.num_ranks)
-            mpi.compute_vertices(
-                level_dist.per_rank_vertices(), detail=f"project L{level_idx}"
-            )
-            part = distributed_refine_level(
-                level_dist, part, k, opts.ubfactor, opts.refine_passes,
-                mpi, trace, level_idx,
-            )
+            with clock_span(
+                clock, f"level {level_idx}", category="level",
+                engine="mpi", num_vertices=level.graph.num_vertices,
+            ):
+                part = project_partition(part, level.cmap)
+                level_dist = DistGraph.distribute(level.graph, opts.num_ranks)
+                mpi.compute_vertices(
+                    level_dist.per_rank_vertices(), detail=f"project L{level_idx}"
+                )
+                part = distributed_refine_level(
+                    level_dist, part, k, opts.ubfactor, opts.refine_passes,
+                    mpi, trace, level_idx,
+                )
 
         if k > 1 and imbalance(graph, part, k) > opts.ubfactor:
             pweights = np.bincount(
@@ -81,6 +88,13 @@ class ParMetis:
                 detail="final rebalance",
             )
 
+        finish_run(
+            profiler,
+            trace=trace,
+            cut=edge_cut(graph, part),
+            imbalance=imbalance(graph, part, k),
+            num_ranks=opts.num_ranks,
+        )
         return PartitionResult(
             method=self.name,
             graph_name=graph.name,

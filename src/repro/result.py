@@ -39,6 +39,12 @@ class PartitionResult:
     def modeled_seconds(self) -> float:
         return self.clock.total_seconds
 
+    @property
+    def profiler(self):
+        """The run's :class:`repro.obs.Profiler`, when the engine attached
+        one to the clock (all multilevel partitioners do)."""
+        return self.clock.profiler
+
     def quality(self, graph: CSRGraph) -> PartitionQuality:
         return evaluate_partition(graph, self.part, self.k)
 

@@ -21,7 +21,13 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Iterable
 
-__all__ = ["CostEvent", "SimClock", "VOLUME_CATEGORIES", "OVERHEAD_CATEGORIES"]
+__all__ = [
+    "CostEvent",
+    "SimClock",
+    "VOLUME_CATEGORIES",
+    "OVERHEAD_CATEGORIES",
+    "KNOWN_CATEGORIES",
+]
 
 #: Categories whose seconds scale with data volume.
 VOLUME_CATEGORIES = frozenset(
@@ -31,6 +37,9 @@ VOLUME_CATEGORIES = frozenset(
 OVERHEAD_CATEGORIES = frozenset(
     {"launch", "barrier", "message_latency", "transfer_latency", "sync"}
 )
+#: Every category must belong to exactly one scaling group; ``charge``
+#: rejects anything else so a typo cannot silently skew extrapolation.
+KNOWN_CATEGORIES = VOLUME_CATEGORIES | OVERHEAD_CATEGORIES
 
 
 @dataclass(frozen=True)
@@ -50,11 +59,17 @@ class SimClock:
 
     events: list[CostEvent] = field(default_factory=list)
     _phase: str = "setup"
+    #: Optional :class:`repro.obs.Profiler` observing this clock.  Set by
+    #: the profiler itself; ``set_phase`` notifies it so every engine that
+    #: labels phases gets a run -> phase span tree without extra wiring.
+    profiler: object | None = None
 
     # ------------------------------------------------------------------
     def set_phase(self, phase: str) -> None:
         """Set the phase label charged by subsequent events."""
         self._phase = phase
+        if self.profiler is not None:
+            self.profiler.on_phase(phase)
 
     @property
     def phase(self) -> str:
@@ -63,9 +78,19 @@ class SimClock:
     def charge(
         self, category: str, seconds: float, count: float = 0.0, detail: str = ""
     ) -> None:
-        """Record a cost event in the current phase."""
+        """Record a cost event in the current phase.
+
+        ``category`` must belong to :data:`VOLUME_CATEGORIES` or
+        :data:`OVERHEAD_CATEGORIES`; an unknown category would silently
+        land in neither scaling group of :meth:`extrapolated_seconds`.
+        """
         if seconds < 0:
             raise ValueError(f"negative cost: {seconds}")
+        if category not in KNOWN_CATEGORIES:
+            raise ValueError(
+                f"unknown cost category {category!r}; known categories: "
+                f"{', '.join(sorted(KNOWN_CATEGORIES))}"
+            )
         self.events.append(CostEvent(self._phase, category, seconds, count, detail))
 
     # ------------------------------------------------------------------
@@ -134,8 +159,24 @@ class SimClock:
         for other in others:
             self.events.extend(other.events)
 
-    def breakdown(self) -> str:
-        """Human-readable phase x category table for reports."""
+    def breakdown(self, by: str | None = None) -> str | dict[str, float]:
+        """Phase/category shares of the total modeled time.
+
+        With ``by="phase"`` or ``by="category"``, returns percent shares
+        (values summing to 100 when any time was charged).  With no
+        argument, returns the human-readable phase table for reports.
+        """
+        if by is not None:
+            if by == "phase":
+                seconds = self.seconds_by_phase()
+            elif by == "category":
+                seconds = self.seconds_by_category()
+            else:
+                raise ValueError(f"breakdown by must be 'phase' or 'category', got {by!r}")
+            total = self.total_seconds
+            if total <= 0:
+                return {key: 0.0 for key in seconds}
+            return {key: 100.0 * value / total for key, value in seconds.items()}
         lines = [f"total modeled time: {self.total_seconds:.6f} s"]
         for phase, secs in sorted(self.seconds_by_phase().items()):
             lines.append(f"  {phase:<16s} {secs:.6f} s")

@@ -93,17 +93,24 @@ class Trace:
                 )
         if self.refinements:
             lines.append("refinement:")
-            seen: set[int] = set()
+            # Aggregate passes per level: first pass's cut_before to the
+            # last pass's cut_after, so multi-pass convergence is visible
+            # instead of only the first record per level.
+            per_level: dict[int, list[RefinementRecord]] = {}
             for r in self.refinements:
-                if r.level in seen:
-                    continue
-                seen.add(r.level)
-                arrow = "=" if r.cut_after == r.cut_before else (
-                    "v" if r.cut_after < r.cut_before else "^"
+                per_level.setdefault(r.level, []).append(r)
+            for level in sorted(per_level, reverse=True):
+                passes = per_level[level]
+                first, last = passes[0], passes[-1]
+                arrow = "=" if last.cut_after == first.cut_before else (
+                    "v" if last.cut_after < first.cut_before else "^"
                 )
+                engines = sorted({r.engine for r in passes})
                 lines.append(
-                    f"  L{r.level:<2d} cut {r.cut_before:>8d} -> "
-                    f"{r.cut_after:>8d} {arrow} [{r.engine}]"
+                    f"  L{level:<2d} cut {first.cut_before:>8d} -> "
+                    f"{last.cut_after:>8d} {arrow} "
+                    f"({len(passes)} pass{'es' if len(passes) != 1 else ''}) "
+                    f"[{'+'.join(engines)}]"
                 )
         if self.race_reports:
             races = self.races_detected

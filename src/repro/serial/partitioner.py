@@ -15,7 +15,8 @@ import numpy as np
 
 from ..exceptions import InvalidParameterError
 from ..graphs.csr import CSRGraph
-from ..graphs.metrics import edge_cut
+from ..graphs.metrics import edge_cut, imbalance
+from ..obs.hooks import finish_run, profile_run
 from ..result import PartitionResult
 from ..runtime.clock import SimClock
 from ..runtime.machine import PAPER_MACHINE, MachineSpec
@@ -48,6 +49,7 @@ class SerialMetis:
         opts = self.options
         clock = SimClock()
         trace = Trace()
+        profiler = profile_run(clock, engine=self.name, graph=graph, k=k)
         rng = np.random.default_rng(opts.seed)
         t0 = time.perf_counter()
 
@@ -112,6 +114,12 @@ class SerialMetis:
                     )
                 )
 
+        finish_run(
+            profiler,
+            trace=trace,
+            cut=edge_cut(graph, part),
+            imbalance=imbalance(graph, part, k),
+        )
         return PartitionResult(
             method=self.name,
             graph_name=graph.name,

@@ -1,0 +1,139 @@
+"""Unit tests for the perf-baseline snapshot/diff machinery."""
+
+import pytest
+
+from repro.bench.baseline import (
+    BASELINE_SCHEMA,
+    BaselineConfig,
+    Regression,
+    collect_snapshot,
+    diff_snapshots,
+    load_snapshot,
+    render_diff,
+    write_snapshot,
+)
+
+
+def snapshot(**overrides):
+    doc = {
+        "schema": BASELINE_SCHEMA,
+        "config": {"family": "delaunay", "n": 100, "k": 4, "seed": 1,
+                   "methods": ["gp-metis"]},
+        "runs": {
+            "gp-metis": {
+                "modeled_seconds": 1.0,
+                "phases": {"coarsening": 0.6, "initpart": 0.1,
+                           "uncoarsening": 0.3},
+                "cut": 100,
+                "imbalance": 1.01,
+                "metrics": {"kernel.launches": 12},
+            }
+        },
+    }
+    doc["runs"]["gp-metis"].update(overrides)
+    return doc
+
+
+class TestDiffSnapshots:
+    def test_identical_snapshots_clean(self):
+        assert diff_snapshots(snapshot(), snapshot()) == []
+
+    def test_phase_regression_detected(self):
+        cur = snapshot(phases={"coarsening": 0.9, "initpart": 0.1,
+                               "uncoarsening": 0.3})
+        regs = diff_snapshots(snapshot(), cur, tolerance=0.10)
+        assert [r.quantity for r in regs] == ["phase:coarsening"]
+        assert regs[0].method == "gp-metis"
+        assert regs[0].ratio == pytest.approx(1.5)
+
+    def test_within_tolerance_passes(self):
+        cur = snapshot(phases={"coarsening": 0.65, "initpart": 0.1,
+                               "uncoarsening": 0.3})
+        assert diff_snapshots(snapshot(), cur, tolerance=0.10) == []
+
+    def test_total_and_cut_checked(self):
+        regs = diff_snapshots(
+            snapshot(), snapshot(modeled_seconds=2.0, cut=150), tolerance=0.10
+        )
+        assert {r.quantity for r in regs} == {"total", "cut"}
+
+    def test_absolute_floor_shields_tiny_phases(self):
+        base = snapshot(phases={"coarsening": 1e-9})
+        cur = snapshot(phases={"coarsening": 5e-9})  # 5x but sub-floor
+        assert diff_snapshots(base, cur, min_seconds=1e-6) == []
+
+    def test_new_phase_and_method_skipped(self):
+        cur = snapshot(phases={"coarsening": 0.6, "initpart": 0.1,
+                               "uncoarsening": 0.3, "brand-new": 99.0})
+        cur["runs"]["mt-metis"] = {"modeled_seconds": 50.0, "phases": {}}
+        assert diff_snapshots(snapshot(), cur) == []
+
+    def test_missing_method_in_current_skipped(self):
+        cur = snapshot()
+        del cur["runs"]["gp-metis"]
+        assert diff_snapshots(snapshot(), cur) == []
+
+    def test_improvement_never_fails(self):
+        cur = snapshot(modeled_seconds=0.5,
+                       phases={"coarsening": 0.2, "initpart": 0.05,
+                               "uncoarsening": 0.1},
+                       cut=80)
+        assert diff_snapshots(snapshot(), cur) == []
+
+
+class TestRegressionRecord:
+    def test_ratio(self):
+        assert Regression("m", "total", 2.0, 3.0).ratio == 1.5
+        assert Regression("m", "total", 0.0, 3.0).ratio == float("inf")
+
+
+class TestRenderDiff:
+    def test_flags_regressed_rows(self):
+        cur = snapshot(phases={"coarsening": 0.9, "initpart": 0.1,
+                               "uncoarsening": 0.3})
+        out = render_diff(snapshot(), cur, tolerance=0.10)
+        assert "phase:coarsening" in out
+        assert "REGRESSED" in out
+        assert out.count("REGRESSED") == 1
+        assert "1.50x" in out
+
+    def test_missing_method_reported(self):
+        cur = snapshot()
+        del cur["runs"]["gp-metis"]
+        out = render_diff(snapshot(), cur)
+        assert "missing from current run" in out
+
+
+class TestSnapshotIO:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "BENCH_profile.json"
+        write_snapshot(snapshot(), path)
+        assert load_snapshot(path) == snapshot()
+
+    def test_schema_enforced_on_load(self, tmp_path):
+        path = tmp_path / "bad.json"
+        doc = snapshot()
+        doc["schema"] = "something/else"
+        import json
+
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="schema"):
+            load_snapshot(path)
+
+
+@pytest.mark.bench
+class TestCollectSnapshot:
+    """Full workload collection — slow, excluded from tier-1 (make bench)."""
+
+    def test_collect_is_deterministic(self):
+        config = BaselineConfig(n=1500, k=8, seed=5)
+        a = collect_snapshot(config)
+        b = collect_snapshot(config)
+        assert a == b
+        assert diff_snapshots(a, b) == []
+        for method in config.methods:
+            run = a["runs"][method]
+            assert run["modeled_seconds"] > 0
+            assert run["phases"]
+            assert run["cut"] > 0
+            assert run["metrics"]

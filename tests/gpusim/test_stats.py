@@ -1,0 +1,103 @@
+"""Unit tests for kernel/device statistics accounting."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import Device, d2h, h2d
+from repro.gpusim.stats import DeviceStats, KernelStats
+from repro.runtime.machine import PAPER_MACHINE, InterconnectSpec
+
+
+@pytest.fixture
+def dev(clock):
+    return Device(PAPER_MACHINE.gpu, clock)
+
+
+class TestCoalescingEfficiency:
+    def test_no_traffic_is_perfect(self):
+        assert KernelStats("k").coalescing_efficiency == 1.0
+
+    def test_fully_coalesced(self):
+        # 10 transactions move 1280 bytes; all of them were requested.
+        k = KernelStats("k", memory_transactions=10, bytes_requested=1280.0)
+        assert k.coalescing_efficiency == pytest.approx(1.0)
+
+    def test_half_wasted_transactions(self):
+        k = KernelStats("k", memory_transactions=20, bytes_requested=1280.0)
+        assert k.coalescing_efficiency == pytest.approx(0.5)
+
+    def test_sequential_beats_random_on_device(self, dev):
+        a = dev.adopt(np.zeros(1 << 14, dtype=np.int64))
+        with dev.kernel("seq", 1024) as k:
+            k.gather(a, np.arange(1024))
+        with dev.kernel("rnd", 1024) as k:
+            k.gather(a, np.random.default_rng(0).permutation(1 << 14)[:1024])
+        seq = dev.stats.kernel("seq").coalescing_efficiency
+        rnd = dev.stats.kernel("rnd").coalescing_efficiency
+        assert 0.0 < rnd < seq <= 1.0
+
+    def test_accumulates_across_launches(self, dev):
+        a = dev.adopt(np.zeros(4096, dtype=np.int64))
+        for _ in range(3):
+            with dev.kernel("rep", 256) as k:
+                k.gather(a, np.arange(256))
+        ks = dev.stats.kernel("rep")
+        assert ks.launches == 3
+        # Efficiency is a ratio of accumulated totals, not a per-launch mean,
+        # so identical launches leave it unchanged.
+        assert ks.coalescing_efficiency == pytest.approx(
+            ks.bytes_requested / (ks.memory_transactions * 128.0)
+        )
+
+
+class TestTransferAccounting:
+    def test_h2d_bytes_and_count(self, dev):
+        host = np.arange(1000, dtype=np.int64)  # 8000 B
+        h2d(dev, host, InterconnectSpec(), label="x")
+        h2d(dev, host[:500], InterconnectSpec(), label="y")
+        assert dev.stats.h2d_transfers == 2
+        assert dev.stats.h2d_bytes == 8000 + 4000
+        assert dev.stats.d2h_transfers == 0
+
+    def test_d2h_bytes_and_count(self, dev):
+        d = h2d(dev, np.arange(256, dtype=np.int64), InterconnectSpec())
+        d2h(d, InterconnectSpec())
+        d2h(d, InterconnectSpec())
+        assert dev.stats.d2h_transfers == 2
+        assert dev.stats.d2h_bytes == 2 * 256 * 8
+
+    def test_directions_accounted_separately(self, dev):
+        d = h2d(dev, np.arange(64, dtype=np.int64), InterconnectSpec())
+        d2h(d, InterconnectSpec())
+        assert dev.stats.h2d_bytes == 512
+        assert dev.stats.d2h_bytes == 512
+        assert (dev.stats.h2d_transfers, dev.stats.d2h_transfers) == (1, 1)
+
+    def test_peak_memory_high_water_mark(self, dev):
+        a = dev.alloc(1000)  # 8000 B
+        b = dev.alloc(500)  # 4000 B -> peak 12000
+        a.free()
+        dev.alloc(100)  # well under the old peak
+        b.free()
+        assert dev.stats.peak_memory_bytes == 12000
+
+    def test_report_includes_transfer_line(self, dev):
+        h2d(dev, np.arange(8, dtype=np.int64), InterconnectSpec())
+        text = dev.stats.report()
+        assert "1 H2D (64 B)" in text
+        assert "peak device memory" in text
+
+
+class TestDeviceStatsAggregation:
+    def test_fresh_stats_empty(self):
+        s = DeviceStats()
+        assert s.total_launches == 0
+        assert s.total_kernel_seconds == 0.0
+        assert s.by_phase_prefix() == {}
+
+    def test_by_phase_prefix_groups_kernel_names(self):
+        s = DeviceStats()
+        s.kernel("coarsen.match").seconds = 1.0
+        s.kernel("coarsen.contract").seconds = 2.0
+        s.kernel("refine.scan").seconds = 4.0
+        assert s.by_phase_prefix() == {"coarsen": 3.0, "refine": 4.0}

@@ -1,0 +1,142 @@
+"""Unit tests for the exporters and their schema validators."""
+
+import pytest
+
+from repro.obs import (
+    CHROME_TRACE_SCHEMA,
+    METRICS_SCHEMA,
+    Profiler,
+    SchemaError,
+    chrome_trace,
+    metrics_json,
+    render_tree,
+    validate_chrome_trace,
+    validate_metrics,
+    write_chrome_trace,
+    write_metrics_json,
+)
+from repro.runtime.clock import SimClock
+from repro.runtime.trace import Trace
+
+
+def make_profiler():
+    """run -> 2 phases -> level -> repeated kernels, over 3 modeled seconds."""
+    clock = SimClock()
+    prof = Profiler(clock, engine="gp-metis", graph="g", k=4)
+    clock.set_phase("coarsening")
+    with prof.span("level 0", category="level"):
+        for _ in range(3):
+            t0 = clock.total_seconds
+            clock.charge("compute", 0.5)
+            prof.add_span("gpu.match", t0, clock.total_seconds, category="kernel")
+    clock.set_phase("initpart")
+    clock.charge("compute", 1.5)
+    prof.finish(cut=11)
+    return prof
+
+
+class TestChromeTrace:
+    def test_valid_and_microseconds(self):
+        doc = chrome_trace(make_profiler())
+        validate_chrome_trace(doc)
+        assert doc["otherData"]["schema"] == CHROME_TRACE_SCHEMA
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        run = next(e for e in complete if e["cat"] == "run")
+        assert run["dur"] == pytest.approx(3.0 * 1e6)
+        kernels = [e for e in complete if e["cat"] == "kernel"]
+        assert len(kernels) == 3
+        assert all(e["dur"] == pytest.approx(0.5 * 1e6) for e in kernels)
+
+    def test_metadata_names_process(self):
+        doc = chrome_trace(make_profiler())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert any(e["args"]["name"] == "repro:gp-metis" for e in meta)
+
+    def test_trace_notes_become_instant_events(self):
+        prof = make_profiler()
+        trace = Trace()
+        trace.note("fell back to CPU")
+        prof.attach_trace(trace)
+        doc = chrome_trace(prof)
+        validate_chrome_trace(doc)
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert [e["name"] for e in instants] == ["fell back to CPU"]
+
+    def test_validator_rejects_bad_docs(self):
+        good = chrome_trace(make_profiler())
+        with pytest.raises(SchemaError):
+            validate_chrome_trace({"traceEvents": []})
+        bad_schema = dict(good, otherData={"schema": "nope"})
+        with pytest.raises(SchemaError, match="schema"):
+            validate_chrome_trace(bad_schema)
+        bad_event = dict(good)
+        bad_event["traceEvents"] = good["traceEvents"] + [
+            {"name": "x", "ph": "X", "pid": 0, "tid": 0, "ts": 0, "dur": -1}
+        ]
+        with pytest.raises(SchemaError, match="negative"):
+            validate_chrome_trace(bad_event)
+
+
+class TestMetricsJson:
+    def test_phase_shares_sum_to_one(self):
+        doc = metrics_json(make_profiler())
+        validate_metrics(doc)
+        assert doc["schema"] == METRICS_SCHEMA
+        assert doc["run"]["engine"] == "gp-metis"
+        assert doc["run"]["modeled_seconds"] == pytest.approx(3.0)
+        assert doc["run"]["max_depth"] >= 3
+        shares = [p["share"] for p in doc["phases"].values()]
+        assert sum(shares) == pytest.approx(1.0)
+        assert doc["phases"]["coarsening"]["seconds"] == pytest.approx(1.5)
+
+    def test_registry_included(self):
+        prof = make_profiler()
+        prof.metrics.counter("transfer.h2d_bytes").inc(4096)
+        doc = metrics_json(prof)
+        assert doc["metrics"]["counters"]["transfer.h2d_bytes"] == 4096
+
+    def test_validator_rejects_negative_counter(self):
+        doc = metrics_json(make_profiler())
+        doc["metrics"]["counters"]["bad"] = -3
+        with pytest.raises(SchemaError, match="non-negative"):
+            validate_metrics(doc)
+
+    def test_validator_requires_run_keys(self):
+        doc = metrics_json(make_profiler())
+        del doc["run"]["engine"]
+        with pytest.raises(SchemaError, match="engine"):
+            validate_metrics(doc)
+
+
+class TestRenderTree:
+    def test_folds_repeated_kernels(self):
+        out = render_tree(make_profiler())
+        assert "run: run" in out
+        assert "coarsening" in out and "level 0" in out
+        assert "gpu.match" in out and "x3" in out
+        assert "cut = 11" in out
+
+    def test_max_depth_truncates(self):
+        out = render_tree(make_profiler(), max_depth=1)
+        assert "coarsening" in out
+        assert "level 0" not in out
+
+    def test_appends_attached_trace(self):
+        prof = make_profiler()
+        trace = Trace()
+        trace.note("hello from the trace")
+        prof.attach_trace(trace)
+        assert "hello from the trace" in render_tree(prof)
+
+
+class TestWriters:
+    def test_roundtrip_files(self, tmp_path):
+        import json
+
+        prof = make_profiler()
+        tdoc = write_chrome_trace(prof, tmp_path / "t.json")
+        mdoc = write_metrics_json(prof, tmp_path / "m.json")
+        assert json.loads((tmp_path / "t.json").read_text()) == tdoc
+        assert json.loads((tmp_path / "m.json").read_text()) == mdoc
+        validate_chrome_trace(tdoc)
+        validate_metrics(mdoc)

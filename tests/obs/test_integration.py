@@ -1,0 +1,117 @@
+"""End-to-end observability: real partitioner runs under the profiler."""
+
+import pytest
+
+from repro.api import partition
+from repro.graphs import generators
+from repro.obs import metrics_json, render_tree, validate_chrome_trace, validate_metrics
+from repro.obs.export import chrome_trace
+
+
+@pytest.fixture(scope="module")
+def hybrid_result():
+    """GP-metis on a graph large enough to exercise the GPU stage."""
+    graph = generators.delaunay(3000, seed=3)
+    return partition(graph, 8, method="gp-metis", seed=3, gpu_threshold_min=1024)
+
+
+class TestHybridRun:
+    def test_profiler_attached_to_result(self, hybrid_result):
+        prof = hybrid_result.profiler
+        assert prof is not None
+        assert prof.root.closed
+        assert prof.root.attrs["engine"] == "gp-metis"
+
+    def test_span_tree_run_phase_kernel(self, hybrid_result):
+        root = hybrid_result.profiler.root
+        assert root.max_depth >= 3
+        assert root.find_category("phase")
+        assert root.find_category("kernel")
+        assert root.find_category("level")
+        # Kernel spans nest strictly below the root (phase or level parents).
+        assert not any(s.category == "kernel" for s in root.children)
+
+    def test_all_spans_closed_and_ordered(self, hybrid_result):
+        for span, _ in hybrid_result.profiler.root.walk():
+            assert span.closed, f"span {span.name!r} left open"
+            assert span.end >= span.start
+
+    def test_both_engines_reported(self, hybrid_result):
+        m = hybrid_result.profiler.metrics
+        assert m.value("matching.conflict_rate", engine="gpu") is not None
+        assert m.value("matching.conflict_rate", engine="cpu-threads") is not None
+        assert m.value("refine.commit_ratio", engine="gpu") is not None
+        assert m.value("refine.commit_ratio", engine="cpu-threads") is not None
+
+    def test_device_metrics_present(self, hybrid_result):
+        m = hybrid_result.profiler.metrics
+        assert m.value("transfer.h2d_bytes") > 0
+        assert m.value("transfer.d2h_bytes") > 0
+        assert m.value("kernel.launches") > 0
+        assert 0.0 < m.value("kernel.coalescing_efficiency") <= 1.0
+
+    def test_partition_quality_metrics(self, hybrid_result):
+        m = hybrid_result.profiler.metrics
+        assert m.value("partition.cut") == hybrid_result.profiler.root.attrs["cut"]
+        assert m.value("partition.imbalance") > 0
+
+    def test_exports_validate(self, hybrid_result):
+        prof = hybrid_result.profiler
+        validate_chrome_trace(chrome_trace(prof))
+        doc = metrics_json(prof)
+        validate_metrics(doc)
+        assert doc["run"]["max_depth"] >= 3
+
+    def test_render_tree_subsumes_trace_render(self, hybrid_result):
+        out = render_tree(hybrid_result.profiler)
+        assert "run: gp-metis" in out
+        assert "coarsening funnel:" in out  # the attached Trace's section
+        assert "refinement:" in out
+
+    def test_span_tree_consistent_with_ledger(self, hybrid_result):
+        """Phase durations must equal the clock's own per-phase seconds."""
+        clock = hybrid_result.clock
+        by_phase = clock.seconds_by_phase()
+        for span in hybrid_result.profiler.root.find_category("phase"):
+            if span.duration > 0:
+                assert span.duration <= by_phase.get(span.name, 0.0) + 1e-12
+
+
+class TestOtherEngines:
+    @pytest.mark.parametrize(
+        "method,engine",
+        [("mt-metis", "cpu-threads"), ("gmetis", "galois"), ("metis", "cpu-serial")],
+    )
+    def test_engines_share_the_hook(self, medium_graph, method, engine):
+        result = partition(medium_graph, 4, method=method, seed=1)
+        prof = result.profiler
+        assert prof is not None
+        assert prof.root.closed
+        assert prof.root.find_category("phase")
+        assert prof.metrics.value("partition.cut") is not None
+        doc = metrics_json(prof)
+        validate_metrics(doc)
+        if method != "metis":  # the serial engine records no matching trace
+            assert prof.metrics.value("matching.conflict_rate", engine=engine) is not None
+
+    def test_parmetis_levels(self, medium_graph):
+        result = partition(medium_graph, 4, method="parmetis", seed=1, num_ranks=4)
+        prof = result.profiler
+        assert prof is not None
+        levels = prof.root.find_category("level")
+        assert levels
+        assert all(s.attrs["engine"] == "mpi" for s in levels)
+
+    def test_device_works_without_profiler(self, clock):
+        """The GPU simulator's span hooks degrade when no profiler exists."""
+        import numpy as np
+
+        from repro.gpusim import Device, h2d
+        from repro.runtime.machine import PAPER_MACHINE, InterconnectSpec
+
+        dev = Device(PAPER_MACHINE.gpu, clock)
+        a = h2d(dev, np.arange(64), InterconnectSpec())
+        with dev.kernel("k", 64) as kctx:
+            kctx.stream_read(a)
+        assert getattr(clock, "profiler", None) is None
+        assert dev.stats.total_launches == 1

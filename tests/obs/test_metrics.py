@@ -1,0 +1,89 @@
+"""Unit tests for the run-scoped metrics registry."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, metric_key
+
+
+class TestMetricKey:
+    def test_plain_name(self):
+        assert metric_key("matching.pairs") == "matching.pairs"
+        assert metric_key("matching.pairs", {}) == "matching.pairs"
+
+    def test_labels_sorted(self):
+        key = metric_key("x", {"engine": "gpu", "device": "0"})
+        assert key == "x{device=0,engine=gpu}"
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(4.5)
+        assert c.value == pytest.approx(5.5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            Counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("g")
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+
+class TestHistogram:
+    def test_streaming_summary(self):
+        h = Histogram("h")
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.mean == pytest.approx(2.0)
+        s = h.summary()
+        assert s["min"] == 1.0 and s["max"] == 3.0 and s["sum"] == 6.0
+
+    def test_empty_summary(self):
+        s = Histogram("h").summary()
+        assert s == {"count": 0, "sum": 0.0, "min": None, "max": None, "mean": None}
+        assert Histogram("h").mean == 0.0
+
+
+class TestMetricsRegistry:
+    def test_create_on_first_use(self):
+        reg = MetricsRegistry()
+        reg.counter("transfer.h2d_bytes").inc(100)
+        reg.counter("transfer.h2d_bytes").inc(50)
+        assert reg.value("transfer.h2d_bytes") == 150
+
+    def test_labels_separate_series(self):
+        reg = MetricsRegistry()
+        reg.gauge("matching.conflict_rate", engine="gpu").set(0.4)
+        reg.gauge("matching.conflict_rate", engine="cpu-threads").set(0.1)
+        assert reg.value("matching.conflict_rate", engine="gpu") == 0.4
+        assert reg.value("matching.conflict_rate", engine="cpu-threads") == 0.1
+
+    def test_cross_type_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="another type"):
+            reg.gauge("x")
+
+    def test_value_falls_back_to_histogram_mean(self):
+        reg = MetricsRegistry()
+        reg.histogram("kernel.seconds").observe(2.0)
+        reg.histogram("kernel.seconds").observe(4.0)
+        assert reg.value("kernel.seconds") == pytest.approx(3.0)
+        assert reg.value("never.registered") is None
+
+    def test_as_dict_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(0.5)
+        reg.histogram("h").observe(1.0)
+        doc = reg.as_dict()
+        assert doc["counters"] == {"c": 2}
+        assert doc["gauges"] == {"g": 0.5}
+        assert doc["histograms"]["h"]["count"] == 1

@@ -1,0 +1,153 @@
+"""Unit tests for hierarchical spans and the profiler stack."""
+
+import pytest
+
+from repro.obs import Profiler, Span, clock_span
+from repro.runtime.clock import SimClock
+
+
+class TestSpan:
+    def test_duration_and_closed(self):
+        s = Span("x", start=1.0)
+        assert not s.closed
+        assert s.duration == 0.0
+        s.end = 3.5
+        assert s.closed
+        assert s.duration == pytest.approx(2.5)
+
+    def test_self_seconds_excludes_children(self):
+        s = Span("parent", start=0.0, end=10.0)
+        s.children.append(Span("a", start=0.0, end=4.0))
+        s.children.append(Span("b", start=4.0, end=7.0))
+        assert s.self_seconds == pytest.approx(3.0)
+
+    def test_self_seconds_clamped_nonnegative(self):
+        s = Span("parent", start=0.0, end=1.0)
+        s.children.append(Span("a", start=0.0, end=5.0))
+        assert s.self_seconds == 0.0
+
+    def test_walk_and_depth(self):
+        root = Span("root")
+        child = Span("child")
+        child.children.append(Span("leaf"))
+        root.children.append(child)
+        names = [(s.name, d) for s, d in root.walk()]
+        assert names == [("root", 0), ("child", 1), ("leaf", 2)]
+        assert root.max_depth == 3
+
+    def test_find_by_name_and_category(self):
+        root = Span("root")
+        root.children.append(Span("k", category="kernel"))
+        root.children.append(Span("k", category="kernel"))
+        root.children.append(Span("t", category="transfer"))
+        assert len(root.find("k")) == 2
+        assert len(root.find_category("kernel")) == 2
+        assert root.find("missing") == []
+
+
+class TestProfiler:
+    def test_attaches_to_clock(self):
+        clock = SimClock()
+        prof = Profiler(clock, engine="x")
+        assert clock.profiler is prof
+        assert prof.root.attrs["engine"] == "x"
+
+    def test_spans_read_simulated_time(self):
+        clock = SimClock()
+        clock.set_phase("p")
+        prof = Profiler(clock)
+        span = prof.begin("work")
+        clock.charge("compute", 2.0)
+        prof.end(span)
+        assert span.start == pytest.approx(0.0)
+        assert span.duration == pytest.approx(2.0)
+
+    def test_nesting_and_mismatch(self):
+        clock = SimClock()
+        clock.set_phase("p")
+        prof = Profiler(clock)
+        outer = prof.begin("outer")
+        inner = prof.begin("inner")
+        with pytest.raises(ValueError, match="mismatch"):
+            prof.end(outer)
+        # A rejected end leaves the stack intact.
+        assert prof.current is inner
+        prof.end(inner)
+        prof.end(outer)
+        assert outer.children == [inner]
+
+    def test_cannot_end_root(self):
+        clock = SimClock()
+        prof = Profiler(clock)
+        with pytest.raises(ValueError, match="root"):
+            prof.end()
+
+    def test_span_context_closes_orphans(self):
+        clock = SimClock()
+        clock.set_phase("p")
+        prof = Profiler(clock)
+        with prof.span("outer") as outer:
+            prof.begin("leaked")  # never explicitly ended
+        assert outer.closed
+        assert all(c.closed for c in outer.children)
+        assert prof.current is prof.root  # stack unwound past the orphan
+
+    def test_set_phase_opens_phase_spans(self):
+        clock = SimClock()
+        prof = Profiler(clock)
+        clock.set_phase("coarsening")
+        clock.charge("compute", 1.0)
+        clock.set_phase("initpart")
+        clock.charge("compute", 0.5)
+        prof.finish()
+        phases = prof.root.find_category("phase")
+        assert [p.name for p in phases] == ["coarsening", "initpart"]
+        assert phases[0].duration == pytest.approx(1.0)
+        assert phases[1].duration == pytest.approx(0.5)
+
+    def test_phase_change_closes_open_children(self):
+        clock = SimClock()
+        prof = Profiler(clock)
+        clock.set_phase("a")
+        prof.begin("level 0", category="level")
+        clock.set_phase("b")  # must fold level 0 back into phase a
+        prof.finish()
+        level = prof.root.find("level 0")[0]
+        assert level.closed
+
+    def test_add_span_attaches_complete_child(self):
+        clock = SimClock()
+        prof = Profiler(clock)
+        s = prof.add_span("gpu.match", 0.1, 0.3, threads=64)
+        assert s in prof.root.children
+        assert s.closed and s.duration == pytest.approx(0.2)
+        assert prof.current is prof.root  # add_span does not push the stack
+
+    def test_finish_closes_everything(self):
+        clock = SimClock()
+        prof = Profiler(clock)
+        clock.set_phase("a")
+        prof.begin("deep")
+        clock.charge("compute", 1.0)
+        root = prof.finish(cut=42)
+        assert root.closed
+        assert root.attrs["cut"] == 42
+        assert all(s.closed for s, _ in root.walk())
+
+
+class TestClockSpan:
+    def test_noop_without_profiler(self):
+        clock = SimClock()
+        with clock_span(clock, "x") as span:
+            assert span is None
+
+    def test_records_with_profiler(self):
+        clock = SimClock()
+        clock.set_phase("p")
+        prof = Profiler(clock)
+        with clock_span(clock, "level 0", category="level", engine="gpu") as span:
+            clock.charge("compute", 0.25)
+        assert span.closed
+        assert span.duration == pytest.approx(0.25)
+        assert span.attrs["engine"] == "gpu"
+        assert span.category == "level"

@@ -41,6 +41,41 @@ class TestCharging:
         clock.charge("compute", 1.5)
         assert "1.5" in clock.breakdown()
 
+    def test_unknown_category_rejected(self, clock):
+        with pytest.raises(ValueError, match="unknown cost category"):
+            clock.charge("warp_shuffle", 0.1)
+
+
+class TestBreakdownShares:
+    def test_by_phase_percent_shares(self):
+        c = SimClock()
+        c.set_phase("coarsening")
+        c.charge("compute", 3.0)
+        c.set_phase("initpart")
+        c.charge("compute", 1.0)
+        shares = c.breakdown(by="phase")
+        assert shares == {"coarsening": 75.0, "initpart": 25.0}
+        assert sum(shares.values()) == pytest.approx(100.0)
+
+    def test_by_category_percent_shares(self, clock):
+        clock.charge("compute", 1.0)
+        clock.charge("memory", 1.0)
+        clock.charge("launch", 2.0)
+        shares = clock.breakdown(by="category")
+        assert shares["launch"] == pytest.approx(50.0)
+        assert shares["compute"] == pytest.approx(25.0)
+
+    def test_empty_clock_all_zero(self):
+        assert SimClock().breakdown(by="phase") == {}
+        c = SimClock()
+        c.set_phase("p")
+        c.charge("compute", 0.0)
+        assert c.breakdown(by="phase") == {"p": 0.0}
+
+    def test_unknown_by_rejected(self, clock):
+        with pytest.raises(ValueError, match="breakdown by"):
+            clock.breakdown(by="kernel")
+
 
 class TestExtrapolation:
     def test_volume_scales_linearly(self, clock):

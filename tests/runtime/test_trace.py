@@ -74,6 +74,27 @@ class TestTraceAggregation:
     def test_render_empty_trace(self):
         assert Trace().render() == ""
 
+    def test_render_refinement_spans_first_to_last_pass(self):
+        """Multi-pass levels must show first cut -> last cut, not pass 0 only."""
+        t = Trace()
+        t.refinements.append(RefinementRecord(0, 0, 50, 30, 900, 860, engine="gpu"))
+        t.refinements.append(RefinementRecord(0, 1, 40, 20, 860, 830, engine="gpu"))
+        t.refinements.append(RefinementRecord(0, 2, 30, 10, 830, 815, engine="gpu"))
+        out = t.render()
+        assert "900 ->      815 v" in out
+        assert "(3 passes)" in out
+        assert "830" not in out  # intermediate cuts are folded away
+
+    def test_render_refinement_single_pass_and_engines(self):
+        t = Trace()
+        t.refinements.append(RefinementRecord(1, 0, 10, 5, 500, 480, engine="gpu"))
+        t.refinements.append(RefinementRecord(0, 0, 10, 5, 480, 470, engine="gpu"))
+        t.refinements.append(RefinementRecord(0, 1, 10, 5, 470, 460, engine="cpu-threads"))
+        out = t.render()
+        assert "(1 pass)" in out  # level 1
+        assert "(2 passes)" in out  # level 0
+        assert "[cpu-threads+gpu]" in out or "[gpu+cpu-threads]" in out
+
 
 class TestTraceRaceReports:
     def clean_report(self):

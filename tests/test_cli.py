@@ -23,6 +23,7 @@ class TestParser:
             ["generate", "--family", "delaunay", "-o", "x.graph"],
             ["bench"],
             ["info", "x.graph"],
+            ["profile", "x.graph"],
         ):
             args = parser.parse_args(argv)
             assert args.command == argv[0]
@@ -80,6 +81,42 @@ class TestGenerateCommand:
             build_parser().parse_args(
                 ["generate", "--dataset", "ldoor", "--family", "road", "-o", "x"]
             )
+
+
+class TestProfileCommand:
+    def test_exports_and_validates(self, graph_file, tmp_path, capsys):
+        import json
+
+        trace_out = tmp_path / "run.json"
+        metrics_out = tmp_path / "metrics.json"
+        rc = main([
+            "profile", str(graph_file), "-k", "8", "--method", "mt-metis",
+            "--trace-out", str(trace_out), "--metrics-out", str(metrics_out),
+        ])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "run: mt-metis" in text
+        assert "ui.perfetto.dev" in text
+        trace_doc = json.loads(trace_out.read_text())
+        assert trace_doc["otherData"]["schema"] == "repro.obs.chrome-trace/1"
+        metrics_doc = json.loads(metrics_out.read_text())
+        assert metrics_doc["run"]["engine"] == "mt-metis"
+        assert metrics_doc["run"]["k"] == 8
+
+    def test_tree_only_without_outputs(self, graph_file, capsys):
+        rc = main(["profile", str(graph_file), "-k", "4", "--method", "mt-metis"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "coarsening" in text and "uncoarsening" in text
+        assert "wrote" not in text
+
+    def test_depth_limits_tree(self, graph_file, capsys):
+        rc = main([
+            "profile", str(graph_file), "-k", "4", "--method", "mt-metis",
+            "--depth", "1",
+        ])
+        assert rc == 0
+        assert "level 0" not in capsys.readouterr().out
 
 
 class TestInfoCommand:
