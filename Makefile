@@ -1,10 +1,11 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check tier1 sanitize-smoke profile-smoke baseline fuzz bench test
+.PHONY: check tier1 sanitize-smoke profile-smoke baseline gate report fuzz bench test
 
-# The gate: tier-1 suite + the sanitizer and observability self-checks.
-check: tier1 sanitize-smoke profile-smoke
+# The gate: tier-1 suite + the sanitizer and observability self-checks
+# + the policy-driven perf-regression gate on the committed ledger.
+check: tier1 sanitize-smoke profile-smoke gate
 
 # Tier-1: the fast suite (fuzz/bench-marked tests excluded via pyproject).
 tier1:
@@ -21,8 +22,22 @@ profile-smoke:
 
 # Perf gate: diff the profiled workload against benchmarks/BENCH_profile.json
 # (seeds the baseline on first run; --update after intentional perf changes).
+# Subsumed by `make gate`, kept for the old snapshot format.
 baseline:
 	$(PYTHON) benchmarks/baseline.py
+
+# Generalized perf-regression gate: fresh runs of the gate workload vs the
+# committed baseline ledger, under the multi-metric tolerance policy.
+# After an intentional perf change: `python -m repro gate --baseline
+# benchmarks/BENCH_ledger.jsonl --policy benchmarks/gate_policy.json --update`
+# and commit the rewritten ledger with the PR that moved it.
+gate:
+	$(PYTHON) -m repro gate --baseline benchmarks/BENCH_ledger.jsonl \
+		--policy benchmarks/gate_policy.json
+
+# Render the committed baseline ledger as a self-contained HTML report.
+report:
+	$(PYTHON) -m repro report --ledger benchmarks/BENCH_ledger.jsonl -o report.html
 
 # Long adversarial-schedule sweeps (not part of tier-1).
 fuzz:

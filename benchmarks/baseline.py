@@ -16,6 +16,12 @@ Workflow (see docs/OBSERVABILITY.md):
 
 Modeled seconds are deterministic, so a diff is always a real change in
 charged work, never timer noise.
+
+Subsumed by the generalized gate: ``python -m repro gate --baseline
+benchmarks/BENCH_ledger.jsonl --policy benchmarks/gate_policy.json``
+(``make gate``) covers phase seconds *and* cut, imbalance, PCIe bytes,
+conflict rate, coalescing under one policy file. This script stays for
+the older single-tolerance snapshot format.
 """
 
 from __future__ import annotations

@@ -13,7 +13,13 @@ from .baseline import (
 from .calibrate import CALIBRATION_NOTES, ShapeCheck, check_paper_shape
 from .figures import fig5_csv, fig5_series, render_fig5
 from .profiling import Hotspot, hotspot_table, profile_partition
-from .report import markdown_report, write_report
+from .report import (
+    BENCH_RESULTS_SCHEMA,
+    markdown_report,
+    results_json,
+    write_report,
+    write_results_json,
+)
 from .scaling import ScalingPoint, ScalingStudy, render_scaling, run_scaling_study
 from .harness import (
     DEFAULT_METHODS,
@@ -61,7 +67,10 @@ __all__ = [
     "CALIBRATION_NOTES",
     "ShapeCheck",
     "check_paper_shape",
+    "BENCH_RESULTS_SCHEMA",
     "markdown_report",
+    "results_json",
+    "write_results_json",
     "write_report",
     "Hotspot",
     "profile_partition",

@@ -1,21 +1,33 @@
-"""Markdown report generation for experiment runs.
+"""Report generation for experiment runs: markdown and machine-readable.
 
 Produces an EXPERIMENTS.md-style document from an
 :class:`~repro.bench.harness.ExperimentResults`, so `python -m repro
 bench --output report.md` (and CI jobs) can archive reproducible
-snapshots of the evaluation.
+snapshots of the evaluation — plus a flat ``BENCH_results.json``
+(schema ``repro.bench.results/1``) with per-engine, per-graph modeled
+seconds and edge cuts, so the perf trajectory is trackable by tools,
+not just by eyeballs.
 """
 
 from __future__ import annotations
 
+import json
 import time
 
 from .calibrate import check_paper_shape
 from .figures import fig5_csv, fig5_series
-from .harness import ExperimentResults
+from .harness import DEFAULT_METHODS, ExperimentResults
 from .tables import table1_rows, table2_rows, table3_rows
 
-__all__ = ["markdown_report", "write_report"]
+__all__ = [
+    "BENCH_RESULTS_SCHEMA",
+    "markdown_report",
+    "write_report",
+    "results_json",
+    "write_results_json",
+]
+
+BENCH_RESULTS_SCHEMA = "repro.bench.results/1"
 
 
 def _md_table(header: list[str], rows: list[list[str]]) -> str:
@@ -108,3 +120,53 @@ def write_report(results: ExperimentResults, path, title: str | None = None) -> 
     )
     with open(path, "w") as f:
         f.write(doc)
+
+
+def results_json(results: ExperimentResults) -> dict:
+    """The evaluation grid as one flat, diff-friendly JSON document."""
+    cfg = results.config
+    runs: dict[str, dict] = {}
+    for (dataset, method), run in sorted(results.runs.items()):
+        runs.setdefault(dataset, {})[method] = {
+            "modeled_seconds": run.modeled_seconds,
+            "paper_scale_seconds": run.paper_scale_seconds,
+            "cut": int(run.cut),
+            "imbalance": float(run.quality.imbalance),
+            "comm_volume": int(run.quality.comm_volume),
+        }
+    # The Sec. IV shape claims compare all four methods; on a filtered
+    # grid (bench --methods ...) they are unanswerable, not failed.
+    checks = []
+    if set(DEFAULT_METHODS) <= set(cfg.methods):
+        checks = [
+            {"claim": c.claim, "holds": bool(c.holds), "detail": c.detail}
+            for c in check_paper_shape(results)
+        ]
+    return {
+        "schema": BENCH_RESULTS_SCHEMA,
+        "written_at": time.time(),
+        "config": {
+            "k": cfg.k,
+            "ubfactor": cfg.ubfactor,
+            "datasets": list(cfg.datasets),
+            "methods": list(cfg.methods),
+            "scales": dict(cfg.scales),
+            "repeats": cfg.repeats,
+            "seed": cfg.seed,
+        },
+        "graphs": {
+            name: {"vertices": int(g.num_vertices), "edges": int(g.num_edges)}
+            for name, g in results.graphs.items()
+        },
+        "runs": runs,
+        "paper_shape_checks": checks,
+    }
+
+
+def write_results_json(results: ExperimentResults, path) -> dict:
+    """Write the machine-readable results document to ``path``."""
+    doc = results_json(results)
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=1, sort_keys=True)
+        f.write("\n")
+    return doc

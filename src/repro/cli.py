@@ -11,6 +11,14 @@ Commands mirror the classic ``gpmetis`` binary plus this repo's extras:
 * ``profile`` — partition under the span profiler and export the run as
   Chrome trace-event JSON (``--trace-out``, open in Perfetto) and/or a
   flat metrics JSON (``--metrics-out``), printing the ASCII span tree;
+  ``--ledger runs.jsonl`` appends the run to a JSONL run ledger;
+* ``compare`` — diff two ledger runs (or cohorts) with exact per-phase
+  delta attribution down the span tree;
+* ``report`` — render a ledger as a self-contained HTML report (engine
+  comparison tables, phase breakdowns, trend over time);
+* ``gate`` — the generalized perf-regression gate: compare fresh (or
+  recorded) runs against a committed baseline ledger under a
+  schema-validated tolerance policy, exiting non-zero on violation;
 * ``sanitize`` — self-check of the GPU data-race sanitizer: a clean
   GP-metis pipeline must come out race-free and a deliberately broken
   matching kernel (conflict resolution disabled) must be flagged.
@@ -93,7 +101,25 @@ def build_parser() -> argparse.ArgumentParser:
     pb.add_argument("--scale", type=float, default=1.0,
                     help="multiplier on the default dataset scales")
     pb.add_argument("--repeats", type=int, default=1)
+    pb.add_argument(
+        "--datasets", metavar="A,B",
+        help="comma-separated subset of the paper datasets (default: all)",
+    )
+    pb.add_argument(
+        "--methods", metavar="A,B",
+        help="comma-separated subset of methods (default: all four); "
+             "comparative tables and shape checks need the full grid",
+    )
     pb.add_argument("-o", "--output", help="write a markdown report here")
+    pb.add_argument(
+        "--json", metavar="FILE", default="BENCH_results.json",
+        help="write machine-readable per-engine/per-graph results here "
+             "(default: BENCH_results.json)",
+    )
+    pb.add_argument(
+        "--no-json", action="store_true",
+        help="skip writing the machine-readable results file",
+    )
 
     pi = sub.add_parser("info", help="print a graph file's statistics")
     pi.add_argument("graph")
@@ -119,6 +145,58 @@ def build_parser() -> argparse.ArgumentParser:
     pf.add_argument(
         "--depth", type=int, default=None,
         help="limit the printed ASCII tree to this many levels",
+    )
+    pf.add_argument(
+        "--ledger", metavar="FILE",
+        help="append this run to a JSONL run ledger (one record per run: "
+             "config fingerprint, span rollup, metrics snapshot)",
+    )
+
+    pc = sub.add_parser(
+        "compare",
+        help="diff two ledger runs with per-phase delta attribution",
+    )
+    pc.add_argument(
+        "run_a", help="baseline run: LEDGER.jsonl[:INDEX] (default index -1, "
+                      "the newest record; ':*' averages the whole file as a cohort)",
+    )
+    pc.add_argument("run_b", help="current run, same forms as run_a")
+    pc.add_argument(
+        "--ledger", metavar="FILE",
+        help="resolve bare indices / ':*' operands against this ledger file",
+    )
+
+    pr = sub.add_parser(
+        "report", help="render a run ledger as a self-contained HTML report"
+    )
+    pr.add_argument("--ledger", metavar="FILE", required=True,
+                    help="the JSONL run ledger to render")
+    pr.add_argument("-o", "--output", default="report.html",
+                    help="output HTML file (default: report.html)")
+    pr.add_argument("--title", default="repro run ledger")
+
+    pgate = sub.add_parser(
+        "gate",
+        help="perf-regression gate: current runs vs a committed baseline "
+             "ledger under a tolerance policy",
+    )
+    pgate.add_argument(
+        "--baseline", metavar="FILE", required=True,
+        help="committed baseline ledger (JSONL)",
+    )
+    pgate.add_argument(
+        "--policy", metavar="FILE",
+        help="gate policy JSON (schema repro.obs.gate-policy/1); "
+             "defaults to phases+total+cut at 10%%",
+    )
+    pgate.add_argument(
+        "--current", metavar="FILE",
+        help="compare these recorded runs instead of freshly profiling "
+             "the standard gate workload",
+    )
+    pgate.add_argument(
+        "--update", action="store_true",
+        help="rewrite the baseline ledger from the current runs and exit 0",
     )
 
     pa = sub.add_parser("analyze", help="structural profile + cut bounds")
@@ -174,17 +252,30 @@ def _cmd_profile(args) -> int:
         write_chrome_trace,
         write_metrics_json,
     )
+    from .obs import ledger as ledger_mod
 
     graph = read_graph(args.graph)
     print(f"input: {graph}")
-    result = api.partition(
-        graph, args.k, method=args.method, ubfactor=args.ubfactor, seed=args.seed,
-    )
+    if args.ledger:
+        # Route through the finish_run hook, so the engine itself writes
+        # the record — the same path any library caller gets.
+        ledger_mod.set_default_ledger(args.ledger)
+    try:
+        result = api.partition(
+            graph, args.k, method=args.method, ubfactor=args.ubfactor,
+            seed=args.seed,
+        )
+    finally:
+        if args.ledger:
+            ledger_mod.set_default_ledger(None)
     profiler = result.profiler
     if profiler is None:
         print(f"method {args.method!r} does not attach a profiler", file=sys.stderr)
         return 2
     print(render_tree(profiler, max_depth=args.depth))
+    if args.ledger:
+        last = ledger_mod.read_ledger(args.ledger)[-1]
+        print(f"appended run {last['run_id']} to {args.ledger}")
     if args.trace_out:
         validate_chrome_trace(write_chrome_trace(profiler, args.trace_out))
         print(f"wrote {args.trace_out} (chrome trace-event; open at ui.perfetto.dev)")
@@ -192,6 +283,116 @@ def _cmd_profile(args) -> int:
         validate_metrics(write_metrics_json(profiler, args.metrics_out))
         print(f"wrote {args.metrics_out}")
     return 0
+
+
+def _resolve_runs(operand: str, default_ledger: str | None):
+    """A ``compare`` operand -> list of ledger records.
+
+    Forms: ``PATH``, ``PATH:INDEX``, ``PATH:*`` (whole-file cohort), and
+    with ``--ledger`` also bare ``INDEX`` / ``*``.
+    """
+    from .obs import read_ledger
+
+    path, _, selector = operand.rpartition(":")
+    if not path:
+        # No ':' in the operand: a bare path, or (with --ledger) a selector.
+        if default_ledger and (operand == "*" or _is_int(operand)):
+            path, selector = default_ledger, operand
+        else:
+            path, selector = operand, "-1"
+    elif not selector or not (selector == "*" or _is_int(selector)):
+        path, selector = operand, "-1"
+    records = read_ledger(path)
+    if not records:
+        raise ValueError(f"{path}: ledger is empty")
+    if selector == "*":
+        return records
+    index = int(selector)
+    try:
+        return [records[index]]
+    except IndexError:
+        raise ValueError(
+            f"{path}: index {index} out of range ({len(records)} records)"
+        ) from None
+
+
+def _is_int(text: str) -> bool:
+    try:
+        int(text)
+    except ValueError:
+        return False
+    return True
+
+
+def _cmd_compare(args) -> int:
+    from .obs import aggregate_records, compare_runs, render_comparison
+
+    try:
+        base = aggregate_records(_resolve_runs(args.run_a, args.ledger))
+        cur = aggregate_records(_resolve_runs(args.run_b, args.ledger))
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_comparison(compare_runs(base, cur)))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .obs import read_ledger, write_html_report
+
+    try:
+        records = read_ledger(args.ledger)
+        write_html_report(records, args.output, title=args.title)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"wrote {args.output} ({len(records)} run(s); self-contained HTML, "
+        "open in any browser)"
+    )
+    return 0
+
+
+def _cmd_gate(args) -> int:
+    import json
+    import pathlib
+
+    from .obs import (
+        DEFAULT_POLICY,
+        collect_workload_records,
+        evaluate_gate,
+        load_policy,
+        read_ledger,
+        render_gate,
+    )
+
+    try:
+        policy = load_policy(args.policy) if args.policy else DEFAULT_POLICY
+    except (OSError, ValueError) as exc:
+        print(f"error: bad policy: {exc}", file=sys.stderr)
+        return 2
+
+    if args.current:
+        current = read_ledger(args.current)
+        print(f"current: {len(current)} recorded run(s) from {args.current}")
+    else:
+        print("collecting the standard gate workload "
+              "(see repro.bench.baseline.BaselineConfig)...")
+        current = collect_workload_records()
+
+    baseline_path = pathlib.Path(args.baseline)
+    if args.update or not baseline_path.exists():
+        with open(baseline_path, "w") as fh:
+            for record in current:
+                fh.write(json.dumps(record, sort_keys=True,
+                                    separators=(",", ":")) + "\n")
+        print(f"wrote baseline ledger {baseline_path} ({len(current)} run(s))")
+        return 0
+
+    baseline = read_ledger(baseline_path)
+    violations, checks, notes = evaluate_gate(policy, baseline, current)
+    print(render_gate(violations, checks, notes))
+    return 1 if violations else 0
 
 
 def _cmd_generate(args) -> int:
@@ -209,29 +410,43 @@ def _cmd_generate(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    from .bench import DEFAULT_METHODS
+
+    extra = {}
+    if args.datasets:
+        extra["datasets"] = tuple(args.datasets.split(","))
+    if args.methods:
+        extra["methods"] = tuple(args.methods.split(","))
     cfg = ExperimentConfig(
         k=args.k,
         repeats=args.repeats,
         scales={name: s * args.scale for name, s in DEFAULT_SCALES.items()},
+        **extra,
     )
     results = run_experiment(cfg, verbose=True)
+    full_grid = set(DEFAULT_METHODS) <= set(cfg.methods)
     print()
-    for block in (
-        render_table1(results),
-        render_fig5(results),
-        render_table2(results),
-        render_table3(results),
-    ):
+    blocks = [render_table1(results)]
+    if full_grid:
+        blocks += [render_fig5(results), render_table2(results), render_table3(results)]
+    for block in blocks:
         print(block)
         print()
-    failed = [c for c in check_paper_shape(results) if not c.holds]
-    for c in check_paper_shape(results):
-        print(("PASS" if c.holds else "FAIL"), c.claim)
+    failed = []
+    if full_grid:
+        failed = [c for c in check_paper_shape(results) if not c.holds]
+        for c in check_paper_shape(results):
+            print(("PASS" if c.holds else "FAIL"), c.claim)
     if args.output:
         from .bench import write_report
 
         write_report(results, args.output)
         print(f"wrote {args.output}")
+    if args.json and not args.no_json:
+        from .bench import write_results_json
+
+        write_results_json(results, args.json)
+        print(f"wrote {args.json} (machine-readable per-engine results)")
     return 1 if failed else 0
 
 
@@ -351,6 +566,9 @@ def main(argv=None) -> int:
         "bench": _cmd_bench,
         "info": _cmd_info,
         "profile": _cmd_profile,
+        "compare": _cmd_compare,
+        "report": _cmd_report,
+        "gate": _cmd_gate,
         "analyze": _cmd_analyze,
         "sanitize": _cmd_sanitize,
     }[args.command]

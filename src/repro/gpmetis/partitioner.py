@@ -42,7 +42,9 @@ class GPMetis:
         if k < 1:
             raise InvalidParameterError(f"k must be >= 1, got {k}")
         clock = SimClock()
-        profiler = profile_run(clock, engine=self.name, graph=graph, k=k)
+        profiler = profile_run(
+            clock, engine=self.name, graph=graph, k=k, options=self.options
+        )
         t0 = time.perf_counter()
         outcome = run_hybrid(graph, k, self.options, self.machine, clock)
         part = np.asarray(outcome.part, dtype=np.int64)

@@ -199,7 +199,9 @@ class MtMetis:
         opts = self.options
         clock = SimClock()
         trace = Trace()
-        profiler = profile_run(clock, engine=self.name, graph=graph, k=k)
+        profiler = profile_run(
+            clock, engine=self.name, graph=graph, k=k, options=self.options
+        )
         pool = ThreadPoolSim(opts.num_threads, self.machine.cpu, clock)
         rng = np.random.default_rng(opts.seed)
         t0 = time.perf_counter()

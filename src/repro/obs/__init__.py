@@ -1,4 +1,4 @@
-"""Span-based observability: hierarchical profiler, metrics, exporters.
+"""Span-based observability: profiler, metrics, exporters, cross-run tools.
 
 The paper's entire argument is a runtime breakdown (Tables II-III,
 Fig. 5); this package is the layer that produces those breakdowns from
@@ -9,10 +9,25 @@ reports the same metric set through :func:`profile_run` /
 :func:`finish_run`, and exporters emit Chrome trace-event JSON
 (Perfetto-loadable), a flat metrics JSON, and an ASCII tree.
 
+On top of the single-run layer sit the *cross-run* tools: the
+append-only JSONL run ledger (:mod:`repro.obs.ledger`), the comparative
+analyzer with exact per-phase delta attribution
+(:mod:`repro.obs.compare`), the policy-driven regression gate
+(:mod:`repro.obs.gate`), and the self-contained HTML report
+(:mod:`repro.obs.report`).
+
 See docs/OBSERVABILITY.md for the span model, exporter formats, and the
-perf-baseline workflow (``benchmarks/baseline.py``).
+ledger/compare/gate/report workflow.
 """
 
+from .compare import (
+    MetricDelta,
+    NodeDelta,
+    RunComparison,
+    aggregate_records,
+    compare_runs,
+    render_comparison,
+)
 from .export import (
     CHROME_TRACE_SCHEMA,
     METRICS_SCHEMA,
@@ -22,14 +37,42 @@ from .export import (
     write_chrome_trace,
     write_metrics_json,
 )
+from .gate import (
+    DEFAULT_POLICY,
+    Violation,
+    collect_workload_records,
+    evaluate_gate,
+    load_policy,
+    render_gate,
+)
 from .hooks import finish_run, profile_run
+from .ledger import (
+    append_record,
+    config_fingerprint,
+    ledger_record,
+    options_hash,
+    read_ledger,
+    set_default_ledger,
+    span_rollup,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, metric_key
-from .schema import SchemaError, validate_chrome_trace, validate_metrics
+from .report import html_report, write_html_report
+from .schema import (
+    GATE_POLICY_SCHEMA,
+    LEDGER_SCHEMA,
+    SchemaError,
+    validate_chrome_trace,
+    validate_gate_policy,
+    validate_ledger_record,
+    validate_metrics,
+)
 from .spans import Profiler, Span, clock_span
 
 __all__ = [
     "CHROME_TRACE_SCHEMA",
     "METRICS_SCHEMA",
+    "LEDGER_SCHEMA",
+    "GATE_POLICY_SCHEMA",
     "Span",
     "Profiler",
     "clock_span",
@@ -48,4 +91,31 @@ __all__ = [
     "SchemaError",
     "validate_chrome_trace",
     "validate_metrics",
+    "validate_ledger_record",
+    "validate_gate_policy",
+    # ledger
+    "ledger_record",
+    "append_record",
+    "read_ledger",
+    "set_default_ledger",
+    "span_rollup",
+    "options_hash",
+    "config_fingerprint",
+    # compare
+    "NodeDelta",
+    "MetricDelta",
+    "RunComparison",
+    "compare_runs",
+    "aggregate_records",
+    "render_comparison",
+    # gate
+    "DEFAULT_POLICY",
+    "Violation",
+    "load_policy",
+    "evaluate_gate",
+    "render_gate",
+    "collect_workload_records",
+    # report
+    "html_report",
+    "write_html_report",
 ]

@@ -1,0 +1,435 @@
+"""Comparative analysis of ledger records: exact per-phase delta attribution.
+
+The paper argues by putting engines side by side on the same phase
+breakdown (Tables II/III); this module does the same for any two ledger
+records — two seeds of one engine, two engines on one graph, or the
+same configuration before and after a code change.  Because modeled
+seconds are deterministic, every delta is a real change in charged
+work, so the analyzer can attribute it *exactly* down the span rollup:
+"uncoarsening +18%, driven by ``refine.explore`` on levels 2-4".
+
+Cohorts (lists of records — e.g. several seeds) are averaged node by
+node with :func:`aggregate_records` and then compared the same way.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+__all__ = [
+    "NodeDelta",
+    "MetricDelta",
+    "RunComparison",
+    "compare_runs",
+    "aggregate_records",
+    "render_comparison",
+]
+
+_LEVEL_RE = re.compile(r"\Alevel (\d+)\Z")
+
+#: Scalar metrics surfaced in the comparison beside the span tree.
+_METRIC_KEYS = (
+    ("quality", "cut"),
+    ("quality", "imbalance"),
+    ("counters", "transfer.h2d_bytes"),
+    ("counters", "transfer.d2h_bytes"),
+    ("counters", "kernel.launches"),
+    ("gauges", "kernel.coalescing_efficiency"),
+    ("gauges", "matching.conflict_rate{engine=gpu}"),
+    ("gauges", "matching.conflict_rate{engine=cpu-threads}"),
+    ("gauges", "memory.peak_bytes"),
+)
+
+
+@dataclass
+class NodeDelta:
+    """One span-rollup node's movement between two runs."""
+
+    path: tuple[str, ...]  # names from the phase down, e.g. ("uncoarsening",)
+    category: str
+    base_seconds: float
+    cur_seconds: float
+    drivers: list["NodeDelta"] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.path[-1] if self.path else "run"
+
+    @property
+    def delta(self) -> float:
+        return self.cur_seconds - self.base_seconds
+
+    @property
+    def pct(self) -> float | None:
+        """Relative change, or None when the baseline node had no time."""
+        return (self.delta / self.base_seconds) if self.base_seconds else None
+
+
+@dataclass
+class MetricDelta:
+    """One scalar metric's movement between two runs."""
+
+    key: str
+    base: float
+    cur: float
+
+    @property
+    def delta(self) -> float:
+        return self.cur - self.base
+
+    @property
+    def pct(self) -> float | None:
+        return (self.delta / self.base) if self.base else None
+
+
+@dataclass
+class RunComparison:
+    """The full diff of two ledger records (or averaged cohorts)."""
+
+    base_label: str
+    cur_label: str
+    base_total: float
+    cur_total: float
+    phases: list[NodeDelta]
+    metrics: list[MetricDelta]
+    same_fingerprint: bool
+
+    @property
+    def total_delta(self) -> float:
+        return self.cur_total - self.base_total
+
+    @property
+    def total_pct(self) -> float | None:
+        return (self.total_delta / self.base_total) if self.base_total else None
+
+
+# ----------------------------------------------------------------------
+def _pair_children(base_node: dict | None, cur_node: dict | None):
+    """Children of both nodes matched by (name, category); a side that
+    lacks a child contributes a zero-second stand-in, so added/removed
+    spans attribute as pure growth/shrinkage."""
+    out: dict[tuple[str, str], tuple[dict | None, dict | None]] = {}
+    for child in (base_node or {}).get("children", []):
+        out[(child["name"], child["category"])] = (child, None)
+    for child in (cur_node or {}).get("children", []):
+        key = (child["name"], child["category"])
+        base_child = out.get(key, (None, None))[0]
+        out[key] = (base_child, child)
+    return out
+
+
+def _group_levels(pairs: dict) -> list[tuple[str, str, dict | None, dict | None]]:
+    """Merge ``level N`` siblings whose deltas share a sign into range
+    entries (``levels 2-4``), keeping everything else as-is."""
+    singles: list[tuple[str, str, dict | None, dict | None]] = []
+    levels: list[tuple[int, str, dict | None, dict | None]] = []
+    for (name, category), (base_child, cur_child) in pairs.items():
+        m = _LEVEL_RE.match(name)
+        if m:
+            levels.append((int(m.group(1)), category, base_child, cur_child))
+        else:
+            singles.append((name, category, base_child, cur_child))
+    if len(levels) < 2:
+        singles.extend(
+            (f"level {num}", category, b, c) for num, category, b, c in levels
+        )
+        return singles
+
+    def delta_sign(b, c):
+        # Three-way sign: a flat level (exact zero — modeled time is
+        # deterministic) must not fold into a regressed neighbour and
+        # dilute the attribution range.
+        d = ((c or {}).get("seconds", 0.0)) - ((b or {}).get("seconds", 0.0))
+        return 0 if d == 0.0 else (1 if d > 0 else -1)
+
+    levels.sort(key=lambda item: item[0])
+    run: list[tuple[int, str, dict | None, dict | None]] = []
+    grouped: list[tuple[str, str, dict | None, dict | None]] = []
+
+    def flush():
+        if not run:
+            return
+        if len(run) == 1:
+            num, category, b, c = run[0]
+            grouped.append((f"level {num}", category, b, c))
+        else:
+            lo, hi = run[0][0], run[-1][0]
+            category = run[0][1]
+            base_merge = _merge_nodes([b for _, _, b, _ in run], f"levels {lo}-{hi}")
+            cur_merge = _merge_nodes([c for _, _, _, c in run], f"levels {lo}-{hi}")
+            grouped.append((f"levels {lo}-{hi}", category, base_merge, cur_merge))
+        run.clear()
+
+    for item in levels:
+        if run:
+            prev = run[-1]
+            contiguous = item[0] == prev[0] + 1
+            same_sign = delta_sign(item[2], item[3]) == delta_sign(prev[2], prev[3])
+            if not (contiguous and same_sign):
+                flush()
+        run.append(item)
+    flush()
+    return singles + grouped
+
+
+def _merge_nodes(nodes: list[dict | None], name: str) -> dict | None:
+    nodes = [n for n in nodes if n is not None]
+    if not nodes:
+        return None
+    merged = {
+        "name": name,
+        "category": nodes[0]["category"],
+        "seconds": 0.0,
+        "count": 0,
+        "children": [],
+    }
+    index: dict[tuple[str, str], dict] = {}
+    for node in nodes:
+        merged["seconds"] += node["seconds"]
+        merged["count"] += node["count"]
+        for child in node.get("children", []):
+            key = (child["name"], child["category"])
+            if key in index:
+                _accumulate(index[key], child)
+            else:
+                copy = _copy_node(child)
+                index[key] = copy
+                merged["children"].append(copy)
+    return merged
+
+
+def _copy_node(node: dict) -> dict:
+    return {
+        "name": node["name"],
+        "category": node["category"],
+        "seconds": node["seconds"],
+        "count": node["count"],
+        "children": [_copy_node(c) for c in node.get("children", [])],
+    }
+
+
+def _accumulate(into: dict, other: dict) -> None:
+    into["seconds"] += other["seconds"]
+    into["count"] += other["count"]
+    index = {(c["name"], c["category"]): c for c in into["children"]}
+    for child in other.get("children", []):
+        key = (child["name"], child["category"])
+        if key in index:
+            _accumulate(index[key], child)
+        else:
+            copy = _copy_node(child)
+            index[key] = copy
+            into["children"].append(copy)
+
+
+def _attribute(
+    base_node: dict | None,
+    cur_node: dict | None,
+    path: tuple[str, ...],
+    parent_delta: float,
+    max_depth: int = 4,
+    max_drivers: int = 3,
+    min_share: float = 0.25,
+) -> list[NodeDelta]:
+    """Children whose delta explains >= ``min_share`` of the parent's,
+    sorted by |delta| desc, each recursively attributed in turn."""
+    if max_depth <= 0 or not parent_delta:
+        return []
+    entries = []
+    for name, category, base_child, cur_child in _group_levels(
+        _pair_children(base_node, cur_node)
+    ):
+        base_s = (base_child or {}).get("seconds", 0.0)
+        cur_s = (cur_child or {}).get("seconds", 0.0)
+        delta = cur_s - base_s
+        # Only children moving *with* the parent explain its delta.
+        if delta == 0.0 or (delta > 0) != (parent_delta > 0):
+            continue
+        if abs(delta) < min_share * abs(parent_delta):
+            continue
+        node = NodeDelta(path + (name,), category, base_s, cur_s)
+        node.drivers = _attribute(
+            base_child, cur_child, node.path, delta,
+            max_depth - 1, max_drivers, min_share,
+        )
+        entries.append(node)
+    entries.sort(key=lambda n: abs(n.delta), reverse=True)
+    return entries[:max_drivers]
+
+
+def compare_runs(base: dict, cur: dict) -> RunComparison:
+    """Diff two ledger records, attributing time deltas down the rollup."""
+    base_root, cur_root = base["spans"], cur["spans"]
+    base_total = base["run"]["modeled_seconds"]
+    cur_total = cur["run"]["modeled_seconds"]
+
+    phases: list[NodeDelta] = []
+    for name, category, base_child, cur_child in _group_levels(
+        _pair_children(base_root, cur_root)
+    ):
+        base_s = (base_child or {}).get("seconds", 0.0)
+        cur_s = (cur_child or {}).get("seconds", 0.0)
+        node = NodeDelta((name,), category, base_s, cur_s)
+        node.drivers = _attribute(base_child, cur_child, node.path, node.delta)
+        phases.append(node)
+    phases.sort(key=lambda n: abs(n.delta), reverse=True)
+
+    metrics: list[MetricDelta] = []
+    for block, key in _METRIC_KEYS:
+        base_v = _metric_value(base, block, key)
+        cur_v = _metric_value(cur, block, key)
+        if base_v is None or cur_v is None:
+            continue
+        metrics.append(MetricDelta(key, float(base_v), float(cur_v)))
+
+    return RunComparison(
+        base_label=_label(base),
+        cur_label=_label(cur),
+        base_total=base_total,
+        cur_total=cur_total,
+        phases=phases,
+        metrics=metrics,
+        same_fingerprint=base.get("fingerprint") == cur.get("fingerprint"),
+    )
+
+
+def _metric_value(record: dict, block: str, key: str):
+    if block == "quality":
+        return record.get("quality", {}).get(key)
+    return record.get("metrics", {}).get(block, {}).get(key)
+
+
+def _label(record: dict) -> str:
+    cfg = record.get("config", {})
+    parts = [str(cfg.get("engine", "?")), str(cfg.get("graph", "?"))]
+    if cfg.get("k") is not None:
+        parts.append(f"k={cfg['k']}")
+    if cfg.get("seed") is not None:
+        parts.append(f"seed={cfg['seed']}")
+    runs = record.get("aggregated_runs")
+    if runs:
+        parts.append(f"mean of {runs}")
+    return f"{record.get('run_id', '?')[:21]} ({' '.join(parts)})"
+
+
+# ----------------------------------------------------------------------
+def aggregate_records(records: list[dict]) -> dict:
+    """Average a cohort of ledger records node by node.
+
+    Phases, span-rollup seconds, metrics and quality become per-record
+    means; the result quacks like a single record, so
+    :func:`compare_runs` accepts it directly.
+    """
+    if not records:
+        raise ValueError("cannot aggregate an empty cohort")
+    if len(records) == 1:
+        return records[0]
+    n = len(records)
+    merged_spans = _merge_nodes([r["spans"] for r in records], records[0]["spans"]["name"])
+    _scale_node(merged_spans, 1.0 / n)
+
+    phases: dict[str, dict] = {}
+    for record in records:
+        for name, entry in record.get("phases", {}).items():
+            slot = phases.setdefault(name, {"seconds": 0.0, "share": 0.0, "spans": 0})
+            slot["seconds"] += entry.get("seconds", 0.0) / n
+            slot["share"] += entry.get("share", 0.0) / n
+            slot["spans"] += entry.get("spans", 0)
+
+    def mean_over(getter):
+        values = [getter(r) for r in records]
+        values = [v for v in values if isinstance(v, (int, float))]
+        return sum(values) / len(values) if values else None
+
+    metrics = {"counters": {}, "gauges": {}, "histograms": {}}
+    for kind in ("counters", "gauges"):
+        keys = {k for r in records for k in r.get("metrics", {}).get(kind, {})}
+        for key in sorted(keys):
+            metrics[kind][key] = mean_over(
+                lambda r, kind=kind, key=key: r.get("metrics", {}).get(kind, {}).get(key)
+            )
+
+    first = records[0]
+    return {
+        "schema": first["schema"],
+        "run_id": f"{first.get('fingerprint', 'cohort')}-x{n}",
+        "fingerprint": first.get("fingerprint", ""),
+        "config": first.get("config", {}),
+        "aggregated_runs": n,
+        "run": {
+            **first.get("run", {}),
+            "modeled_seconds": mean_over(
+                lambda r: r.get("run", {}).get("modeled_seconds")
+            ),
+        },
+        "quality": {
+            "cut": mean_over(lambda r: r.get("quality", {}).get("cut")),
+            "imbalance": mean_over(lambda r: r.get("quality", {}).get("imbalance")),
+        },
+        "phases": phases,
+        "spans": merged_spans,
+        "metrics": metrics,
+    }
+
+
+def _scale_node(node: dict, factor: float) -> None:
+    node["seconds"] *= factor
+    for child in node.get("children", []):
+        _scale_node(child, factor)
+
+
+# ----------------------------------------------------------------------
+def _fmt_seconds(seconds: float) -> str:
+    return f"{seconds * 1e3:.3f} ms"
+
+
+def _fmt_delta(delta: float, pct: float | None) -> str:
+    sign = "+" if delta >= 0 else "-"
+    text = f"{sign}{abs(delta) * 1e3:.3f} ms"
+    if pct is not None:
+        text += f" ({pct:+.1%})"
+    return text
+
+
+def render_comparison(cmp: RunComparison, min_delta_seconds: float = 1e-9) -> str:
+    """Human-readable per-phase delta attribution."""
+    lines = [
+        f"base    : {cmp.base_label}",
+        f"current : {cmp.cur_label}",
+    ]
+    if not cmp.same_fingerprint:
+        lines.append("note    : different config fingerprints "
+                     "(engine/graph/k/seed/options differ)")
+    lines.append(
+        f"total   : {_fmt_seconds(cmp.base_total)} -> {_fmt_seconds(cmp.cur_total)}"
+        f"  {_fmt_delta(cmp.total_delta, cmp.total_pct)}"
+    )
+    moved = [p for p in cmp.phases if abs(p.delta) >= min_delta_seconds]
+    if not moved:
+        lines.append("phases  : identical (no phase moved)")
+    for phase in moved:
+        lines.append(
+            f"  {phase.name:<22s} {_fmt_seconds(phase.base_seconds)} -> "
+            f"{_fmt_seconds(phase.cur_seconds)}  {_fmt_delta(phase.delta, phase.pct)}"
+        )
+        lines.extend(_render_drivers(phase.drivers, indent=2))
+    changed = [m for m in cmp.metrics if m.delta]
+    if changed:
+        lines.append("metrics :")
+        for m in changed:
+            pct = f" ({m.pct:+.1%})" if m.pct is not None else ""
+            lines.append(f"  {m.key:<42s} {m.base:g} -> {m.cur:g}{pct}")
+    return "\n".join(lines)
+
+
+def _render_drivers(drivers: list[NodeDelta], indent: int) -> list[str]:
+    lines = []
+    for driver in drivers:
+        pad = " " * (indent + 2)
+        lines.append(
+            f"{pad}<- {driver.name} [{driver.category}] "
+            f"{_fmt_delta(driver.delta, driver.pct)}"
+        )
+        lines.extend(_render_drivers(driver.drivers, indent + 2))
+    return lines

@@ -1,0 +1,251 @@
+"""Generalized regression gate over ledger records.
+
+The PR-2 perf gate (``benchmarks/baseline.py``) hard-codes one check —
+per-phase modeled seconds plus the cut, at one tolerance.  This module
+generalizes it: tolerances for *any* gated quantity (per-phase seconds,
+total, edge cut, imbalance, any scalar metric such as PCIe bytes or the
+matching conflict rate) are declared in one schema-validated policy
+file, evaluated between a committed baseline ledger and a freshly
+collected (or separately recorded) current ledger, and any violation
+makes the gate exit non-zero.
+
+Policy file (schema ``repro.obs.gate-policy/1``)::
+
+    {
+      "schema": "repro.obs.gate-policy/1",
+      "rules": [
+        {"quantity": "total",      "tolerance": 0.10, "floor": 1e-6},
+        {"quantity": "phase:*",    "tolerance": 0.10, "floor": 1e-6},
+        {"quantity": "cut",        "tolerance": 0.05},
+        {"quantity": "metric:transfer.h2d_bytes", "tolerance": 0.10},
+        {"quantity": "metric:kernel.coalescing_efficiency",
+         "tolerance": 0.05, "direction": "decrease"}
+      ]
+    }
+
+``quantity`` targets: ``total``, ``cut``, ``imbalance``,
+``phase:<name>`` (``phase:*`` expands over the baseline's phases), and
+``metric:<key>`` (a counter or gauge key, labels included).
+``direction`` declares which way is *worse*: ``increase`` (default),
+``decrease`` (e.g. coalescing efficiency), or ``both``.  A violation
+needs both the relative ``tolerance`` and the absolute ``floor``
+exceeded, so microscopic quantities cannot fail the build.
+
+Baseline and current records are matched on (engine, graph, k, seed);
+the config fingerprint additionally detects silent option drift.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from .schema import GATE_POLICY_SCHEMA, validate_gate_policy
+
+__all__ = [
+    "GATE_POLICY_SCHEMA",
+    "DEFAULT_POLICY",
+    "Violation",
+    "load_policy",
+    "match_key",
+    "resolve_quantity",
+    "evaluate_gate",
+    "render_gate",
+    "collect_workload_records",
+]
+
+#: The policy the gate falls back to when none is given: the PR-2
+#: baseline semantics (phases + total + cut at 10 %), generalized.
+DEFAULT_POLICY: dict = {
+    "schema": GATE_POLICY_SCHEMA,
+    "rules": [
+        {"quantity": "total", "tolerance": 0.10, "floor": 1e-6},
+        {"quantity": "phase:*", "tolerance": 0.10, "floor": 1e-6},
+        {"quantity": "cut", "tolerance": 0.10},
+    ],
+}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One gated quantity that moved past its declared tolerance."""
+
+    run_label: str
+    quantity: str
+    direction: str
+    baseline: float
+    current: float
+    tolerance: float
+
+    @property
+    def ratio(self) -> float:
+        return self.current / self.baseline if self.baseline else float("inf")
+
+
+def load_policy(path) -> dict:
+    """Read and schema-validate a gate policy file."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    validate_gate_policy(doc)
+    return doc
+
+
+def match_key(record: dict) -> tuple:
+    """The identity baseline/current records are joined on."""
+    cfg = record.get("config", {})
+    return (cfg.get("engine"), cfg.get("graph"), cfg.get("k"), cfg.get("seed"))
+
+
+def _latest_by_key(records: list[dict]) -> dict[tuple, dict]:
+    out: dict[tuple, dict] = {}
+    for record in records:  # append order; last record wins
+        out[match_key(record)] = record
+    return out
+
+
+def resolve_quantity(record: dict, quantity: str):
+    """The record's value for one rule target (None when absent)."""
+    if quantity == "total":
+        return record.get("run", {}).get("modeled_seconds")
+    if quantity == "cut":
+        return record.get("quality", {}).get("cut")
+    if quantity == "imbalance":
+        return record.get("quality", {}).get("imbalance")
+    if quantity.startswith("phase:"):
+        entry = record.get("phases", {}).get(quantity[len("phase:"):])
+        return None if entry is None else entry.get("seconds")
+    if quantity.startswith("metric:"):
+        key = quantity[len("metric:"):]
+        metrics = record.get("metrics", {})
+        for kind in ("counters", "gauges"):
+            if key in metrics.get(kind, {}):
+                return metrics[kind][key]
+        return None
+    raise ValueError(f"unknown gate quantity {quantity!r}")
+
+
+def _expand_rule(rule: dict, baseline: dict) -> list[dict]:
+    if rule["quantity"] == "phase:*":
+        return [
+            {**rule, "quantity": f"phase:{name}"}
+            for name in sorted(baseline.get("phases", {}))
+        ]
+    return [rule]
+
+
+def _violates(rule: dict, base_value: float, cur_value: float) -> str | None:
+    """The offending direction, or None when within tolerance."""
+    tolerance = float(rule["tolerance"])
+    floor = float(rule.get("floor", 0.0))
+    direction = rule.get("direction", "increase")
+    if direction in ("increase", "both"):
+        if cur_value > base_value * (1.0 + tolerance) and (
+            cur_value - base_value
+        ) > floor:
+            return "increase"
+    if direction in ("decrease", "both"):
+        if cur_value < base_value * (1.0 - tolerance) and (
+            base_value - cur_value
+        ) > floor:
+            return "decrease"
+    return None
+
+
+def evaluate_gate(
+    policy: dict, baseline_records: list[dict], current_records: list[dict]
+) -> tuple[list[Violation], int, list[str]]:
+    """Apply the policy to every matched (baseline, current) record pair.
+
+    Returns ``(violations, checks_performed, notes)``.  Baseline records
+    with no current counterpart produce a note (the workload shrank —
+    that deserves eyes, not a silent pass); quantities missing on either
+    side are skipped, so new phases/metrics fail nothing until a
+    baseline containing them is committed.
+    """
+    validate_gate_policy(policy)
+    violations: list[Violation] = []
+    notes: list[str] = []
+    checks = 0
+    current_by_key = _latest_by_key(current_records)
+    for key, base_record in _latest_by_key(baseline_records).items():
+        cur_record = current_by_key.get(key)
+        label = "{}/{} k={} seed={}".format(*key)
+        if cur_record is None:
+            notes.append(f"{label}: no current run to compare (baseline unmatched)")
+            continue
+        if base_record.get("fingerprint") != cur_record.get("fingerprint"):
+            notes.append(
+                f"{label}: config fingerprint changed "
+                f"({base_record.get('fingerprint')} -> "
+                f"{cur_record.get('fingerprint')}); options drifted?"
+            )
+        for rule in policy["rules"]:
+            for concrete in _expand_rule(rule, base_record):
+                base_value = resolve_quantity(base_record, concrete["quantity"])
+                cur_value = resolve_quantity(cur_record, concrete["quantity"])
+                if base_value is None or cur_value is None:
+                    continue
+                checks += 1
+                direction = _violates(concrete, float(base_value), float(cur_value))
+                if direction is not None:
+                    violations.append(
+                        Violation(
+                            run_label=label,
+                            quantity=concrete["quantity"],
+                            direction=direction,
+                            baseline=float(base_value),
+                            current=float(cur_value),
+                            tolerance=float(concrete["tolerance"]),
+                        )
+                    )
+    return violations, checks, notes
+
+
+def render_gate(
+    violations: list[Violation], checks: int, notes: list[str]
+) -> str:
+    """The gate verdict as a printable report."""
+    lines: list[str] = []
+    for note in notes:
+        lines.append(f"note: {note}")
+    for v in violations:
+        worse = "above" if v.direction == "increase" else "below"
+        lines.append(
+            f"REGRESSED {v.run_label} {v.quantity}: "
+            f"{v.baseline:g} -> {v.current:g} ({v.ratio:.2f}x), "
+            f"{worse} the {v.tolerance:.0%} tolerance"
+        )
+    if violations:
+        lines.append(
+            f"FAIL: {len(violations)} violation(s) in {checks} gated checks"
+        )
+    else:
+        lines.append(f"PASS: {checks} gated checks within tolerance")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+def collect_workload_records(config=None) -> list[dict]:
+    """Freshly profile the standard gate workload into ledger records.
+
+    Reuses the PR-2 :class:`~repro.bench.baseline.BaselineConfig`
+    workload (the same graphs/methods the old gate snapshotted), but
+    records full ledger records so every policy quantity is gateable.
+    """
+    # Imported lazily: repro.bench pulls in repro.api (and with it every
+    # engine), which itself imports repro.obs.
+    from ..api import partition
+    from ..bench.baseline import BaselineConfig
+    from .ledger import ledger_record
+
+    config = config or BaselineConfig()
+    graph = config.make_graph()
+    records: list[dict] = []
+    for method in config.methods:
+        opts = dict(config.options.get(method, {}))
+        result = partition(graph, config.k, method=method, seed=config.seed, **opts)
+        profiler = result.profiler
+        if profiler is None:
+            raise RuntimeError(f"method {method!r} did not attach a profiler")
+        records.append(ledger_record(profiler))
+    return records

@@ -36,13 +36,27 @@ Standard metrics (labels in braces):
 from __future__ import annotations
 
 from ..runtime.clock import SimClock
+from .ledger import append_record, get_default_ledger, ledger_record, options_hash
 from .spans import Profiler
 
 __all__ = ["profile_run", "finish_run"]
 
 
-def profile_run(clock: SimClock, *, engine: str, graph, k: int, **attrs) -> Profiler:
-    """Open the standard run-root span and attach the profiler to the clock."""
+def profile_run(
+    clock: SimClock, *, engine: str, graph, k: int, options=None, **attrs
+) -> Profiler:
+    """Open the standard run-root span and attach the profiler to the clock.
+
+    When the engine passes its ``options`` dataclass, the run root also
+    carries ``seed`` and ``options_hash`` attributes — the run-ledger
+    config fingerprint is derived from them, so two ledger records are
+    comparable exactly when these attributes agree.
+    """
+    if options is not None:
+        seed = getattr(options, "seed", None)
+        if seed is not None:
+            attrs.setdefault("seed", int(seed))
+        attrs.setdefault("options_hash", options_hash(options))
     return Profiler(
         clock,
         name=f"{engine} {graph.name}",
@@ -63,13 +77,17 @@ def finish_run(
     device_stats=None,
     cut: int | None = None,
     imbalance: float | None = None,
+    ledger=None,
     **attrs,
 ) -> Profiler:
     """Close the run span and derive the standard metrics.
 
     ``trace`` feeds the matching/refinement/sanitizer metrics (labelled
     by each record's ``engine``); ``device_stats`` feeds the kernel,
-    transfer and device-memory metrics.
+    transfer and device-memory metrics.  When a ledger is configured —
+    the ``ledger`` argument, :func:`repro.obs.ledger.set_default_ledger`,
+    or ``$REPRO_LEDGER`` — the finished run is appended to it as one
+    JSONL record.
     """
     m = profiler.metrics
     if trace is not None:
@@ -85,6 +103,9 @@ def finish_run(
     if imbalance is not None:
         m.gauge("partition.imbalance").set(imbalance)
     profiler.finish(**attrs)
+    ledger_path = ledger or get_default_ledger()
+    if ledger_path is not None:
+        append_record(ledger_path, ledger_record(profiler))
     return profiler
 
 

@@ -1,0 +1,207 @@
+"""The append-only run ledger: one JSONL record per profiled run.
+
+PR 2's profiler observes one run at a time and forgets it when the
+process exits; the ledger is the longitudinal memory on top of it.
+Every :func:`repro.obs.finish_run` call can append one record — a config
+fingerprint (engine, graph, k, seed, options hash), the span-tree
+rollup, the phase breakdown, the full metrics snapshot and the final
+quality — to a JSONL file, so quality/speed trajectories accumulate
+across invocations and machines and the comparative analyzer
+(:mod:`repro.obs.compare`), the regression gate (:mod:`repro.obs.gate`)
+and the HTML report (:mod:`repro.obs.report`) all read from one place.
+
+Because span timestamps are *modeled* seconds, two records with the
+same fingerprint produced by the same code are bit-identical (minus the
+wall-clock ``written_at`` stamp): any diff between ledger records is a
+real change in charged work or in the code that charged it.
+
+Enable the ledger per call (``finish_run(..., ledger=path)``), per
+process (:func:`set_default_ledger`), or per environment
+(``REPRO_LEDGER=runs.jsonl``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import time
+
+from .export import metrics_json, _jsonable
+from .schema import LEDGER_SCHEMA, SchemaError, validate_ledger_record
+from .spans import Profiler, Span
+
+__all__ = [
+    "LEDGER_SCHEMA",
+    "options_hash",
+    "config_fingerprint",
+    "span_rollup",
+    "ledger_record",
+    "append_record",
+    "read_ledger",
+    "set_default_ledger",
+    "get_default_ledger",
+]
+
+#: Environment variable naming a ledger file every finished run appends to.
+LEDGER_ENV = "REPRO_LEDGER"
+
+_default_ledger: str | None = None
+
+
+def set_default_ledger(path: str | os.PathLike | None) -> None:
+    """Route every subsequent ``finish_run`` in this process to ``path``
+    (``None`` turns the default ledger off again)."""
+    global _default_ledger
+    _default_ledger = None if path is None else str(path)
+
+
+def get_default_ledger() -> str | None:
+    """The process default ledger, falling back to ``$REPRO_LEDGER``."""
+    return _default_ledger or os.environ.get(LEDGER_ENV) or None
+
+
+# ----------------------------------------------------------------------
+def _canonical(value):
+    """A JSON-stable view of an arbitrary config value."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _canonical(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+def _digest(payload, length: int = 12) -> str:
+    text = json.dumps(_canonical(payload), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()[:length]
+
+
+def options_hash(options) -> str:
+    """Stable short hash of an engine's options (dataclass, dict, or any
+    repr-able object) — the "same configuration" part of the fingerprint."""
+    return _digest(_canonical(options))
+
+
+def config_fingerprint(config: dict) -> str:
+    """Stable short hash of the run configuration block."""
+    return _digest(config)
+
+
+# ----------------------------------------------------------------------
+def span_rollup(span: Span) -> dict:
+    """Fold a span subtree into a compact, diffable rollup node.
+
+    Same-named same-category siblings (kernel launches, per-level
+    transfers) merge into one node carrying their total seconds and
+    count; child order is first-appearance, so the rollup mirrors the
+    run's phase order deterministically.
+    """
+    node = {
+        "name": span.name,
+        "category": span.category,
+        "seconds": span.duration,
+        "count": 1,
+        "children": [],
+    }
+    merged: dict[tuple[str, str], dict] = {}
+    for child in span.children:
+        rolled = span_rollup(child)
+        key = (rolled["name"], rolled["category"])
+        into = merged.get(key)
+        if into is None:
+            merged[key] = rolled
+            node["children"].append(rolled)
+        else:
+            _merge_rollup(into, rolled)
+    return node
+
+
+def _merge_rollup(into: dict, other: dict) -> None:
+    into["seconds"] += other["seconds"]
+    into["count"] += other["count"]
+    index = {(c["name"], c["category"]): c for c in into["children"]}
+    for child in other["children"]:
+        key = (child["name"], child["category"])
+        if key in index:
+            _merge_rollup(index[key], child)
+        else:
+            into["children"].append(child)
+            index[key] = child
+
+
+# ----------------------------------------------------------------------
+def ledger_record(profiler: Profiler, **extra_config) -> dict:
+    """Flatten one finished profiled run into a ledger record.
+
+    The config fingerprint is derived from the root span's standard
+    attributes (``engine``, ``graph``, ``k``, plus ``seed`` and
+    ``options_hash`` when the engine passed its options to
+    ``profile_run``); ``extra_config`` entries join the fingerprint, so
+    callers can distinguish e.g. machine variants.
+    """
+    doc = metrics_json(profiler)
+    attrs = _jsonable(profiler.root.attrs)
+    config = {
+        "engine": attrs.get("engine"),
+        "graph": attrs.get("graph"),
+        "k": attrs.get("k"),
+        "seed": attrs.get("seed"),
+        "options_hash": attrs.get("options_hash", ""),
+        **{k: _canonical(v) for k, v in sorted(extra_config.items())},
+    }
+    fingerprint = config_fingerprint(config)
+    quality = {
+        "cut": profiler.metrics.value("partition.cut"),
+        "imbalance": profiler.metrics.value("partition.imbalance"),
+    }
+    record = {
+        "schema": LEDGER_SCHEMA,
+        "fingerprint": fingerprint,
+        "config": config,
+        "run": doc["run"],
+        "quality": quality,
+        "phases": doc["phases"],
+        "spans": span_rollup(profiler.root),
+        "metrics": doc["metrics"],
+    }
+    # The run id hashes the record *content* (not the wall clock), so an
+    # identical rerun of identical code gets an identical id.
+    record["run_id"] = f"{fingerprint}-{_digest(record, 8)}"
+    record["written_at"] = time.time()
+    return record
+
+
+def append_record(path, record: dict) -> dict:
+    """Validate and append one record to the JSONL ledger at ``path``."""
+    validate_ledger_record(record)
+    line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    with open(path, "a") as fh:
+        fh.write(line + "\n")
+    return record
+
+
+def read_ledger(path, validate: bool = True) -> list[dict]:
+    """All records of a JSONL ledger, in append order."""
+    records: list[dict] = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SchemaError(f"{path}:{lineno}: not valid JSON: {exc}") from exc
+            if validate:
+                try:
+                    validate_ledger_record(record)
+                except SchemaError as exc:
+                    raise SchemaError(f"{path}:{lineno}: {exc}") from exc
+            records.append(record)
+    return records

@@ -9,7 +9,20 @@ from __future__ import annotations
 
 from .export import CHROME_TRACE_SCHEMA, METRICS_SCHEMA
 
-__all__ = ["SchemaError", "validate_chrome_trace", "validate_metrics"]
+__all__ = [
+    "LEDGER_SCHEMA",
+    "GATE_POLICY_SCHEMA",
+    "SchemaError",
+    "validate_chrome_trace",
+    "validate_metrics",
+    "validate_ledger_record",
+    "validate_gate_policy",
+]
+
+#: Schema tag of one run-ledger JSONL record (see repro.obs.ledger).
+LEDGER_SCHEMA = "repro.obs.ledger/1"
+#: Schema tag of a regression-gate policy file (see repro.obs.gate).
+GATE_POLICY_SCHEMA = "repro.obs.gate-policy/1"
 
 
 class SchemaError(ValueError):
@@ -72,8 +85,126 @@ def validate_metrics(doc: dict) -> None:
         )
     for key, value in metrics["gauges"].items():
         _require(isinstance(value, (int, float)), f"gauge {key!r} must be a number")
-    for key, value in metrics["histograms"].items():
+    _validate_histograms(metrics["histograms"])
+
+
+def _validate_histograms(histograms: dict) -> None:
+    for key, value in histograms.items():
         _require(
             isinstance(value, dict) and "count" in value and "sum" in value,
             f"histogram {key!r} must carry count/sum",
         )
+        if value.get("count"):
+            for q in ("p50", "p95", "max"):
+                _require(
+                    isinstance(value.get(q), (int, float)),
+                    f"histogram {key!r} with observations must carry {q!r}",
+                )
+            _require(
+                value["p50"] <= value["p95"] <= value["max"],
+                f"histogram {key!r} quantiles out of order "
+                f"(p50={value['p50']}, p95={value['p95']}, max={value['max']})",
+            )
+
+
+# ----------------------------------------------------------------------
+def _validate_rollup_node(node, path: str) -> None:
+    _require(isinstance(node, dict), f"span node {path!r} must be an object")
+    for key in ("name", "category", "seconds", "count"):
+        _require(key in node, f"span node {path!r} missing {key!r}")
+    _require(
+        isinstance(node["seconds"], (int, float)) and node["seconds"] >= 0,
+        f"span node {path!r} seconds must be non-negative",
+    )
+    _require(
+        isinstance(node["count"], int) and node["count"] >= 1,
+        f"span node {path!r} count must be a positive integer",
+    )
+    children = node.get("children", [])
+    _require(isinstance(children, list), f"span node {path!r} children must be a list")
+    for child in children:
+        name = child.get("name", "?") if isinstance(child, dict) else "?"
+        _validate_rollup_node(child, f"{path}/{name}")
+
+
+def validate_ledger_record(doc: dict) -> None:
+    """Check one :mod:`repro.obs.ledger` JSONL record."""
+    _require(isinstance(doc, dict), "ledger record must be an object")
+    _require(doc.get("schema") == LEDGER_SCHEMA, f"schema must be {LEDGER_SCHEMA!r}")
+    for key in ("run_id", "fingerprint"):
+        _require(
+            isinstance(doc.get(key), str) and doc[key],
+            f"ledger record missing {key!r}",
+        )
+    config = doc.get("config")
+    _require(isinstance(config, dict), "ledger record missing config block")
+    for key in ("engine", "graph", "k", "options_hash"):
+        _require(key in config, f"config block missing {key!r}")
+    run = doc.get("run")
+    _require(isinstance(run, dict), "ledger record missing run block")
+    _require(
+        isinstance(run.get("modeled_seconds"), (int, float)),
+        "run block missing modeled_seconds",
+    )
+    quality = doc.get("quality")
+    _require(isinstance(quality, dict), "ledger record missing quality block")
+    phases = doc.get("phases")
+    _require(isinstance(phases, dict), "ledger record missing phases block")
+    for name, entry in phases.items():
+        for key in ("seconds", "share"):
+            _require(
+                isinstance(entry, dict) and key in entry,
+                f"phase {name!r} missing {key!r}",
+            )
+    _validate_rollup_node(doc.get("spans"), doc.get("run_id", "record"))
+    metrics = doc.get("metrics")
+    _require(isinstance(metrics, dict), "ledger record missing metrics block")
+    for kind in ("counters", "gauges", "histograms"):
+        _require(isinstance(metrics.get(kind), dict), f"metrics missing {kind!r}")
+
+
+#: Quantities a gate rule may target (phase:/metric: take a suffix).
+_GATE_QUANTITY_PREFIXES = ("phase:", "metric:")
+_GATE_QUANTITY_PLAIN = ("total", "cut", "imbalance")
+_GATE_DIRECTIONS = ("increase", "decrease", "both")
+
+
+def validate_gate_policy(doc: dict) -> None:
+    """Check a regression-gate policy document (see :mod:`repro.obs.gate`)."""
+    _require(isinstance(doc, dict), "policy must be an object")
+    _require(
+        doc.get("schema") == GATE_POLICY_SCHEMA,
+        f"schema must be {GATE_POLICY_SCHEMA!r}",
+    )
+    rules = doc.get("rules")
+    _require(isinstance(rules, list) and rules, "policy must declare a rules list")
+    for i, rule in enumerate(rules):
+        _require(isinstance(rule, dict), f"rule {i} must be an object")
+        quantity = rule.get("quantity")
+        _require(isinstance(quantity, str) and quantity, f"rule {i} missing quantity")
+        _require(
+            quantity in _GATE_QUANTITY_PLAIN
+            or any(
+                quantity.startswith(p) and len(quantity) > len(p)
+                for p in _GATE_QUANTITY_PREFIXES
+            ),
+            f"rule {i} quantity {quantity!r} must be one of "
+            f"{_GATE_QUANTITY_PLAIN} or start with {_GATE_QUANTITY_PREFIXES}",
+        )
+        tolerance = rule.get("tolerance")
+        _require(
+            isinstance(tolerance, (int, float)) and tolerance >= 0,
+            f"rule {i} ({quantity}) tolerance must be a non-negative number",
+        )
+        floor = rule.get("floor", 0.0)
+        _require(
+            isinstance(floor, (int, float)) and floor >= 0,
+            f"rule {i} ({quantity}) floor must be a non-negative number",
+        )
+        direction = rule.get("direction", "increase")
+        _require(
+            direction in _GATE_DIRECTIONS,
+            f"rule {i} ({quantity}) direction must be one of {_GATE_DIRECTIONS}",
+        )
+        unknown = set(rule) - {"quantity", "tolerance", "floor", "direction", "note"}
+        _require(not unknown, f"rule {i} ({quantity}) has unknown keys {sorted(unknown)}")

@@ -46,7 +46,9 @@ class ParMetis:
         opts = self.options
         clock = SimClock()
         trace = Trace()
-        profiler = profile_run(clock, engine=self.name, graph=graph, k=k)
+        profiler = profile_run(
+            clock, engine=self.name, graph=graph, k=k, options=self.options
+        )
         mpi = MpiSim(opts.num_ranks, self.machine.cpu, self.machine.interconnect, clock)
         rng = np.random.default_rng(opts.seed)
         t0 = time.perf_counter()

@@ -49,7 +49,9 @@ class SerialMetis:
         opts = self.options
         clock = SimClock()
         trace = Trace()
-        profiler = profile_run(clock, engine=self.name, graph=graph, k=k)
+        profiler = profile_run(
+            clock, engine=self.name, graph=graph, k=k, options=self.options
+        )
         rng = np.random.default_rng(opts.seed)
         t0 = time.perf_counter()
 

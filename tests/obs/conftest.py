@@ -1,0 +1,49 @@
+"""Shared builders for the observability tests: synthetic ledger records
+with controlled phase/span timings, so compare/gate assertions are exact."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Profiler, ledger_record
+from repro.runtime.clock import SimClock
+
+
+def build_record(
+    phases,
+    *,
+    engine="gp-metis",
+    graph="g",
+    k=4,
+    seed=1,
+    options_hash="deadbeefcafe",
+    cut=100.0,
+    imbalance=1.02,
+):
+    """One ledger record from a hand-driven profiler.
+
+    ``phases`` maps phase name -> either a float (charge that many
+    modeled seconds directly) or a list of ``(span_name, category,
+    seconds)`` children charged inside their own spans.
+    """
+    clock = SimClock()
+    prof = Profiler(clock, engine=engine, graph=graph, k=k)
+    prof.root.attrs["seed"] = seed
+    prof.root.attrs["options_hash"] = options_hash
+    for phase, spec in phases.items():
+        clock.set_phase(phase)
+        if isinstance(spec, (int, float)):
+            clock.charge("compute", float(spec))
+            continue
+        for span_name, category, seconds in spec:
+            with prof.span(span_name, category=category):
+                clock.charge("compute", float(seconds))
+    prof.metrics.gauge("partition.cut").set(cut)
+    prof.metrics.gauge("partition.imbalance").set(imbalance)
+    prof.finish(cut=cut)
+    return ledger_record(prof)
+
+
+@pytest.fixture
+def record_builder():
+    return build_record

@@ -1,0 +1,123 @@
+"""Unit tests for the comparative analyzer (delta attribution)."""
+
+import pytest
+
+from repro.obs import aggregate_records, compare_runs, render_comparison
+
+from .conftest import build_record
+
+
+class TestIdenticalRuns:
+    def test_all_deltas_zero(self):
+        a = build_record({"coarsening": 1.0, "uncoarsening": 2.0})
+        b = build_record({"coarsening": 1.0, "uncoarsening": 2.0})
+        cmp = compare_runs(a, b)
+        assert cmp.same_fingerprint
+        assert cmp.total_delta == pytest.approx(0.0)
+        assert all(n.delta == pytest.approx(0.0) for n in cmp.phases)
+        assert all(m.delta == pytest.approx(0.0) for m in cmp.metrics)
+
+
+class TestAttribution:
+    def test_driver_descends_to_the_slow_span(self):
+        base = build_record(
+            {
+                "coarsening": [("gpu.match", "kernel", 0.5)],
+                "uncoarsening": [
+                    ("level 1", "level", 0.5),
+                    ("level 2", "level", 0.5),
+                ],
+            }
+        )
+        cur = build_record(
+            {
+                "coarsening": [("gpu.match", "kernel", 0.5)],
+                "uncoarsening": [
+                    ("level 1", "level", 0.5),
+                    ("level 2", "level", 1.1),  # the regression lives here
+                ],
+            }
+        )
+        cmp = compare_runs(base, cur)
+        assert cmp.total_delta == pytest.approx(0.6)
+        worst = cmp.phases[0]
+        assert worst.path == ("uncoarsening",)
+        assert worst.delta == pytest.approx(0.6)
+        driver_names = [d.path[-1] for d in worst.drivers]
+        assert any("level 2" in n for n in driver_names)
+
+    def test_contiguous_levels_grouped(self):
+        base = build_record(
+            {
+                "uncoarsening": [
+                    ("level 1", "level", 0.5),
+                    ("level 2", "level", 0.5),
+                    ("level 3", "level", 0.5),
+                ]
+            }
+        )
+        cur = build_record(
+            {
+                "uncoarsening": [
+                    ("level 1", "level", 0.5),
+                    ("level 2", "level", 0.8),
+                    ("level 3", "level", 0.8),
+                ]
+            }
+        )
+        cmp = compare_runs(base, cur)
+        text = render_comparison(cmp)
+        assert "levels 2-3" in text
+
+    def test_missing_phase_treated_as_zero(self):
+        base = build_record({"coarsening": 1.0})
+        cur = build_record({"coarsening": 1.0, "refinement": 0.4})
+        cmp = compare_runs(base, cur)
+        refinement = next(n for n in cmp.phases if n.path == ("refinement",))
+        assert refinement.base_seconds == 0.0
+        assert refinement.delta == pytest.approx(0.4)
+
+
+class TestMetricsAndQuality:
+    def test_cut_delta_reported(self):
+        a = build_record({"coarsening": 1.0}, cut=100.0)
+        b = build_record({"coarsening": 1.0}, cut=120.0)
+        cmp = compare_runs(a, b)
+        cut = next(m for m in cmp.metrics if m.key == "cut")
+        assert cut.delta == pytest.approx(20.0)
+
+    def test_fingerprint_mismatch_flagged(self):
+        a = build_record({"coarsening": 1.0}, seed=1)
+        b = build_record({"coarsening": 1.0}, seed=2)
+        assert not compare_runs(a, b).same_fingerprint
+
+
+class TestAggregate:
+    def test_cohort_mean(self):
+        records = [
+            build_record({"coarsening": 1.0}, seed=1),
+            build_record({"coarsening": 3.0}, seed=2),
+        ]
+        agg = aggregate_records(records)
+        assert agg["run"]["modeled_seconds"] == pytest.approx(2.0)
+        assert agg["phases"]["coarsening"]["seconds"] == pytest.approx(2.0)
+        assert agg["spans"]["seconds"] == pytest.approx(2.0)
+
+    def test_single_record_unchanged_timing(self):
+        record = build_record({"coarsening": 1.5})
+        agg = aggregate_records([record])
+        assert agg["run"]["modeled_seconds"] == pytest.approx(1.5)
+
+    def test_empty_cohort_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_records([])
+
+
+class TestRender:
+    def test_report_mentions_phases_and_totals(self):
+        base = build_record({"coarsening": 1.0, "uncoarsening": 2.0})
+        cur = build_record({"coarsening": 1.0, "uncoarsening": 2.4})
+        text = render_comparison(compare_runs(base, cur))
+        assert "uncoarsening" in text
+        assert "+20" in text  # +20% on the regressed phase
+        assert "total" in text.lower()

@@ -1,0 +1,167 @@
+"""Unit tests for the append-only run ledger."""
+
+import json
+
+import pytest
+
+from repro.api import partition
+from repro.graphs import generators
+from repro.obs import (
+    LEDGER_SCHEMA,
+    SchemaError,
+    append_record,
+    config_fingerprint,
+    options_hash,
+    read_ledger,
+    span_rollup,
+    validate_ledger_record,
+)
+from repro.obs.ledger import get_default_ledger, set_default_ledger
+
+from .conftest import build_record
+
+
+class TestFingerprint:
+    def test_deterministic_and_order_independent(self):
+        a = config_fingerprint({"engine": "gp-metis", "graph": "g", "k": 4})
+        b = config_fingerprint({"k": 4, "graph": "g", "engine": "gp-metis"})
+        assert a == b
+        assert len(a) == 12
+
+    def test_sensitive_to_every_field(self):
+        base = {"engine": "gp-metis", "graph": "g", "k": 4, "seed": 1}
+        fp = config_fingerprint(base)
+        for field, other in [("engine", "metis"), ("graph", "h"), ("k", 8), ("seed", 2)]:
+            assert config_fingerprint({**base, field: other}) != fp
+
+    def test_options_hash_covers_dataclass_fields(self):
+        from repro.gpmetis.options import GPMetisOptions
+
+        a = options_hash(GPMetisOptions(seed=1))
+        b = options_hash(GPMetisOptions(seed=2))
+        assert a != b
+        assert options_hash(GPMetisOptions(seed=1)) == a
+
+
+class TestRecord:
+    def test_shape_validates(self):
+        record = build_record({"coarsening": 1.0, "initpart": 0.5})
+        validate_ledger_record(record)
+        assert record["schema"] == LEDGER_SCHEMA
+        assert record["run_id"].startswith(record["fingerprint"] + "-")
+        assert record["config"]["engine"] == "gp-metis"
+        assert record["run"]["modeled_seconds"] == pytest.approx(1.5)
+        assert record["quality"]["cut"] == 100.0
+        assert record["phases"]["coarsening"]["seconds"] == pytest.approx(1.0)
+
+    def test_run_id_stable_across_reruns(self):
+        a = build_record({"coarsening": 1.0})
+        b = build_record({"coarsening": 1.0})
+        assert a["run_id"] == b["run_id"]
+        # written_at is wall time, deliberately outside the id hash.
+        assert a["written_at"] != b["written_at"] or a == b
+
+    def test_run_id_differs_when_work_differs(self):
+        a = build_record({"coarsening": 1.0})
+        b = build_record({"coarsening": 2.0})
+        assert a["fingerprint"] == b["fingerprint"]
+        assert a["run_id"] != b["run_id"]
+
+    def test_rollup_folds_repeated_spans(self):
+        record = build_record(
+            {"coarsening": [("gpu.match", "kernel", 0.25)] * 3}
+        )
+        phase = next(
+            c for c in record["spans"]["children"] if c["name"] == "coarsening"
+        )
+        kernels = [c for c in phase["children"] if c["name"] == "gpu.match"]
+        assert len(kernels) == 1
+        assert kernels[0]["count"] == 3
+        assert kernels[0]["seconds"] == pytest.approx(0.75)
+
+    def test_span_rollup_matches_record(self):
+        graph = generators.delaunay(800, seed=3)
+        result = partition(graph, 4, method="metis", seed=3)
+        record = ledger_record_of(result)
+        assert record["spans"] == span_rollup(result.profiler.root)
+
+    def test_validator_rejects_mutations(self):
+        record = build_record({"coarsening": 1.0})
+        for mutate in (
+            lambda r: r.pop("fingerprint"),
+            lambda r: r["config"].pop("engine"),
+            lambda r: r["run"].pop("modeled_seconds"),
+            lambda r: r.__setitem__("schema", "nope/9"),
+            lambda r: r["spans"].__setitem__("seconds", -1.0),
+        ):
+            bad = json.loads(json.dumps(record))
+            mutate(bad)
+            with pytest.raises(SchemaError):
+                validate_ledger_record(bad)
+
+
+def ledger_record_of(result):
+    from repro.obs import ledger_record
+
+    return ledger_record(result.profiler)
+
+
+class TestFile:
+    def test_append_and_read_roundtrip(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        first = build_record({"coarsening": 1.0}, seed=1)
+        second = build_record({"coarsening": 2.0}, seed=2)
+        append_record(path, first)
+        append_record(path, second)
+        got = read_ledger(path)
+        assert [r["run_id"] for r in got] == [first["run_id"], second["run_id"]]
+        assert got[0]["phases"] == first["phases"]
+
+    def test_read_rejects_malformed_line(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        append_record(path, build_record({"coarsening": 1.0}))
+        with open(path, "a") as fh:
+            fh.write("{not json\n")
+        with pytest.raises(SchemaError, match="runs.jsonl:2"):
+            read_ledger(path)
+
+    def test_read_rejects_invalid_record(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        with open(path, "w") as fh:
+            fh.write(json.dumps({"schema": LEDGER_SCHEMA}) + "\n")
+        with pytest.raises(SchemaError):
+            read_ledger(path)
+        assert read_ledger(path, validate=False)[0]["schema"] == LEDGER_SCHEMA
+
+    def test_append_validates_first(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        with pytest.raises(SchemaError):
+            append_record(path, {"schema": "nope"})
+        assert not path.exists()
+
+
+class TestDefaultLedger:
+    def test_set_and_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_LEDGER", raising=False)
+        set_default_ledger(None)
+        assert get_default_ledger() is None
+        set_default_ledger(tmp_path / "a.jsonl")
+        assert get_default_ledger() == str(tmp_path / "a.jsonl")
+        set_default_ledger(None)
+        monkeypatch.setenv("REPRO_LEDGER", str(tmp_path / "b.jsonl"))
+        assert get_default_ledger() == str(tmp_path / "b.jsonl")
+
+    def test_finish_run_hook_appends(self, tmp_path):
+        """Every engine's finish_run writes through the default ledger."""
+        path = tmp_path / "runs.jsonl"
+        graph = generators.delaunay(800, seed=3)
+        set_default_ledger(path)
+        try:
+            partition(graph, 4, method="metis", seed=3)
+            partition(graph, 4, method="mt-metis", seed=3)
+        finally:
+            set_default_ledger(None)
+        records = read_ledger(path)
+        assert [r["config"]["engine"] for r in records] == ["metis", "mt-metis"]
+        assert all(r["config"]["seed"] == 3 for r in records)
+        assert all(r["config"]["options_hash"] for r in records)

@@ -14,6 +14,23 @@ class TestMetricKey:
         key = metric_key("x", {"engine": "gpu", "device": "0"})
         assert key == "x{device=0,engine=gpu}"
 
+    def test_special_characters_escaped(self):
+        # Regression: unescaped , { } = in values made keys ambiguous —
+        # {"a": "1,b=2"} collided with {"a": "1", "b": "2"}.
+        assert metric_key("x", {"a": "1,b=2"}) == "x{a=1\\,b\\=2}"
+        assert metric_key("x", {"a": "1", "b": "2"}) == "x{a=1,b=2}"
+        assert metric_key("x", {"a": "1,b=2"}) != metric_key(
+            "x", {"a": "1", "b": "2"}
+        )
+        assert metric_key("x", {"g": "{gpu}"}) == "x{g=\\{gpu\\}}"
+        assert metric_key("x", {"p": "a\\b"}) == "x{p=a\\\\b}"
+
+    def test_bad_label_name_rejected(self):
+        with pytest.raises(ValueError, match="label name"):
+            metric_key("x", {"bad name": "v"})
+        with pytest.raises(ValueError, match="label name"):
+            metric_key("x", {"a=b": "v"})
+
 
 class TestCounter:
     def test_increments(self):
@@ -47,8 +64,53 @@ class TestHistogram:
 
     def test_empty_summary(self):
         s = Histogram("h").summary()
-        assert s == {"count": 0, "sum": 0.0, "min": None, "max": None, "mean": None}
+        assert s == {
+            "count": 0,
+            "sum": 0.0,
+            "min": None,
+            "max": None,
+            "mean": None,
+            "p50": None,
+            "p95": None,
+        }
         assert Histogram("h").mean == 0.0
+
+    def test_percentiles_exact_small(self):
+        h = Histogram("h")
+        for v in range(1, 102):  # 1..101, so ranks land on integers
+            h.observe(float(v))
+        assert h.percentile(50) == 51.0
+        assert h.percentile(95) == 96.0
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 101.0
+        s = h.summary()
+        assert s["p50"] == 51.0 and s["p95"] == 96.0 and s["max"] == 101.0
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            h.percentile(101)
+
+    def test_percentiles_insertion_order_independent(self):
+        a, b = Histogram("a"), Histogram("b")
+        vals = [5.0, 1.0, 4.0, 2.0, 3.0]
+        for v in vals:
+            a.observe(v)
+        for v in sorted(vals):
+            b.observe(v)
+        assert a.percentile(50) == b.percentile(50) == 3.0
+
+    def test_decimation_keeps_summary_sane(self):
+        # Way past the sample cap: exact moments stay exact, percentiles
+        # stay approximately right on the decimated reservoir.
+        h = Histogram("h")
+        n = 20000
+        for v in range(n):
+            h.observe(float(v))
+        assert h.count == n
+        assert h.total == pytest.approx(n * (n - 1) / 2)
+        assert len(h._samples) <= 4096
+        assert h.percentile(50) == pytest.approx(n / 2, rel=0.05)
+        assert h.percentile(95) == pytest.approx(0.95 * n, rel=0.05)
+        s = h.summary()
+        assert s["p50"] <= s["p95"] <= s["max"]
 
 
 class TestMetricsRegistry:

@@ -1,0 +1,97 @@
+"""Exporter round-trips: every writer's file re-parses and re-validates,
+and malformed documents are rejected — the committed artifacts (ledger,
+trace, metrics JSON) stay machine-trustworthy."""
+
+import json
+
+import pytest
+
+from repro.api import partition
+from repro.graphs import generators
+from repro.obs import (
+    SchemaError,
+    append_record,
+    ledger_record,
+    read_ledger,
+    validate_chrome_trace,
+    validate_ledger_record,
+    validate_metrics,
+    write_chrome_trace,
+    write_metrics_json,
+)
+
+
+@pytest.fixture(scope="module")
+def profiled():
+    graph = generators.delaunay(1200, seed=5)
+    return partition(graph, 4, method="gp-metis", seed=5, gpu_threshold_min=512)
+
+
+class TestChromeTraceRoundtrip:
+    def test_write_read_validate(self, profiled, tmp_path):
+        path = tmp_path / "trace.json"
+        written = write_chrome_trace(profiled.profiler, path)
+        reread = json.loads(path.read_text())
+        assert reread == written
+        validate_chrome_trace(reread)
+
+    def test_malformed_rejected_after_reread(self, profiled, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(profiled.profiler, path)
+        doc = json.loads(path.read_text())
+        doc["traceEvents"][0]["ph"] = "?"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(SchemaError):
+            validate_chrome_trace(json.loads(path.read_text()))
+
+
+class TestMetricsJsonRoundtrip:
+    def test_write_read_validate(self, profiled, tmp_path):
+        path = tmp_path / "metrics.json"
+        written = write_metrics_json(profiled.profiler, path)
+        reread = json.loads(path.read_text())
+        assert reread == written
+        validate_metrics(reread)
+
+    def test_histogram_summaries_carry_percentiles(self, profiled, tmp_path):
+        path = tmp_path / "metrics.json"
+        doc = write_metrics_json(profiled.profiler, path)
+        hists = doc["metrics"]["histograms"]
+        assert hists, "expected at least one histogram in a gp-metis run"
+        for summary in hists.values():
+            assert "p50" in summary and "p95" in summary
+            if summary["count"]:
+                assert summary["p50"] <= summary["p95"] <= summary["max"]
+
+    def test_percentile_tampering_rejected(self, profiled, tmp_path):
+        path = tmp_path / "metrics.json"
+        write_metrics_json(profiled.profiler, path)
+        doc = json.loads(path.read_text())
+        key, summary = next(
+            (k, s)
+            for k, s in doc["metrics"]["histograms"].items()
+            if s["count"]
+        )
+        summary["p50"] = summary["max"] + 1.0  # p50 > max is impossible
+        with pytest.raises(SchemaError):
+            validate_metrics(doc)
+
+
+class TestLedgerRoundtrip:
+    def test_append_read_revalidate(self, profiled, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        record = ledger_record(profiled.profiler)
+        append_record(path, record)
+        reread = read_ledger(path)
+        assert len(reread) == 1
+        validate_ledger_record(reread[0])
+        assert reread[0]["run_id"] == record["run_id"]
+        # JSON round-trip is lossless for everything the gate reads.
+        assert reread[0]["phases"] == record["phases"]
+        assert reread[0]["metrics"] == record["metrics"]
+
+    def test_committed_ledger_validates(self):
+        records = read_ledger("benchmarks/BENCH_ledger.jsonl")
+        assert len(records) >= 2
+        for record in records:
+            validate_ledger_record(record)

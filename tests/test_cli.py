@@ -24,6 +24,9 @@ class TestParser:
             ["bench"],
             ["info", "x.graph"],
             ["profile", "x.graph"],
+            ["compare", "a.jsonl:0", "a.jsonl:1"],
+            ["report", "--ledger", "a.jsonl"],
+            ["gate", "--baseline", "a.jsonl"],
         ):
             args = parser.parse_args(argv)
             assert args.command == argv[0]
@@ -117,6 +120,102 @@ class TestProfileCommand:
         ])
         assert rc == 0
         assert "level 0" not in capsys.readouterr().out
+
+
+class TestLedgerWorkflow:
+    """The acceptance flow: profile twice into a ledger, compare, report."""
+
+    @pytest.fixture
+    def ledger(self, graph_file, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        for seed in (1, 2):
+            rc = main([
+                "profile", str(graph_file), "-k", "4", "--method", "gp-metis",
+                "--seed", str(seed), "--ledger", str(path),
+            ])
+            assert rc == 0
+        return path
+
+    def test_profile_appends_records(self, ledger, graph_file, capsys):
+        from repro.obs import read_ledger
+
+        records = read_ledger(ledger)
+        assert len(records) == 2
+        assert {r["config"]["seed"] for r in records} == {1, 2}
+        rc = main([
+            "profile", str(graph_file), "-k", "4", "--method", "gp-metis",
+            "--seed", "3", "--ledger", str(ledger),
+        ])
+        assert rc == 0
+        assert "appended run" in capsys.readouterr().out
+        assert len(read_ledger(ledger)) == 3
+
+    def test_compare_prints_attribution(self, ledger, capsys):
+        rc = main(["compare", f"{ledger}:0", f"{ledger}:1"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "total" in text
+        assert "seed=1" in text and "seed=2" in text
+
+    def test_compare_cohort_star(self, ledger, capsys):
+        rc = main(["compare", "0", "*", "--ledger", str(ledger)])
+        assert rc == 0
+        assert "total" in capsys.readouterr().out
+
+    def test_report_writes_selfcontained_html(self, ledger, tmp_path, capsys):
+        out = tmp_path / "report.html"
+        rc = main(["report", "--ledger", str(ledger), "-o", str(out)])
+        assert rc == 0
+        html = out.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "</html>" in html
+        assert "http://" not in html and "https://" not in html
+
+    def test_gate_seeds_then_passes(self, ledger, tmp_path, capsys):
+        baseline = tmp_path / "baseline.jsonl"
+        current = tmp_path / "current.jsonl"
+        import shutil
+
+        shutil.copy(ledger, current)
+        rc = main([
+            "gate", "--baseline", str(baseline), "--current", str(current),
+        ])
+        assert rc == 0  # first run seeds the baseline
+        assert baseline.exists()
+        rc = main([
+            "gate", "--baseline", str(baseline), "--current", str(current),
+        ])
+        assert rc == 0
+        assert "PASS" in capsys.readouterr().out
+
+
+class TestBenchJson:
+    def test_results_json_written(self, tmp_path, capsys, monkeypatch):
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        rc = main([
+            "bench", "--scale", "0.0003", "--datasets", "delaunay",
+            "--methods", "metis,gp-metis", "-k", "4",
+            "--json", "out.json",
+        ])
+        assert rc == 0
+        doc = json.loads((tmp_path / "out.json").read_text())
+        assert doc["schema"] == "repro.bench.results/1"
+        assert "delaunay" in doc["runs"]
+        for method in ("metis", "gp-metis"):
+            run = doc["runs"]["delaunay"][method]
+            assert run["modeled_seconds"] > 0
+            assert run["cut"] >= 0
+
+    def test_no_json_flag(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        rc = main([
+            "bench", "--scale", "0.0003", "--datasets", "delaunay",
+            "--methods", "metis", "-k", "4", "--no-json",
+        ])
+        assert rc == 0
+        assert not (tmp_path / "BENCH_results.json").exists()
 
 
 class TestInfoCommand:
