@@ -1,11 +1,12 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check tier1 sanitize-smoke profile-smoke baseline gate report fuzz bench test
+.PHONY: check tier1 sanitize-smoke faults-smoke profile-smoke baseline gate report fuzz faults bench test
 
-# The gate: tier-1 suite + the sanitizer and observability self-checks
-# + the policy-driven perf-regression gate on the committed ledger.
-check: tier1 sanitize-smoke profile-smoke gate
+# The gate: tier-1 suite + the sanitizer, fault-injection and
+# observability self-checks + the policy-driven perf-regression gate on
+# the committed ledger.
+check: tier1 sanitize-smoke faults-smoke profile-smoke gate
 
 # Tier-1: the fast suite (fuzz/bench-marked tests excluded via pyproject).
 tier1:
@@ -14,6 +15,11 @@ tier1:
 # Race-sanitizer self-check: clean pipeline race-free, planted race caught.
 sanitize-smoke:
 	$(PYTHON) -m repro sanitize
+
+# Fault-injection self-check: survive the exhaustive fault storm with a
+# valid partition, then prove the mutation (recovery off) crashes.
+faults-smoke:
+	$(PYTHON) -m repro faults --self-check
 
 # Observability self-check: profile a tiny graph, export both formats,
 # schema-validate the JSON, require the per-engine metric set.
@@ -42,6 +48,10 @@ report:
 # Long adversarial-schedule sweeps (not part of tier-1).
 fuzz:
 	$(PYTHON) -m pytest -q -m fuzz
+
+# Differential fault matrix: plans x engines (faults-marked, not tier-1).
+faults:
+	$(PYTHON) -m pytest -q -m faults
 
 # Slow end-to-end benchmark tests (bench-marked, not part of tier-1).
 bench:

@@ -21,7 +21,12 @@ Commands mirror the classic ``gpmetis`` binary plus this repo's extras:
   schema-validated tolerance policy, exiting non-zero on violation;
 * ``sanitize`` — self-check of the GPU data-race sanitizer: a clean
   GP-metis pipeline must come out race-free and a deliberately broken
-  matching kernel (conflict resolution disabled) must be flagged.
+  matching kernel (conflict resolution disabled) must be flagged;
+* ``faults`` — deterministic fault injection (see :mod:`repro.faults`):
+  run an engine under a fault plan and print the fault/recovery
+  timeline, emit plan files, or ``--self-check`` the recovery machinery
+  (a full fault plan must survive with a valid, ``degraded`` partition,
+  and the same plan must crash once recovery is disabled).
 """
 
 from __future__ import annotations
@@ -81,6 +86,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--sanitize", action="store_true",
         help="run GPU kernels under the data-race sanitizer (gp-metis only) "
              "and print the per-launch race report",
+    )
+    pp.add_argument(
+        "--fault-plan", metavar="FILE",
+        help="inject faults from this plan JSON (repro.faults.plan/1) and "
+             "print the fault/recovery timeline",
+    )
+    pp.add_argument(
+        "--fault-seed", type=int, default=None, metavar="N",
+        help="inject faults from a plan derived deterministically from N",
     )
     pp.add_argument("-o", "--output", help="write a Metis .part file here")
 
@@ -210,7 +224,93 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--schedules", type=int, default=3,
                     help="fuzzed thread schedules per kernel launch")
     ps.add_argument("--seed", type=int, default=1)
+
+    pfa = sub.add_parser(
+        "faults",
+        help="run an engine under a deterministic fault plan "
+             "(or --self-check the recovery machinery)",
+    )
+    pfa.add_argument(
+        "graph", nargs="?",
+        help="input graph file (default: a built-in delaunay mesh of -n vertices)",
+    )
+    pfa.add_argument("-k", type=int, default=8, help="number of partitions")
+    pfa.add_argument(
+        "--method", default="gp-metis", choices=api.available_methods(),
+    )
+    pfa.add_argument("-n", type=int, default=9000,
+                     help="vertices of the built-in graph")
+    pfa.add_argument("--seed", type=int, default=1, help="engine RNG seed")
+    pfa.add_argument(
+        "--plan", metavar="FILE",
+        help="fault plan JSON (schema repro.faults.plan/1); default is the "
+             "exhaustive built-in plan covering every injection site",
+    )
+    pfa.add_argument(
+        "--fault-seed", type=int, default=None, metavar="N",
+        help="derive a random plan deterministically from N instead of --plan",
+    )
+    pfa.add_argument(
+        "--intensity", type=float, default=0.5,
+        help="fault density of --fault-seed plans, 0..1 (default 0.5)",
+    )
+    pfa.add_argument(
+        "--no-recover", action="store_true",
+        help="disable recovery: injected faults crash the run instead of "
+             "being retried or degraded around",
+    )
+    pfa.add_argument(
+        "--emit-plan", metavar="FILE",
+        help="write the selected plan JSON here and exit (edit + replay "
+             "with --plan)",
+    )
+    pfa.add_argument(
+        "--ledger", metavar="FILE",
+        help="append the faulted run to this JSONL run ledger",
+    )
+    pfa.add_argument(
+        "--self-check", action="store_true",
+        help="mutation-style check of the recovery machinery: the full "
+             "plan must survive with a valid degraded partition, and the "
+             "same plan must fail once recovery is disabled",
+    )
     return p
+
+
+def _select_fault_plan(args):
+    """The fault plan chosen by ``--plan`` / ``--fault-seed`` (or default).
+
+    Returns ``(plan, error_exit_code)``; exactly one of the two is set.
+    """
+    from .faults import FaultPlan, load_plan
+
+    if getattr(args, "plan", None) and args.fault_seed is not None:
+        print("error: --plan and --fault-seed are mutually exclusive",
+              file=sys.stderr)
+        return None, 2
+    if getattr(args, "plan", None):
+        try:
+            return load_plan(args.plan), None
+        except (OSError, ValueError) as exc:
+            print(f"error: bad fault plan: {exc}", file=sys.stderr)
+            return None, 2
+    if args.fault_seed is not None:
+        intensity = getattr(args, "intensity", 0.5)
+        return FaultPlan.from_seed(args.fault_seed, intensity=intensity), None
+    return FaultPlan.full(args.seed), None
+
+
+def _render_fault_summary(result) -> None:
+    events = result.extras.get("fault_events", [])
+    injected = sum(1 for e in events if e.category == "fault")
+    recovered = sum(1 for e in events if e.category == "recovery")
+    print(f"faults injected : {injected}")
+    print(f"recoveries      : {recovered}")
+    print(f"degraded        : {result.extras.get('degraded', False)}")
+    if events:
+        print("fault/recovery timeline:")
+        for event in events:
+            print(event.render())
 
 
 def _cmd_partition(args) -> int:
@@ -222,6 +322,21 @@ def _cmd_partition(args) -> int:
             print("--sanitize requires --method gp-metis", file=sys.stderr)
             return 2
         opts["sanitize"] = True
+    if args.fault_plan or args.fault_seed is not None:
+        from .faults import FaultPlan, load_plan
+
+        if args.fault_plan and args.fault_seed is not None:
+            print("error: --fault-plan and --fault-seed are mutually "
+                  "exclusive", file=sys.stderr)
+            return 2
+        try:
+            if args.fault_plan:
+                opts["fault_plan"] = load_plan(args.fault_plan)
+            else:
+                opts["fault_plan"] = FaultPlan.from_seed(args.fault_seed)
+        except (OSError, ValueError) as exc:
+            print(f"error: bad fault plan: {exc}", file=sys.stderr)
+            return 2
     t0 = time.perf_counter()
     result = api.partition(
         graph, args.k, method=args.method, ubfactor=args.ubfactor,
@@ -235,6 +350,8 @@ def _cmd_partition(args) -> int:
     print(f"comm volume   : {q.comm_volume}")
     print(f"modeled time  : {result.modeled_seconds:.6f} s (simulated testbed)")
     print(f"wall time     : {wall:.3f} s (this Python process)")
+    if "fault_plan" in opts:
+        _render_fault_summary(result)
     san = result.extras.get("sanitizer") if args.sanitize else None
     if san is not None:
         print(san.render())
@@ -373,7 +490,14 @@ def _cmd_gate(args) -> int:
         return 2
 
     if args.current:
-        current = read_ledger(args.current)
+        try:
+            current = read_ledger(args.current)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if not current:
+            print(f"error: {args.current}: ledger is empty", file=sys.stderr)
+            return 2
         print(f"current: {len(current)} recorded run(s) from {args.current}")
     else:
         print("collecting the standard gate workload "
@@ -389,7 +513,14 @@ def _cmd_gate(args) -> int:
         print(f"wrote baseline ledger {baseline_path} ({len(current)} run(s))")
         return 0
 
-    baseline = read_ledger(baseline_path)
+    try:
+        baseline = read_ledger(baseline_path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not baseline:
+        print(f"error: {baseline_path}: ledger is empty", file=sys.stderr)
+        return 2
     violations, checks, notes = evaluate_gate(policy, baseline, current)
     print(render_gate(violations, checks, notes))
     return 1 if violations else 0
@@ -558,6 +689,146 @@ def _cmd_sanitize(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_faults(args) -> int:
+    from .exceptions import ReproError
+    from .obs import ledger as ledger_mod
+
+    plan, err = _select_fault_plan(args)
+    if err is not None:
+        return err
+    if args.emit_plan:
+        plan.dump(args.emit_plan)
+        print(f"wrote {args.emit_plan} ({len(plan.specs)} spec(s), "
+              f"seed {plan.seed})")
+        return 0
+    if args.self_check:
+        return _faults_self_check(args)
+
+    graph = read_graph(args.graph) if args.graph else gen.delaunay(
+        args.n, seed=args.seed
+    )
+    print(f"input: {graph}")
+    print(plan.describe())
+    if args.ledger:
+        ledger_mod.set_default_ledger(args.ledger)
+    try:
+        result = api.partition(
+            graph, args.k, method=args.method, seed=args.seed,
+            fault_plan=plan, fault_recovery=not args.no_recover,
+        )
+    except ReproError as exc:
+        if getattr(exc, "injected", False):
+            print(f"run failed on an injected fault: "
+                  f"{type(exc).__name__}: {exc}", file=sys.stderr)
+            return 1
+        raise
+    finally:
+        if args.ledger:
+            ledger_mod.set_default_ledger(None)
+    q = evaluate_partition(graph, result.part, args.k)
+    print(f"method={args.method} k={args.k}")
+    print(f"edge cut        : {q.cut}")
+    print(f"imbalance       : {q.imbalance:.4f}")
+    print(f"modeled time    : {result.modeled_seconds:.6f} s")
+    _render_fault_summary(result)
+    if args.ledger:
+        last = ledger_mod.read_ledger(args.ledger)[-1]
+        print(f"appended run {last['run_id']} to {args.ledger}")
+    return 0
+
+
+def _faults_self_check(args) -> int:
+    """Mutation-style proof that the recovery machinery carries the run.
+
+    1. GP-metis under the exhaustive built-in plan must finish with a
+       valid, balanced k-way partition flagged ``degraded``, and the
+       ledger record must carry the fault/recovery evidence.
+    2. The identical plan with recovery disabled must fail on an
+       injected fault — showing the pass above is the recovery code's
+       doing, not the faults being harmless.
+    """
+    import os
+    import tempfile
+
+    from .exceptions import ReproError
+    from .faults import FaultPlan
+    from .graphs.metrics import imbalance as imbalance_of
+    from .obs import ledger as ledger_mod
+
+    ok = True
+    plan = FaultPlan.full(args.seed)
+    graph = gen.delaunay(args.n, seed=args.seed)
+    k = args.k
+    ubfactor = 1.03
+    print(f"graph: {graph}")
+    print(f"plan : exhaustive, seed {args.seed}, {len(plan.specs)} spec(s) "
+          "covering every injection site")
+
+    # 1. Recovery on: survive, degrade, and leave evidence in the ledger.
+    with tempfile.TemporaryDirectory() as tmpdir:
+        ledger_path = os.path.join(tmpdir, "faults.jsonl")
+        ledger_mod.set_default_ledger(ledger_path)
+        try:
+            result = api.partition(
+                graph, k, method="gp-metis", seed=args.seed, ubfactor=ubfactor,
+                fault_plan=plan, gpu_threshold_min=2048,
+            )
+        except ReproError as exc:
+            print(f"FAIL recovery-enabled run died: {type(exc).__name__}: {exc}")
+            ledger_mod.set_default_ledger(None)
+            print("faults self-check: FAIL")
+            return 1
+        finally:
+            ledger_mod.set_default_ledger(None)
+        record = ledger_mod.read_ledger(ledger_path)[-1]
+
+    part = result.part
+    events = result.extras.get("fault_events", [])
+    injected = sum(1 for e in events if e.category == "fault")
+    recovered = sum(1 for e in events if e.category == "recovery")
+    checks = [
+        ("partition covers all k parts",
+         part.shape[0] == graph.num_vertices
+         and set(part.tolist()) == set(range(k))),
+        (f"imbalance within tolerance ({ubfactor})",
+         imbalance_of(graph, part, k) <= ubfactor + 1e-9),
+        ("result flagged degraded", bool(result.extras.get("degraded"))),
+        (f"faults were injected ({injected})", injected > 0),
+        (f"recoveries were taken ({recovered})", recovered > 0),
+        ("ledger record carries fault metrics",
+         any(key.startswith("faults.injected")
+             for key in record["metrics"]["counters"])
+         and any(key.startswith("faults.recovered")
+                 for key in record["metrics"]["counters"])),
+        ("ledger record flagged degraded",
+         bool(record["run"].get("degraded"))),
+    ]
+    for label, passed in checks:
+        print(("PASS" if passed else "FAIL"), label)
+        ok = ok and passed
+
+    # 2. Mutation: the same plan with recovery off must fail.
+    try:
+        api.partition(
+            graph, k, method="gp-metis", seed=args.seed, ubfactor=ubfactor,
+            fault_plan=plan, fault_recovery=False, gpu_threshold_min=2048,
+        )
+        print("FAIL mutation not detected: recovery disabled but the run "
+              "still completed")
+        ok = False
+    except ReproError as exc:
+        if getattr(exc, "injected", False):
+            print(f"PASS mutation detected: recovery off -> "
+                  f"{type(exc).__name__}: {exc}")
+        else:
+            print(f"FAIL recovery-off run died on a non-injected error: "
+                  f"{type(exc).__name__}: {exc}")
+            ok = False
+
+    print("faults self-check:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -571,6 +842,7 @@ def main(argv=None) -> int:
         "gate": _cmd_gate,
         "analyze": _cmd_analyze,
         "sanitize": _cmd_sanitize,
+        "faults": _cmd_faults,
     }[args.command]
     return handler(args)
 

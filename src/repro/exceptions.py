@@ -46,3 +46,24 @@ class KernelLaunchError(ReproError):
 
 class CommunicationError(ReproError):
     """A simulated MPI operation was used incorrectly (rank/tag mismatch)."""
+
+
+class TransferError(ReproError):
+    """A host<->device PCIe copy failed or arrived corrupted.
+
+    Corruption is detected at the transfer layer (checksum over the copied
+    buffer), so callers see corrupt and failed copies uniformly; both are
+    retryable through :func:`repro.faults.with_retry`.
+    """
+
+
+class KernelAbortError(KernelLaunchError):
+    """A simulated kernel launch aborted or exceeded its watchdog timeout."""
+
+
+class WorkerStallError(ReproError):
+    """A simulated shared-memory worker stalled past the deadlock watchdog."""
+
+
+class MessageLossError(CommunicationError):
+    """A simulated MPI message was dropped (or duplicated without dedup)."""

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..exceptions import InvalidParameterError
+from ..faults import attach_injector
 from ..graphs.csr import CSRGraph
 from ..graphs.metrics import edge_cut, imbalance
 from ..obs.hooks import finish_run, profile_run
@@ -48,6 +49,12 @@ class GmetisOptions:
     min_shrink: float = 0.05
     refine_passes: int = 4
     seed: int = 1
+    #: Optional fault plan (see :mod:`repro.faults`): a FaultPlan, a plan
+    #: dict, or a path to a plan JSON file.  ``None`` disables injection.
+    fault_plan: object = None
+    #: Respond to injected faults with retry/degradation (True) or let
+    #: them crash the run (False — the faults self-check's mutation).
+    fault_recovery: bool = True
 
     def __post_init__(self) -> None:
         if self.num_threads < 1:
@@ -128,6 +135,9 @@ class Gmetis:
             raise InvalidParameterError(f"k must be >= 1, got {k}")
         opts = self.options
         clock = SimClock()
+        injector = attach_injector(
+            clock, opts.fault_plan, recover=opts.fault_recovery
+        )
         trace = Trace()
         profiler = profile_run(
             clock, engine=self.name, graph=graph, k=k, options=self.options
@@ -245,10 +255,15 @@ class Gmetis:
         finish_run(
             profiler,
             trace=trace,
+            injector=injector,
             cut=edge_cut(graph, part),
             imbalance=imbalance(graph, part, k),
             aborts=total_aborts,
         )
+        extras = {"num_threads": opts.num_threads, "aborts": total_aborts}
+        if injector is not None:
+            extras["degraded"] = injector.degraded
+            extras["fault_events"] = list(injector.events)
         return PartitionResult(
             method=self.name,
             graph_name=graph.name,
@@ -257,5 +272,5 @@ class Gmetis:
             clock=clock,
             trace=trace,
             wall_seconds=time.perf_counter() - t0,
-            extras={"num_threads": opts.num_threads, "aborts": total_aborts},
+            extras=extras,
         )

@@ -71,6 +71,27 @@ class SpeculativeExecutor:
         locks) — results equal a sequential loop over a permutation of
         ``items``.
         """
+        injector = getattr(self.clock, "injector", None)
+        if injector is not None:
+            # The speculative loop's round structure is a barrier surface:
+            # a stalled worker delays every round it participates in.
+            for spec in injector.fire("thread.stall", detail or "for_each"):
+                if spec.kind == "stall":
+                    self.clock.charge(
+                        "barrier", spec.seconds, count=1.0,
+                        detail="injected straggler stall",
+                    )
+                elif injector.recover:
+                    self.clock.charge(
+                        "barrier", spec.seconds, count=1.0,
+                        detail="deadlock watchdog",
+                    )
+                    injector.record_recovery(
+                        "thread.stall", "work-steal",
+                        "stalled iteration's neighborhood re-executed",
+                    )
+                else:
+                    injector.raise_for(spec, detail)
         stats = SpeculativeStats()
         queue = list(np.asarray(items, dtype=np.int64))
         retries: dict[int, int] = {}

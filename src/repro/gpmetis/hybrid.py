@@ -18,6 +18,28 @@ If the graph (plus per-level bookkeeping) does not fit in device memory,
 the driver falls back to CPU-only mt-metis with a trace note — the paper
 assumes fitting graphs and defers bigger ones to future work, but a
 library must not crash on them.
+
+The same machinery doubles as GP-metis's degradation ladder under fault
+injection (:mod:`repro.faults`).  Transient transfer faults are retried
+inside :mod:`repro.gpusim.transfer`; whatever still escapes — device
+OOM (real or injected, including capacity squeezes), kernel aborts,
+persistently failing PCIe links — walks the ladder:
+
+1. faults during GPU *coarsening* stop the GPU early and continue on
+   the CPU from the current level (``gpu-shrink``: a smaller GPU
+   working set, more CPU levels);
+2. faults on the *input transfer* fall back to CPU-only mt-metis
+   (``cpu-fallback``);
+3. faults during GPU *uncoarsening* abandon GPU refinement and project
+   the remaining levels on the host (``skip-gpu-refine``);
+4. a final partition that cannot be copied back is read out directly
+   (``evacuate`` — zero-copy rescue, no quality impact).
+
+Every rung records a recovery event, keeps the result a valid k-way
+partition, and marks the outcome ``degraded`` when the execution path
+changed.  With the injector's recovery switch off, the first
+unrecovered fault propagates instead — the ``faults --self-check``
+mutation.
 """
 
 from __future__ import annotations
@@ -26,7 +48,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..exceptions import DeviceMemoryError
+from ..exceptions import DeviceMemoryError, KernelAbortError, TransferError
 from ..graphs.csr import CSRGraph
 from ..graphs.metrics import edge_cut, imbalance
 from ..gpusim.device import Device
@@ -41,6 +63,7 @@ from ..runtime.machine import MachineSpec
 from ..runtime.threads import ThreadPoolSim
 from ..runtime.trace import LevelRecord, RefinementRecord, Trace
 from ..serial.kway import rebalance_pass
+from ..serial.project import project_partition
 from .kernels.cmap import gpu_build_cmap
 from .kernels.contraction import gpu_contract
 from .kernels.matching import gpu_match
@@ -70,7 +93,15 @@ class HybridOutcome:
     cpu_levels: int
     fell_back_to_cpu: bool = False
     merge_fallbacks: int = 0
+    #: True when fault recovery changed the execution path (CPU fallback,
+    #: truncated GPU coarsening, skipped GPU refinement) — the result is
+    #: still a valid partition, just not the one the fault-free run makes.
+    degraded: bool = False
     notes: list[str] = field(default_factory=list)
+
+
+#: Faults an engine can survive by degrading; everything else propagates.
+RECOVERABLE = (DeviceMemoryError, TransferError, KernelAbortError)
 
 
 def run_hybrid(
@@ -89,6 +120,16 @@ def run_hybrid(
     stop_at = gpu_stop_size(opts, k)
     mt = MtMetis(opts.mtmetis_options(), machine)
     pool = ThreadPoolSim(opts.cpu_threads, machine.cpu, clock)
+    injector = getattr(clock, "injector", None)
+
+    def unrecoverable(exc: Exception) -> bool:
+        """Injected faults propagate when the recovery switch is off;
+        real resource exhaustion is always handled."""
+        return (
+            injector is not None
+            and not injector.recover
+            and getattr(exc, "injected", False)
+        )
 
     # ------------------------------------------------------------------
     # 1. Host -> device.
@@ -96,14 +137,20 @@ def run_hybrid(
     clock.set_phase("transfer")
     try:
         d_csr = transfer_graph_to_device(dev, graph, machine.interconnect)
-    except DeviceMemoryError as exc:
-        trace.note(f"device OOM on input transfer ({exc}); falling back to mt-metis")
+    except RECOVERABLE as exc:
+        if unrecoverable(exc):
+            raise
+        trace.note(f"input transfer failed ({exc}); falling back to mt-metis")
+        if injector is not None:
+            injector.record_recovery(
+                "transfer.h2d", "cpu-fallback", f"input transfer failed: {exc}"
+            )
         res = mt.partition(graph, k)
         clock.merge([res.clock])
         return HybridOutcome(
             part=res.part, trace=res.trace, device=dev,
             gpu_levels=0, cpu_levels=res.trace.num_levels,
-            fell_back_to_cpu=True, notes=trace.notes,
+            fell_back_to_cpu=True, degraded=True, notes=trace.notes,
         )
 
     # ------------------------------------------------------------------
@@ -131,8 +178,17 @@ def run_hybrid(
                     dev, current.d_csr, current.graph, d_match, d_cmap, n_coarse,
                     n_threads, opts.merge_strategy, opts.merge_impl,
                 )
-        except DeviceMemoryError as exc:
-            trace.note(f"device OOM at level {level_idx} ({exc}); continuing on CPU")
+        except RECOVERABLE as exc:
+            if unrecoverable(exc):
+                raise
+            trace.note(
+                f"GPU fault at level {level_idx} ({exc}); continuing on CPU"
+            )
+            if injector is not None:
+                injector.record_recovery(
+                    getattr(exc, "site", "gpu.alloc"), "gpu-shrink",
+                    f"GPU coarsening stopped at level {level_idx}: {exc}",
+                )
             fell_back = True
             break
         d_match.free()
@@ -164,7 +220,18 @@ def run_hybrid(
     # ------------------------------------------------------------------
     clock.set_phase("transfer")
     for name in ("adjp", "adjncy", "adjwgt", "vwgt"):
-        d2h(current.d_csr[name], machine.interconnect, label=f"coarse.{name}")
+        try:
+            d2h(current.d_csr[name], machine.interconnect, label=f"coarse.{name}")
+        except TransferError as exc:
+            if unrecoverable(exc):
+                raise
+            # The CPU stage owns a host mirror of every array, so a dead
+            # D2H link costs only the failed attempts' time.
+            trace.note(f"coarse.{name} D2H failed ({exc}); using host mirror")
+            if injector is not None:
+                injector.record_recovery(
+                    "transfer.d2h", "evacuate", f"coarse.{name}: host mirror"
+                )
 
     clock.set_phase("coarsening-cpu")
     cpu_levels, coarsest = mt.coarsen(
@@ -196,41 +263,104 @@ def run_hybrid(
     # ------------------------------------------------------------------
     if gpu_levels and not fell_back:
         clock.set_phase("transfer")
-        d_part = h2d(dev, part.astype(np.int64), machine.interconnect, label="part")
-
-        clock.set_phase("uncoarsening-gpu")
-        for li in range(len(gpu_levels) - 1, -1, -1):
-            level = gpu_levels[li]
-            n_threads = threads_for_items(level.graph.num_vertices, opts.max_gpu_threads)
-            assert level.d_cmap is not None
-            with clock_span(
-                clock, f"level {li}", category="level",
-                engine="gpu", num_vertices=level.graph.num_vertices,
-            ):
-                d_fine_part = gpu_project(
-                    dev, d_part, level.d_cmap, level.graph.num_vertices, n_threads
+        try:
+            d_part = h2d(dev, part.astype(np.int64), machine.interconnect, label="part")
+        except RECOVERABLE as exc:
+            if unrecoverable(exc):
+                raise
+            trace.note(f"part upload failed ({exc}); projecting on the host")
+            if injector is not None:
+                injector.record_recovery(
+                    getattr(exc, "site", "transfer.h2d"), "skip-gpu-refine",
+                    f"part upload failed: {exc}",
                 )
-                d_part.free()
-                d_part = d_fine_part
-                cut_before = edge_cut(level.graph, d_part.data)
-                sub_stats = gpu_refine_level(
-                    dev, level.d_csr, level.graph, d_part, k,
-                    opts.ubfactor, opts.refine_passes, n_threads,
+            clock.set_phase("uncoarsening-cpu")
+            part = _host_uncoarsen(
+                part, gpu_levels, len(gpu_levels) - 1, clock, machine
+            )
+        else:
+            clock.set_phase("uncoarsening-gpu")
+            abandoned = False
+            for li in range(len(gpu_levels) - 1, -1, -1):
+                level = gpu_levels[li]
+                n_threads = threads_for_items(
+                    level.graph.num_vertices, opts.max_gpu_threads
                 )
-                cut_after = edge_cut(level.graph, d_part.data)
-            for si, st in enumerate(sub_stats):
-                trace.refinements.append(
-                    RefinementRecord(
-                        level=li, pass_index=si,
-                        moves_proposed=st.proposals,
-                        moves_committed=st.committed,
-                        cut_before=cut_before, cut_after=cut_after,
-                        engine="gpu",
+                assert level.d_cmap is not None
+                projected = False
+                try:
+                    with clock_span(
+                        clock, f"level {li}", category="level",
+                        engine="gpu", num_vertices=level.graph.num_vertices,
+                    ):
+                        d_fine_part = gpu_project(
+                            dev, d_part, level.d_cmap, level.graph.num_vertices,
+                            n_threads,
+                        )
+                        d_part.free()
+                        d_part = d_fine_part
+                        projected = True
+                        cut_before = edge_cut(level.graph, d_part.data)
+                        sub_stats = gpu_refine_level(
+                            dev, level.d_csr, level.graph, d_part, k,
+                            opts.ubfactor, opts.refine_passes, n_threads,
+                        )
+                        cut_after = edge_cut(level.graph, d_part.data)
+                except RECOVERABLE as exc:
+                    if unrecoverable(exc):
+                        raise
+                    # d_part is valid either for this level (projection
+                    # committed before the fault) or the coarser one;
+                    # finish the remaining projections on the host.
+                    trace.note(
+                        f"GPU uncoarsening fault at level {li} ({exc}); "
+                        "projecting remaining levels on the host"
                     )
-                )
+                    if injector is not None:
+                        injector.record_recovery(
+                            getattr(exc, "site", "gpu.alloc"), "skip-gpu-refine",
+                            f"GPU uncoarsening abandoned at level {li}: {exc}",
+                        )
+                    part = np.asarray(d_part.data).copy()
+                    d_part.free()
+                    clock.set_phase("uncoarsening-cpu")
+                    part = _host_uncoarsen(
+                        part, gpu_levels, li - 1 if projected else li, clock, machine
+                    )
+                    abandoned = True
+                    break
+                for si, st in enumerate(sub_stats):
+                    trace.refinements.append(
+                        RefinementRecord(
+                            level=li, pass_index=si,
+                            moves_proposed=st.proposals,
+                            moves_committed=st.committed,
+                            cut_before=cut_before, cut_after=cut_after,
+                            engine="gpu",
+                        )
+                    )
 
-        clock.set_phase("transfer")
-        part = d2h(d_part, machine.interconnect, label="part.final")
+            if not abandoned:
+                clock.set_phase("transfer")
+                try:
+                    part = d2h(d_part, machine.interconnect, label="part.final")
+                except TransferError as exc:
+                    if unrecoverable(exc):
+                        raise
+                    # Zero-copy rescue of the final labels: no quality
+                    # impact, only the failed attempts' time was spent.
+                    part = np.asarray(d_part.data).copy()
+                    trace.note(f"part.final D2H failed ({exc}); evacuated")
+                    if injector is not None:
+                        injector.record_recovery(
+                            "transfer.d2h", "evacuate", "part.final read out in place"
+                        )
+    elif gpu_levels:
+        # The gpu-shrink rung's tail: the CPU finished from the truncation
+        # level, so the levels the GPU did complete still map the partition
+        # back to the input graph — project them on the host.
+        clock.set_phase("uncoarsening-cpu")
+        part = _host_uncoarsen(part, gpu_levels, len(gpu_levels) - 1, clock, machine)
 
     # ------------------------------------------------------------------
     # 5. Final balance guarantee on the host.
@@ -266,5 +396,29 @@ def run_hybrid(
         cpu_levels=len(cpu_levels),
         fell_back_to_cpu=fell_back,
         merge_fallbacks=merge_fallbacks,
+        degraded=fell_back or (injector is not None and injector.degraded),
         notes=trace.notes,
     )
+
+
+def _host_uncoarsen(part, gpu_levels, start, clock, machine) -> np.ndarray:
+    """Project ``part`` through GPU levels ``start..0`` on the host.
+
+    The rescue path of the ``gpu-shrink`` and ``skip-gpu-refine`` rungs:
+    each level's device-resident cmap is read out in place and the
+    projection charged as serial CPU vertex work.  No GPU refinement runs
+    on these levels — the partition stays valid, the cut just keeps
+    whatever quality the coarser levels gave it.
+    """
+    for lj in range(start, -1, -1):
+        level = gpu_levels[lj]
+        assert level.d_cmap is not None
+        part = project_partition(part, np.asarray(level.d_cmap.data))
+        nv = level.graph.num_vertices
+        clock.charge(
+            "compute",
+            machine.cpu.vertex_seconds(nv),
+            count=float(nv),
+            detail=f"host projection L{lj}",
+        )
+    return part

@@ -7,6 +7,7 @@ import time
 import numpy as np
 
 from ..exceptions import InvalidParameterError
+from ..faults import attach_injector
 from ..graphs.csr import CSRGraph
 from ..graphs.metrics import edge_cut, imbalance
 from ..obs.hooks import finish_run, profile_run
@@ -42,6 +43,9 @@ class GPMetis:
         if k < 1:
             raise InvalidParameterError(f"k must be >= 1, got {k}")
         clock = SimClock()
+        injector = attach_injector(
+            clock, self.options.fault_plan, recover=self.options.fault_recovery
+        )
         profiler = profile_run(
             clock, engine=self.name, graph=graph, k=k, options=self.options
         )
@@ -52,12 +56,25 @@ class GPMetis:
             profiler,
             trace=outcome.trace,
             device_stats=outcome.device.stats,
+            injector=injector,
             cut=edge_cut(graph, part),
             imbalance=imbalance(graph, part, k),
             gpu_levels=outcome.gpu_levels,
             cpu_levels=outcome.cpu_levels,
             fell_back_to_cpu=outcome.fell_back_to_cpu,
         )
+        extras = {
+            "device_stats": outcome.device.stats,
+            "gpu_levels": outcome.gpu_levels,
+            "cpu_levels": outcome.cpu_levels,
+            "fell_back_to_cpu": outcome.fell_back_to_cpu,
+            "merge_fallbacks": outcome.merge_fallbacks,
+            "merge_strategy": self.options.merge_strategy,
+            "sanitizer": outcome.device.sanitizer,
+            "degraded": outcome.degraded,
+        }
+        if injector is not None:
+            extras["fault_events"] = list(injector.events)
         return PartitionResult(
             method=self.name,
             graph_name=graph.name,
@@ -66,13 +83,5 @@ class GPMetis:
             clock=clock,
             trace=outcome.trace,
             wall_seconds=time.perf_counter() - t0,
-            extras={
-                "device_stats": outcome.device.stats,
-                "gpu_levels": outcome.gpu_levels,
-                "cpu_levels": outcome.cpu_levels,
-                "fell_back_to_cpu": outcome.fell_back_to_cpu,
-                "merge_fallbacks": outcome.merge_fallbacks,
-                "merge_strategy": self.options.merge_strategy,
-                "sanitizer": outcome.device.sanitizer,
-            },
+            extras=extras,
         )

@@ -82,10 +82,18 @@ class Device:
 
     def _register(self, arr: np.ndarray, label: str) -> DeviceArray:
         nbytes = int(arr.nbytes)
-        if self.allocated_bytes + nbytes > self.spec.memory_bytes:
+        capacity = self.spec.memory_bytes
+        injector = getattr(self.clock, "injector", None)
+        if injector is not None:
+            # A capacity squeeze shrinks usable memory for the whole run;
+            # an alloc fault fails this one cudaMalloc outright.
+            capacity = injector.capacity_bytes(capacity)
+            for spec in injector.fire("gpu.alloc", label):
+                injector.raise_for(spec, label)
+        if self.allocated_bytes + nbytes > capacity:
             raise DeviceMemoryError(
                 f"device OOM allocating {nbytes} B for {label!r}: "
-                f"{self.allocated_bytes} B in use of {self.spec.memory_bytes} B"
+                f"{self.allocated_bytes} B in use of {capacity} B"
             )
         self.allocated_bytes += nbytes
         self.stats.peak_memory_bytes = max(self.stats.peak_memory_bytes, self.allocated_bytes)
@@ -132,6 +140,18 @@ class KernelContext:
 
     # -- context protocol ------------------------------------------------
     def __enter__(self) -> "KernelContext":
+        injector = getattr(self.device.clock, "injector", None)
+        if injector is not None:
+            # Faulted launches abort before any work lands, so device
+            # arrays never hold a half-executed kernel's writes; a
+            # timeout burns its watchdog interval first.
+            for spec in injector.fire("kernel.launch", self.name):
+                if spec.kind == "timeout":
+                    self.device.clock.charge(
+                        "launch", spec.seconds, count=1.0,
+                        detail=f"{self.name} (watchdog timeout)",
+                    )
+                injector.raise_for(spec, self.name)
         self._entered = True
         return self
 

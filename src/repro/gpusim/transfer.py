@@ -5,12 +5,22 @@ note: "this time includes the time to transfer the graph between CPU and
 the GPU"), and its central design point is *avoiding* most transfers by
 keeping the fine levels on the GPU.  Transfers use the interconnect's
 alpha-beta model.
+
+When a :class:`~repro.faults.FaultInjector` rides the device clock, each
+copy becomes a *reliable* transfer: injected failures and corruptions
+(caught by an end-to-end verify of the copied buffer against its source)
+raise :class:`~repro.exceptions.TransferError`, and the copy is retried
+under the standard backoff policy before the error escapes to the
+engine's degradation ladder.  Without an injector the fast path is
+unchanged.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..exceptions import TransferError
+from ..faults.retry import with_retry
 from ..runtime.machine import InterconnectSpec
 from .device import Device
 from .memory import DeviceArray
@@ -32,10 +42,36 @@ def _transfer_span(dev: Device, direction: str, label: str, t_start: float, nbyt
         )
 
 
-def h2d(
-    dev: Device, host: np.ndarray, net: InterconnectSpec, label: str = ""
+def _corrupt(buf: np.ndarray, seed_parts) -> None:
+    """Flip one element of the copied buffer, deterministically."""
+    flat = buf.reshape(-1)
+    if flat.size == 0:
+        return
+    idx = int(np.random.default_rng(seed_parts).integers(flat.size))
+    flat[idx] = ~flat[idx] if np.issubdtype(flat.dtype, np.integer) else -flat[idx] - 1
+
+
+def _fire_transfer_faults(dev: Device, site: str, label: str, net: InterconnectSpec):
+    """(injector, fired specs) for one copy attempt; hard failures raise
+    after burning the wire latency (the DMA engine started, then died)."""
+    injector = getattr(dev.clock, "injector", None)
+    if injector is None:
+        return None, []
+    fired = injector.fire(site, label)
+    for spec in fired:
+        if spec.kind == "fail":
+            dev.clock.charge(
+                "transfer_latency", net.pcie_latency_seconds, count=1.0,
+                detail=f"{label} (failed)",
+            )
+            injector.raise_for(spec, label)
+    return injector, fired
+
+
+def _h2d_once(
+    dev: Device, host: np.ndarray, net: InterconnectSpec, label: str
 ) -> DeviceArray:
-    """cudaMemcpy host->device: allocates and charges the PCIe model."""
+    injector, fired = _fire_transfer_faults(dev, "transfer.h2d", label, net)
     darr = dev.adopt(host.copy(), label=label)
     seconds = net.pcie_seconds(host.nbytes)
     t_start = dev.clock.total_seconds
@@ -47,13 +83,35 @@ def h2d(
     dev.stats.h2d_transfers += 1
     dev.stats.h2d_bytes += int(host.nbytes)
     _transfer_span(dev, "h2d", label, t_start, int(host.nbytes))
+    for spec in fired:
+        if spec.kind == "corrupt":
+            _corrupt(darr.data, [0xC0, injector.plan.seed, dev.stats.h2d_transfers])
+    if fired and not np.array_equal(darr.data, host):
+        # End-to-end verify caught the corruption: release the garbage
+        # allocation and surface it as a failed (retryable) copy.
+        darr.free()
+        injector.raise_for(next(s for s in fired if s.kind == "corrupt"), label)
     return darr
 
 
-def d2h(darr: DeviceArray, net: InterconnectSpec, label: str = "") -> np.ndarray:
-    """cudaMemcpy device->host; device allocation stays live until freed."""
+def h2d(
+    dev: Device, host: np.ndarray, net: InterconnectSpec, label: str = ""
+) -> DeviceArray:
+    """cudaMemcpy host->device: allocates and charges the PCIe model.
+
+    Transient injected faults are retried with backoff; the final error
+    (or a device OOM, which retrying cannot fix) propagates.
+    """
+    return with_retry(
+        lambda: _h2d_once(dev, host, net, label),
+        dev.clock, "transfer.h2d", retryable=(TransferError,), detail=label,
+    )
+
+
+def _d2h_once(darr: DeviceArray, net: InterconnectSpec, label: str) -> np.ndarray:
     darr._require_live()
     dev = darr.device
+    injector, fired = _fire_transfer_faults(dev, "transfer.d2h", label, net)
     seconds = net.pcie_seconds(darr.nbytes)
     t_start = dev.clock.total_seconds
     dev.clock.charge("transfer_latency", net.pcie_latency_seconds, count=1.0, detail=label)
@@ -64,7 +122,21 @@ def d2h(darr: DeviceArray, net: InterconnectSpec, label: str = "") -> np.ndarray
     dev.stats.d2h_transfers += 1
     dev.stats.d2h_bytes += int(darr.nbytes)
     _transfer_span(dev, "d2h", label, t_start, int(darr.nbytes))
-    return darr.data.copy()
+    out = darr.data.copy()
+    for spec in fired:
+        if spec.kind == "corrupt":
+            _corrupt(out, [0xD2, injector.plan.seed, dev.stats.d2h_transfers])
+    if fired and not np.array_equal(out, darr.data):
+        injector.raise_for(next(s for s in fired if s.kind == "corrupt"), label)
+    return out
+
+
+def d2h(darr: DeviceArray, net: InterconnectSpec, label: str = "") -> np.ndarray:
+    """cudaMemcpy device->host; device allocation stays live until freed."""
+    return with_retry(
+        lambda: _d2h_once(darr, net, label),
+        darr.device.clock, "transfer.d2h", retryable=(TransferError,), detail=label,
+    )
 
 
 def transfer_graph_to_device(dev: Device, graph, net: InterconnectSpec) -> dict:

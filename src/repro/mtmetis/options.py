@@ -26,6 +26,12 @@ class MtMetisOptions:
     #: again"); GP-metis sets this to 0 (straight to self-match).
     match_retry_rounds: int = 1
     seed: int = 1
+    #: Optional fault plan (see :mod:`repro.faults`): a FaultPlan, a plan
+    #: dict, or a path to a plan JSON file.  ``None`` disables injection.
+    fault_plan: object = None
+    #: Respond to injected faults with retry/degradation (True) or let
+    #: them crash the run (False — the faults self-check's mutation).
+    fault_recovery: bool = True
 
     def __post_init__(self) -> None:
         if self.num_threads < 1:

@@ -18,6 +18,7 @@ import time
 import numpy as np
 
 from ..exceptions import InvalidParameterError
+from ..faults import attach_injector
 from ..graphs.csr import CSRGraph
 from ..graphs.metrics import edge_cut, imbalance
 from ..obs.hooks import finish_run, profile_run
@@ -198,6 +199,9 @@ class MtMetis:
             raise InvalidParameterError(f"k must be >= 1, got {k}")
         opts = self.options
         clock = SimClock()
+        injector = attach_injector(
+            clock, opts.fault_plan, recover=opts.fault_recovery
+        )
         trace = Trace()
         profiler = profile_run(
             clock, engine=self.name, graph=graph, k=k, options=self.options
@@ -246,9 +250,14 @@ class MtMetis:
         finish_run(
             profiler,
             trace=trace,
+            injector=injector,
             cut=edge_cut(graph, part),
             imbalance=imbalance(graph, part, k),
         )
+        extras = {"num_threads": opts.num_threads}
+        if injector is not None:
+            extras["degraded"] = injector.degraded
+            extras["fault_events"] = list(injector.events)
         return PartitionResult(
             method=self.name,
             graph_name=graph.name,
@@ -257,5 +266,5 @@ class MtMetis:
             clock=clock,
             trace=trace,
             wall_seconds=time.perf_counter() - t0,
-            extras={"num_threads": opts.num_threads},
+            extras=extras,
         )

@@ -28,6 +28,9 @@ Standard metrics (labels in braces):
 ``sanitizer.races``                   counter  data races detected
 ``sanitizer.warnings``                counter  stale-read warnings
 ``sanitizer.launches_checked``        counter  launches the sanitizer replayed
+``faults.injected{site,kind}``        counter  injected faults (repro.faults)
+``faults.recovered{action}``          counter  recovery actions taken
+``run.degraded``                      gauge    1 when degradation changed the path
 ``partition.cut``                     gauge    final edge cut
 ``partition.imbalance``               gauge    final imbalance
 ====================================  =======  ==============================
@@ -78,16 +81,19 @@ def finish_run(
     cut: int | None = None,
     imbalance: float | None = None,
     ledger=None,
+    injector=None,
     **attrs,
 ) -> Profiler:
     """Close the run span and derive the standard metrics.
 
     ``trace`` feeds the matching/refinement/sanitizer metrics (labelled
     by each record's ``engine``); ``device_stats`` feeds the kernel,
-    transfer and device-memory metrics.  When a ledger is configured —
-    the ``ledger`` argument, :func:`repro.obs.ledger.set_default_ledger`,
-    or ``$REPRO_LEDGER`` — the finished run is appended to it as one
-    JSONL record.
+    transfer and device-memory metrics; ``injector`` (the run's
+    :class:`repro.faults.FaultInjector`, when one was attached) feeds the
+    fault/recovery counters and the ``degraded`` attribute.  When a
+    ledger is configured — the ``ledger`` argument,
+    :func:`repro.obs.ledger.set_default_ledger`, or ``$REPRO_LEDGER`` —
+    the finished run is appended to it as one JSONL record.
     """
     m = profiler.metrics
     if trace is not None:
@@ -97,6 +103,10 @@ def finish_run(
         _sanitizer_metrics(m, trace)
     if device_stats is not None:
         _device_metrics(m, device_stats)
+    if injector is not None:
+        _fault_metrics(m, injector)
+        attrs.setdefault("degraded", injector.degraded)
+        attrs.setdefault("faults_injected", injector.faults_injected)
     if cut is not None:
         m.gauge("partition.cut").set(cut)
         attrs.setdefault("cut", int(cut))
@@ -148,6 +158,15 @@ def _sanitizer_metrics(m, trace) -> None:
     m.counter("sanitizer.warnings").inc(
         sum(r.num_warnings for r in trace.race_reports)
     )
+
+
+def _fault_metrics(m, injector) -> None:
+    for event in injector.events:
+        if event.category == "fault":
+            m.counter("faults.injected", site=event.site, kind=event.kind).inc()
+        else:
+            m.counter("faults.recovered", action=event.kind).inc()
+    m.gauge("run.degraded").set(1.0 if injector.degraded else 0.0)
 
 
 def _device_metrics(m, stats) -> None:

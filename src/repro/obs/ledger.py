@@ -64,14 +64,29 @@ def get_default_ledger() -> str | None:
 
 # ----------------------------------------------------------------------
 def _canonical(value):
-    """A JSON-stable view of an arbitrary config value."""
+    """A JSON-stable view of an arbitrary config value.
+
+    Dict keys are stringified *before* ordering so mixed-type keys
+    (``{1: ..., "a": ...}``) canonicalize instead of raising, and two
+    dicts that differ only in insertion order digest identically.  Sets
+    become sorted lists — ``str(a_set)`` follows the process's hash
+    seed, which would make the fingerprint differ across runs of the
+    same configuration.
+    """
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return {f.name: _canonical(getattr(value, f.name))
                 for f in dataclasses.fields(value)}
     if isinstance(value, dict):
-        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+        items = [(str(k), _canonical(v)) for k, v in value.items()]
+        items.sort(key=lambda kv: kv[0])
+        return dict(items)
     if isinstance(value, (list, tuple)):
         return [_canonical(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        members = [_canonical(v) for v in value]
+        return sorted(
+            members, key=lambda m: json.dumps(m, sort_keys=True, default=str)
+        )
     if isinstance(value, (bool, int, float, str)) or value is None:
         return value
     return str(value)

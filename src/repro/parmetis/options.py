@@ -25,6 +25,12 @@ class ParMetisOptions:
     min_shrink: float = 0.05
     refine_passes: int = 4
     seed: int = 1
+    #: Optional fault plan (see :mod:`repro.faults`): a FaultPlan, a plan
+    #: dict, or a path to a plan JSON file.  ``None`` disables injection.
+    fault_plan: object = None
+    #: Respond to injected faults with retry/degradation (True) or let
+    #: them crash the run (False — the faults self-check's mutation).
+    fault_recovery: bool = True
 
     def __post_init__(self) -> None:
         if self.num_ranks < 1:

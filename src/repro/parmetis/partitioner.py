@@ -7,6 +7,7 @@ import time
 import numpy as np
 
 from ..exceptions import InvalidParameterError
+from ..faults import attach_injector
 from ..graphs.csr import CSRGraph
 from ..graphs.metrics import edge_cut, imbalance
 from ..obs.hooks import finish_run, profile_run
@@ -45,6 +46,9 @@ class ParMetis:
             raise InvalidParameterError(f"k must be >= 1, got {k}")
         opts = self.options
         clock = SimClock()
+        injector = attach_injector(
+            clock, opts.fault_plan, recover=opts.fault_recovery
+        )
         trace = Trace()
         profiler = profile_run(
             clock, engine=self.name, graph=graph, k=k, options=self.options
@@ -93,10 +97,20 @@ class ParMetis:
         finish_run(
             profiler,
             trace=trace,
+            injector=injector,
             cut=edge_cut(graph, part),
             imbalance=imbalance(graph, part, k),
             num_ranks=opts.num_ranks,
         )
+        extras = {
+            "num_ranks": opts.num_ranks,
+            "messages": mpi.messages_sent,
+            "message_bytes": mpi.bytes_sent,
+            "supersteps": mpi.supersteps,
+        }
+        if injector is not None:
+            extras["degraded"] = injector.degraded
+            extras["fault_events"] = list(injector.events)
         return PartitionResult(
             method=self.name,
             graph_name=graph.name,
@@ -105,10 +119,5 @@ class ParMetis:
             clock=clock,
             trace=trace,
             wall_seconds=time.perf_counter() - t0,
-            extras={
-                "num_ranks": opts.num_ranks,
-                "messages": mpi.messages_sent,
-                "message_bytes": mpi.bytes_sent,
-                "supersteps": mpi.supersteps,
-            },
+            extras=extras,
         )

@@ -63,6 +63,11 @@ class SimClock:
     #: the profiler itself; ``set_phase`` notifies it so every engine that
     #: labels phases gets a run -> phase span tree without extra wiring.
     profiler: object | None = None
+    #: Optional :class:`repro.faults.FaultInjector`.  Substrates that share
+    #: this clock (device, thread pool, MPI layer, transfers) discover it
+    #: here — the same pattern as ``profiler`` — so fault sites need no
+    #: extra plumbing through the engine call chains.
+    injector: object | None = None
 
     # ------------------------------------------------------------------
     def set_phase(self, phase: str) -> None:

@@ -130,6 +130,43 @@ class MpiSim:
         )
         self.messages_sent += int(uniq_pairs.shape[0])
         self.bytes_sent += int(pair_bytes.sum())
+        self._inject_message_faults(float(pair_bytes.max()), detail)
+
+    def _inject_message_faults(self, worst_msg_bytes: float, detail: str) -> None:
+        """Dropped / duplicated messages on one exchange, if a fault plan
+        targets ``mpi.message``.
+
+        A drop is recovered by timeout + retransmission of the lost
+        message (one extra latency round plus its bytes); a duplicate
+        costs its bytes on the wire and is deduplicated at the receiver.
+        Without recovery both surface as :class:`MessageLossError`.
+        """
+        injector = getattr(self.clock, "injector", None)
+        if injector is None:
+            return
+        for spec in injector.fire("mpi.message", detail):
+            if not injector.recover:
+                injector.raise_for(spec, detail)
+            if spec.kind == "drop":
+                self.clock.charge(
+                    "message_latency", 2 * self.net.mpi_latency_seconds,
+                    count=1.0, detail=f"{detail} (retransmit)",
+                )
+                self.clock.charge(
+                    "message_bytes", worst_msg_bytes / self.net.mpi_bytes_per_sec,
+                    count=worst_msg_bytes, detail=f"{detail} (retransmit)",
+                )
+                injector.record_recovery(
+                    "mpi.message", "retransmit", f"{detail}: timeout + resend"
+                )
+            else:  # duplicate
+                self.clock.charge(
+                    "message_bytes", worst_msg_bytes / self.net.mpi_bytes_per_sec,
+                    count=worst_msg_bytes, detail=f"{detail} (duplicate)",
+                )
+                injector.record_recovery(
+                    "mpi.message", "dedup", f"{detail}: duplicate discarded"
+                )
 
     # ------------------------------------------------------------------
     # Collectives

@@ -109,6 +109,28 @@ class ThreadPoolSim:
         )
 
     def barrier(self) -> None:
+        injector = getattr(self.clock, "injector", None)
+        if injector is not None:
+            for spec in injector.fire("thread.stall"):
+                if spec.kind == "stall":
+                    # A straggler: every other worker waits out the stall.
+                    self.clock.charge(
+                        "barrier", spec.seconds, count=1.0,
+                        detail="injected straggler stall",
+                    )
+                elif injector.recover:
+                    # Deadlock watchdog: wait out the timeout, then the
+                    # survivors steal the stalled worker's items.
+                    self.clock.charge(
+                        "barrier", spec.seconds, count=1.0,
+                        detail="deadlock watchdog",
+                    )
+                    injector.record_recovery(
+                        "thread.stall", "work-steal",
+                        "stalled worker's items reassigned to survivors",
+                    )
+                else:
+                    injector.raise_for(spec)
         self.clock.charge("barrier", self.cpu.barrier_seconds, count=1.0)
 
     def _slowdown(self) -> float:

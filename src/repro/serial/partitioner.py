@@ -14,6 +14,7 @@ import time
 import numpy as np
 
 from ..exceptions import InvalidParameterError
+from ..faults import attach_injector
 from ..graphs.csr import CSRGraph
 from ..graphs.metrics import edge_cut, imbalance
 from ..obs.hooks import finish_run, profile_run
@@ -48,6 +49,12 @@ class SerialMetis:
             raise InvalidParameterError(f"k must be >= 1, got {k}")
         opts = self.options
         clock = SimClock()
+        # A single-core engine has no faultable substrate (no device, pool
+        # or MPI layer), but attaching keeps the option contract uniform —
+        # the plan simply never fires, and metrics report that honestly.
+        injector = attach_injector(
+            clock, opts.fault_plan, recover=opts.fault_recovery
+        )
         trace = Trace()
         profiler = profile_run(
             clock, engine=self.name, graph=graph, k=k, options=self.options
@@ -119,9 +126,14 @@ class SerialMetis:
         finish_run(
             profiler,
             trace=trace,
+            injector=injector,
             cut=edge_cut(graph, part),
             imbalance=imbalance(graph, part, k),
         )
+        extras = {}
+        if injector is not None:
+            extras["degraded"] = injector.degraded
+            extras["fault_events"] = list(injector.events)
         return PartitionResult(
             method=self.name,
             graph_name=graph.name,
@@ -130,4 +142,5 @@ class SerialMetis:
             clock=clock,
             trace=trace,
             wall_seconds=time.perf_counter() - t0,
+            extras=extras,
         )

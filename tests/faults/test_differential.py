@@ -1,0 +1,87 @@
+"""Differential fault suite: fault plans x engines, quality bounded.
+
+Every (plan, engine) cell runs the same graph twice — fault-free and
+under injection — and asserts the faulted run still returns a valid,
+balanced partition whose edge cut is within a factor of the fault-free
+cut.  Degraded paths (CPU fallback, skipped GPU refinement) may lose
+some quality; they may not lose correctness.
+
+The matrix is excluded from tier-1 (it is ~40 full engine runs); run it
+with ``pytest -m faults`` or ``make faults``.
+"""
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.faults import FaultPlan, FaultSpec
+from repro.graphs import generators
+from repro.graphs.metrics import edge_cut, imbalance
+
+pytestmark = pytest.mark.faults
+
+K = 4
+SEED = 3
+UBFACTOR = 1.05
+#: Degraded paths still run a full multilevel pipeline, so the cut may
+#: differ but stays the same order of magnitude.  2x is deliberately
+#: loose — the suite guards correctness-under-faults, not tuning.
+CUT_FACTOR = 2.0
+
+ENGINES = ["gp-metis", "mt-metis", "parmetis", "gmetis", "metis"]
+
+PLANS = {
+    "seeded-light": FaultPlan.from_seed(1, intensity=0.3),
+    "seeded-heavy": FaultPlan.from_seed(2, intensity=1.0),
+    "full": FaultPlan.full(7),
+    "transfers-down": FaultPlan(specs=(
+        FaultSpec("transfer.h2d", "fail", max_fires=0),
+        FaultSpec("transfer.d2h", "fail", max_fires=0),
+    )),
+    "squeeze+stall": FaultPlan(specs=(
+        FaultSpec("gpu.capacity", "squeeze", factor=0.01),
+        FaultSpec("thread.stall", "stall", probability=0.3, max_fires=0),
+        FaultSpec("mpi.message", "drop", probability=0.1, max_fires=0),
+    )),
+}
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return generators.grid2d(100, 100)
+
+
+@pytest.fixture(scope="module")
+def clean_cuts(grid):
+    return {
+        engine: edge_cut(grid, api.partition(
+            grid, K, method=engine, seed=SEED, ubfactor=UBFACTOR).part)
+        for engine in ENGINES
+    }
+
+
+@pytest.mark.parametrize("plan_name", sorted(PLANS))
+@pytest.mark.parametrize("engine", ENGINES)
+def test_faulted_run_stays_valid_and_close(grid, clean_cuts, engine, plan_name):
+    plan = PLANS[plan_name]
+    result = api.partition(grid, K, method=engine, seed=SEED,
+                           ubfactor=UBFACTOR, fault_plan=plan)
+    part = result.part
+    assert part.shape == (grid.num_vertices,)
+    assert set(np.unique(part)) == set(range(K))
+    assert imbalance(grid, part, K) <= UBFACTOR + 1e-9
+    cut = edge_cut(grid, part)
+    assert cut <= CUT_FACTOR * clean_cuts[engine], (
+        f"{engine} under {plan_name}: cut {cut} vs clean {clean_cuts[engine]}"
+    )
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_faulted_matrix_deterministic(grid, engine):
+    plan = PLANS["seeded-heavy"]
+    a = api.partition(grid, K, method=engine, seed=SEED,
+                      ubfactor=UBFACTOR, fault_plan=plan)
+    b = api.partition(grid, K, method=engine, seed=SEED,
+                      ubfactor=UBFACTOR, fault_plan=plan)
+    assert np.array_equal(a.part, b.part)
+    assert a.extras.get("degraded") == b.extras.get("degraded")

@@ -1,0 +1,261 @@
+"""Unit tests of the deterministic injector and the retry policy."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    DeviceMemoryError,
+    KernelAbortError,
+    MessageLossError,
+    ReproError,
+    TransferError,
+    WorkerStallError,
+)
+from repro.faults import (
+    DEGRADING_ACTIONS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    attach_injector,
+    with_retry,
+)
+from repro.runtime.clock import SimClock
+
+
+def plan_of(*specs, seed=0):
+    return FaultPlan(seed=seed, specs=tuple(specs))
+
+
+class TestFiring:
+    def test_certain_spec_fires_once(self):
+        inj = FaultInjector(plan_of(FaultSpec("gpu.alloc", "oom", max_fires=1)))
+        assert len(inj.fire("gpu.alloc")) == 1
+        assert inj.fire("gpu.alloc") == []  # cap reached
+        assert inj.faults_injected == 1
+
+    def test_unlimited_spec_keeps_firing(self):
+        inj = FaultInjector(plan_of(FaultSpec("transfer.h2d", "fail", max_fires=0)))
+        for _ in range(5):
+            assert len(inj.fire("transfer.h2d")) == 1
+        assert inj.faults_injected == 5
+
+    def test_site_isolation(self):
+        inj = FaultInjector(plan_of(FaultSpec("gpu.alloc", "oom")))
+        assert inj.fire("transfer.h2d") == []
+        assert inj.fire("kernel.launch") == []
+        assert inj.faults_injected == 0
+
+    def test_match_substring_filters(self):
+        inj = FaultInjector(
+            plan_of(FaultSpec("transfer.h2d", "fail", match="adjncy", max_fires=0))
+        )
+        assert inj.fire("transfer.h2d", "csr.adjp") == []
+        assert len(inj.fire("transfer.h2d", "csr.adjncy")) == 1
+
+    def test_probabilistic_firing_is_deterministic(self):
+        spec = FaultSpec("mpi.message", "drop", probability=0.5, max_fires=0)
+
+        def decisions():
+            inj = FaultInjector(plan_of(spec, seed=9))
+            return [bool(inj.fire("mpi.message")) for _ in range(50)]
+
+        first, second = decisions(), decisions()
+        assert first == second
+        assert any(first) and not all(first)  # p=0.5 actually branches
+
+    def test_spec_streams_independent(self):
+        # Adding a second spec must not change the first spec's decisions.
+        a = FaultSpec("mpi.message", "drop", probability=0.5, max_fires=0)
+        b = FaultSpec("thread.stall", "stall", probability=0.5, max_fires=0)
+        solo = FaultInjector(plan_of(a, seed=4))
+        duo = FaultInjector(plan_of(a, b, seed=4))
+        solo_fires = [bool(solo.fire("mpi.message")) for _ in range(30)]
+        duo_fires = []
+        for i in range(30):
+            duo_fires.append(bool(duo.fire("mpi.message")))
+            duo.fire("thread.stall")  # interleave the other site
+        assert solo_fires == duo_fires
+
+    def test_events_recorded_with_clock_time(self):
+        clock = SimClock()
+        inj = FaultInjector(
+            plan_of(FaultSpec("gpu.alloc", "oom")), clock=clock
+        )
+        clock.charge("compute", 1.5, count=1.0)
+        inj.fire("gpu.alloc", "buf")
+        assert inj.events[0].t == pytest.approx(clock.total_seconds)
+        assert inj.events[0].site == "gpu.alloc"
+        assert inj.events[0].detail == "buf"
+
+
+class TestRaising:
+    @pytest.mark.parametrize("site,kind,exc_type", [
+        ("gpu.alloc", "oom", DeviceMemoryError),
+        ("kernel.launch", "abort", KernelAbortError),
+        ("transfer.h2d", "fail", TransferError),
+        ("transfer.d2h", "corrupt", TransferError),
+        ("thread.stall", "deadlock", WorkerStallError),
+        ("mpi.message", "drop", MessageLossError),
+    ])
+    def test_site_exception_types(self, site, kind, exc_type):
+        inj = FaultInjector(plan_of(FaultSpec(site, kind)))
+        (spec,) = inj.fire(site)
+        with pytest.raises(exc_type) as err:
+            inj.raise_for(spec, "detail-text")
+        assert err.value.injected is True
+        assert err.value.site == site
+        assert err.value.kind == kind
+        assert "detail-text" in str(err.value)
+
+    def test_injected_exceptions_are_repro_errors(self):
+        inj = FaultInjector(plan_of(FaultSpec("transfer.h2d", "fail")))
+        (spec,) = inj.fire("transfer.h2d")
+        with pytest.raises(ReproError):
+            inj.raise_for(spec)
+
+
+class TestCapacity:
+    def test_squeeze_scales_capacity(self):
+        inj = FaultInjector(
+            plan_of(FaultSpec("gpu.capacity", "squeeze", factor=0.25))
+        )
+        assert inj.capacity_bytes(1000) == 250
+        # Standing condition: applies every call, recorded once.
+        assert inj.capacity_bytes(1000) == 250
+        assert inj.faults_injected == 1
+
+    def test_no_squeeze_is_identity(self):
+        inj = FaultInjector(plan_of(FaultSpec("gpu.alloc", "oom")))
+        assert inj.capacity_bytes(1000) == 1000
+
+
+class TestRecovery:
+    def test_recovery_events_and_degraded(self):
+        inj = FaultInjector(plan_of(FaultSpec("gpu.alloc", "oom")))
+        inj.record_recovery("gpu.alloc", "retry", "attempt 1")
+        assert inj.recoveries == 1
+        assert not inj.degraded  # retry does not change the path
+        inj.record_recovery("gpu.alloc", "cpu-fallback", "gave up")
+        assert inj.degraded
+
+    def test_degrading_actions_constant(self):
+        assert "cpu-fallback" in DEGRADING_ACTIONS
+        assert "retry" not in DEGRADING_ACTIONS
+        assert "retransmit" not in DEGRADING_ACTIONS
+
+    def test_render_lists_events(self):
+        inj = FaultInjector(plan_of(FaultSpec("gpu.alloc", "oom")))
+        assert "no faults" in inj.render()
+        inj.fire("gpu.alloc", "buf")
+        assert "gpu.alloc/oom" in inj.render()
+
+
+class TestAttach:
+    def test_attach_sets_clock_injector(self):
+        clock = SimClock()
+        inj = attach_injector(clock, FaultPlan.full(1))
+        assert inj is not None and clock.injector is inj
+
+    def test_attach_none_and_empty_are_noops(self):
+        clock = SimClock()
+        assert attach_injector(clock, None) is None
+        assert attach_injector(clock, FaultPlan()) is None
+        assert clock.injector is None
+
+    def test_attach_accepts_dict_and_path(self, tmp_path):
+        clock = SimClock()
+        plan = FaultPlan.full(2)
+        assert attach_injector(clock, plan.to_json()).plan == plan
+        path = tmp_path / "p.json"
+        plan.dump(path)
+        assert attach_injector(clock, path).plan == plan
+
+
+class TestWithRetry:
+    def _clock_with_injector(self, *specs, recover=True):
+        clock = SimClock()
+        inj = FaultInjector(plan_of(*specs), recover=recover, clock=clock)
+        clock.injector = inj
+        return clock, inj
+
+    def test_no_injector_calls_through(self):
+        clock = SimClock()
+        assert with_retry(lambda: 42, clock, "transfer.h2d") == 42
+
+    def test_transient_fault_retried(self):
+        clock, inj = self._clock_with_injector(
+            FaultSpec("transfer.h2d", "fail", max_fires=2)
+        )
+        attempts = []
+
+        def op():
+            attempts.append(1)
+            fired = inj.fire("transfer.h2d")
+            if fired:
+                inj.raise_for(fired[0])
+            return "ok"
+
+        assert with_retry(op, clock, "transfer.h2d",
+                          retryable=(TransferError,)) == "ok"
+        assert len(attempts) == 3  # two failures, then success
+        assert inj.recoveries == 2
+        assert clock.total_seconds > 0  # backoff was charged
+
+    def test_budget_exhaustion_reraises(self):
+        clock, inj = self._clock_with_injector(
+            FaultSpec("transfer.h2d", "fail", max_fires=0)
+        )
+
+        def op():
+            fired = inj.fire("transfer.h2d")
+            inj.raise_for(fired[0])
+
+        with pytest.raises(TransferError) as err:
+            with_retry(op, clock, "transfer.h2d", retryable=(TransferError,),
+                       policy=RetryPolicy(max_retries=3))
+        assert err.value.injected
+
+    def test_recovery_off_means_no_retry(self):
+        clock, inj = self._clock_with_injector(
+            FaultSpec("transfer.h2d", "fail", max_fires=2), recover=False
+        )
+        attempts = []
+
+        def op():
+            attempts.append(1)
+            fired = inj.fire("transfer.h2d")
+            inj.raise_for(fired[0])
+
+        with pytest.raises(TransferError):
+            with_retry(op, clock, "transfer.h2d", retryable=(TransferError,))
+        assert len(attempts) == 1
+
+    def test_non_retryable_propagates(self):
+        clock, _ = self._clock_with_injector(FaultSpec("gpu.alloc", "oom"))
+
+        def op():
+            raise RuntimeError("not a fault")
+
+        with pytest.raises(RuntimeError):
+            with_retry(op, clock, "gpu.alloc")
+
+    def test_backoff_grows(self):
+        policy = RetryPolicy(max_retries=3, backoff_seconds=1e-4,
+                             backoff_factor=2.0)
+        assert policy.backoff(2) == pytest.approx(2e-4)
+        assert policy.backoff(3) == pytest.approx(4e-4)
+
+
+class TestDeterminism:
+    def test_full_runs_identically(self):
+        def schedule():
+            inj = FaultInjector(FaultPlan.full(7))
+            out = []
+            for _ in range(4):
+                for site in ("gpu.alloc", "kernel.launch", "transfer.h2d",
+                             "thread.stall", "mpi.message"):
+                    out.extend((s.site, s.kind) for s in inj.fire(site))
+            return out
+
+        assert schedule() == schedule()

@@ -1,0 +1,113 @@
+"""Unit tests of the fault-plan schema, loaders and generators."""
+
+import json
+
+import pytest
+
+from repro.faults import (
+    FAULT_PLAN_SCHEMA,
+    SITES,
+    FaultPlan,
+    FaultSpec,
+    load_plan,
+    validate_fault_plan,
+)
+from repro.exceptions import InvalidParameterError
+from repro.obs.schema import SchemaError
+
+
+class TestFaultSpec:
+    def test_valid_sites_and_kinds(self):
+        for site, kinds in SITES.items():
+            for kind in kinds:
+                spec = FaultSpec(site, kind)
+                assert spec.site == site and spec.kind == kind
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            FaultSpec("gpu.warp", "oom")
+
+    def test_kind_must_match_site(self):
+        with pytest.raises(InvalidParameterError):
+            FaultSpec("gpu.alloc", "drop")
+
+    def test_probability_range(self):
+        with pytest.raises(InvalidParameterError):
+            FaultSpec("gpu.alloc", "oom", probability=1.5)
+        with pytest.raises(InvalidParameterError):
+            FaultSpec("gpu.alloc", "oom", probability=-0.1)
+
+    def test_timed_kinds_get_default_seconds(self):
+        assert FaultSpec("kernel.launch", "timeout").seconds > 0
+        assert FaultSpec("thread.stall", "stall").seconds > 0
+        assert FaultSpec("gpu.alloc", "oom").seconds == 0.0
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            FaultSpec("gpu.alloc", "oom", max_fires=-1)
+        with pytest.raises(InvalidParameterError):
+            FaultSpec("kernel.launch", "timeout", seconds=-1.0)
+
+
+class TestFaultPlan:
+    def test_json_roundtrip(self):
+        plan = FaultPlan.full(seed=3)
+        doc = plan.to_json()
+        assert doc["schema"] == FAULT_PLAN_SCHEMA
+        clone = FaultPlan.from_json(doc)
+        assert clone == plan
+
+    def test_dump_and_load(self, tmp_path):
+        plan = FaultPlan.from_seed(11)
+        path = tmp_path / "plan.json"
+        plan.dump(path)
+        assert load_plan(path) == plan
+        assert load_plan(str(path)) == plan
+
+    def test_load_plan_passthrough(self):
+        plan = FaultPlan.full(1)
+        assert load_plan(plan) is plan
+        assert load_plan(None) == FaultPlan()
+        assert load_plan(plan.to_json()) == plan
+
+    def test_from_seed_deterministic(self):
+        a = FaultPlan.from_seed(5)
+        b = FaultPlan.from_seed(5)
+        assert a == b
+        assert a != FaultPlan.from_seed(6)
+
+    def test_from_seed_intensity_scales_specs(self):
+        sparse = FaultPlan.from_seed(5, intensity=0.1)
+        dense = FaultPlan.from_seed(5, intensity=1.0)
+        assert len(dense.specs) >= len(sparse.specs)
+
+    def test_full_covers_every_site(self):
+        plan = FaultPlan.full(0)
+        covered = {(s.site, s.kind) for s in plan.specs}
+        expected = {(site, kind) for site, kinds in SITES.items() for kind in kinds}
+        assert covered == expected
+
+    def test_full_transfer_fail_is_persistent(self):
+        plan = FaultPlan.full(0)
+        fails = [s for s in plan.specs
+                 if s.site.startswith("transfer.") and s.kind == "fail"]
+        assert fails and all(s.max_fires == 0 for s in fails)
+
+    def test_validate_rejects_garbage(self):
+        with pytest.raises(SchemaError):
+            validate_fault_plan({"schema": "nope", "seed": 0, "specs": []})
+        with pytest.raises(SchemaError):
+            validate_fault_plan({"schema": FAULT_PLAN_SCHEMA, "seed": 0,
+                                 "specs": [{"site": "gpu.alloc"}]})
+
+    def test_load_plan_bad_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises((ValueError, json.JSONDecodeError)):
+            load_plan(path)
+
+    def test_describe_mentions_every_spec(self):
+        plan = FaultPlan.full(2)
+        text = plan.describe()
+        for spec in plan.specs:
+            assert spec.site in text and spec.kind in text

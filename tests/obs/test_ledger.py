@@ -42,6 +42,56 @@ class TestFingerprint:
         assert a != b
         assert options_hash(GPMetisOptions(seed=1)) == a
 
+    def test_options_hash_stable_under_dict_key_order(self):
+        # Regression: a fingerprint must not depend on insertion order,
+        # including inside nested dicts.
+        a = options_hash({"ubfactor": 1.03, "seed": 1,
+                          "nested": {"x": 1, "y": 2}})
+        b = options_hash({"nested": {"y": 2, "x": 1},
+                          "seed": 1, "ubfactor": 1.03})
+        assert a == b
+
+    def test_options_hash_mixed_type_keys_do_not_crash(self):
+        # Regression: sorted({1: ..., "a": ...}.items()) raises TypeError;
+        # keys are stringified before ordering instead.
+        a = options_hash({1: "one", "a": "b", (2, 3): "pair"})
+        b = options_hash({(2, 3): "pair", "a": "b", 1: "one"})
+        assert a == b
+
+    def test_options_hash_sets_canonicalize(self):
+        # Regression: str(a_set) follows the process hash seed; sets must
+        # digest as sorted lists instead.
+        a = options_hash({"tags": {"fuzz", "bench", "faults"}})
+        b = options_hash({"tags": {"faults", "fuzz", "bench"}})
+        assert a == b
+        assert a != options_hash({"tags": {"fuzz", "bench"}})
+
+    def test_options_hash_changes_with_fault_options(self):
+        from repro.faults import FaultPlan
+        from repro.gpmetis.options import GPMetisOptions
+
+        clean = options_hash(GPMetisOptions(seed=1))
+        faulted = options_hash(GPMetisOptions(seed=1,
+                                              fault_plan=FaultPlan.full(3)))
+        norecover = options_hash(GPMetisOptions(seed=1,
+                                                fault_recovery=False))
+        assert len({clean, faulted, norecover}) == 3
+        assert faulted != options_hash(
+            GPMetisOptions(seed=1, fault_plan=FaultPlan.full(4)))
+
+    def test_options_hash_changes_with_sanitize_options(self):
+        from repro.gpmetis.options import GPMetisOptions
+
+        fields = GPMetisOptions.__dataclass_fields__
+        sanitize_knobs = [f for f in fields
+                          if "sanitize" in f and fields[f].type == "bool"]
+        assert sanitize_knobs, "GPMetisOptions lost its sanitize option"
+        base = options_hash(GPMetisOptions(seed=1))
+        for knob in sanitize_knobs:
+            default = fields[knob].default
+            flipped = GPMetisOptions(seed=1, **{knob: not default})
+            assert options_hash(flipped) != base, knob
+
 
 class TestRecord:
     def test_shape_validates(self):

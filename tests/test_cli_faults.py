@@ -1,0 +1,157 @@
+"""CLI tests for the ``faults`` command and ledger error hardening.
+
+Covers the PR's satellite hardening pass: ``repro gate`` and ``repro
+compare`` must fail with exit 2 and an ``error:`` line on stderr for
+malformed or empty ledger input (not a traceback), and the ``faults``
+command's plan selection, self-check and no-recover modes must behave.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.faults import FaultPlan, load_plan
+from repro.obs.ledger import set_default_ledger
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_ledger(monkeypatch):
+    monkeypatch.delenv("REPRO_LEDGER", raising=False)
+    set_default_ledger(None)
+    yield
+    set_default_ledger(None)
+
+
+@pytest.fixture
+def bad_ledger(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text("{this is not json\n")
+    return str(path)
+
+
+@pytest.fixture
+def empty_ledger(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    return str(path)
+
+
+@pytest.fixture
+def good_ledger(tmp_path):
+    from tests.obs.conftest import build_record
+    from repro.obs import append_record
+
+    path = tmp_path / "runs.jsonl"
+    append_record(path, build_record({"coarsening": 1.0}))
+    return str(path)
+
+
+class TestLedgerErrorPaths:
+    @pytest.mark.parametrize("cmd", ["gate", "compare"])
+    def test_malformed_ledger_exits_2(self, cmd, bad_ledger, good_ledger,
+                                      capsys):
+        if cmd == "gate":
+            argv = ["gate", "--current", bad_ledger, "--baseline", good_ledger]
+        else:
+            argv = ["compare", bad_ledger, good_ledger]
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "not valid JSON" in err
+
+    @pytest.mark.parametrize("cmd", ["gate", "compare"])
+    def test_empty_ledger_exits_2(self, cmd, empty_ledger, good_ledger,
+                                  capsys):
+        if cmd == "gate":
+            argv = ["gate", "--current", empty_ledger,
+                    "--baseline", good_ledger]
+        else:
+            argv = ["compare", empty_ledger, good_ledger]
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "ledger is empty" in err
+
+    @pytest.mark.parametrize("cmd", ["gate", "compare"])
+    def test_missing_ledger_exits_2(self, cmd, tmp_path, good_ledger, capsys):
+        missing = str(tmp_path / "nope.jsonl")
+        if cmd == "gate":
+            argv = ["gate", "--current", missing, "--baseline", good_ledger]
+        else:
+            argv = ["compare", missing, good_ledger]
+        assert main(argv) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_gate_malformed_baseline_exits_2(self, good_ledger, bad_ledger,
+                                             capsys):
+        assert main(["gate", "--current", good_ledger,
+                     "--baseline", bad_ledger]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+
+class TestFaultsCommand:
+    def test_self_check_passes(self, capsys):
+        assert main(["faults", "--self-check", "-n", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "faults self-check: PASS" in out
+        assert "FAIL" not in out
+        assert "mutation detected" in out
+
+    def test_emit_plan_roundtrips(self, tmp_path, capsys):
+        path = tmp_path / "plan.json"
+        assert main(["faults", "--fault-seed", "5", "--emit-plan",
+                     str(path)]) == 0
+        plan = load_plan(path)
+        assert plan == FaultPlan.from_seed(5)
+        assert json.loads(path.read_text())["seed"] == 5
+
+    def test_plan_and_seed_mutually_exclusive(self, tmp_path, capsys):
+        path = tmp_path / "plan.json"
+        FaultPlan.from_seed(1).dump(path)
+        assert main(["faults", "--plan", str(path),
+                     "--fault-seed", "2"]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_bad_plan_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "plan.json"
+        path.write_text("{broken")
+        assert main(["faults", "--plan", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: bad fault plan")
+
+    def test_run_reports_timeline_and_ledger(self, tmp_path, capsys):
+        ledger = tmp_path / "runs.jsonl"
+        assert main(["faults", "-n", "5000", "--fault-seed", "1",
+                     "--ledger", str(ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "faults injected" in out
+        assert ledger.exists() and ledger.read_text().strip()
+
+    def test_no_recover_crashes_with_exit_1(self, capsys):
+        # The exhaustive default plan contains persistent transfer
+        # failures; with recovery off the run must die on the injection.
+        assert main(["faults", "-n", "5000", "--no-recover"]) == 1
+        err = capsys.readouterr().err
+        assert "injected" in err
+
+    def test_partition_command_accepts_fault_seed(self, tmp_path, capsys):
+        import numpy as np
+        from repro.graphs import generators, io as gio
+
+        path = tmp_path / "g.graph"
+        gio.write_metis(generators.delaunay(5000, seed=1), path)
+        assert main(["partition", str(path), "-k", "4", "--method",
+                     "gp-metis", "--fault-seed", "3"]) == 0
+        assert "fault" in capsys.readouterr().out.lower()
+
+    def test_partition_fault_flags_mutually_exclusive(self, tmp_path, capsys):
+        from repro.graphs import generators, io as gio
+
+        plan = tmp_path / "plan.json"
+        FaultPlan.from_seed(1).dump(plan)
+        path = tmp_path / "g.graph"
+        gio.write_metis(generators.grid2d(10, 10), path)
+        assert main(["partition", str(path), "-k", "2",
+                     "--fault-plan", str(plan), "--fault-seed", "2"]) == 2
+        assert capsys.readouterr().err.startswith("error:")

@@ -1,0 +1,116 @@
+"""Property-based invariant tests over seeded random graphs.
+
+No hypothesis dependency: a seeded ``numpy`` generator drives randomized
+inputs, so every failure is reproducible from the printed seed.  Each
+property is checked across a spread of seeds and sizes:
+
+* building from a random edge list yields a well-formed CSR graph
+  (``CSRGraph.validate`` passes: symmetric, loop-free, deduped);
+* permutation preserves well-formedness, total vertex weight and total
+  edge weight;
+* matching + contraction preserve well-formedness and total vertex
+  weight, and never increase total edge weight;
+* engine partitions cover all ``k`` parts and respect the balance bound.
+"""
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.graphs import generators
+from repro.graphs.build import from_edges
+from repro.graphs.csr import CSRGraph
+from repro.graphs.metrics import imbalance
+from repro.graphs.permute import permute, random_order
+from repro.serial.contraction import contract
+from repro.serial.matching import match_is_valid, sequential_match
+
+SEEDS = [0, 1, 2, 3, 4, 17, 42, 1234]
+
+
+def random_graph(seed: int) -> CSRGraph:
+    """A connected-ish random weighted graph, sized/shaped by ``seed``."""
+    rng = np.random.default_rng([0x9AF, seed])
+    n = int(rng.integers(8, 400))
+    # A random cycle keeps the graph from being trivially disconnected,
+    # plus extra random chords (duplicates and self-loops exercised on
+    # purpose — from_edges must clean both up).
+    perm = rng.permutation(n)
+    cycle = np.stack([perm, np.roll(perm, 1)], axis=1)
+    m_extra = int(rng.integers(0, 4 * n))
+    extra = rng.integers(0, n, size=(m_extra, 2))
+    edges = np.concatenate([cycle, extra])
+    weights = rng.integers(1, 10, size=len(edges))
+    vwgt = rng.integers(1, 5, size=n)
+    return from_edges(n, edges, weights=weights, vertex_weights=vwgt,
+                      name=f"rand{seed}")
+
+
+def total_edge_weight(g: CSRGraph) -> int:
+    return int(g.adjwgt.sum())  # each undirected edge counted twice
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_build_from_random_edges_is_well_formed(seed):
+    g = random_graph(seed)
+    g.validate()  # raises on any broken invariant
+    assert g.num_vertices >= 8
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_permute_preserves_structure_and_weights(seed):
+    g = random_graph(seed)
+    order = random_order(g, seed=seed + 1)
+    p = permute(g, order)
+    p.validate()
+    assert p.num_vertices == g.num_vertices
+    assert p.num_edges == g.num_edges
+    assert int(p.vwgt.sum()) == int(g.vwgt.sum())
+    assert total_edge_weight(p) == total_edge_weight(g)
+    # The permutation relabels, it does not reweigh: vertex weights
+    # follow their vertices.
+    assert np.array_equal(p.vwgt[order], g.vwgt)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("scheme", ["hem", "rm"])
+def test_contract_preserves_vertex_weight(seed, scheme):
+    g = random_graph(seed)
+    rng = np.random.default_rng([0xC0A, seed])
+    match = sequential_match(g, scheme=scheme, rng=rng).match
+    assert match_is_valid(g, match)
+    coarse, cmap = contract(g, match)
+    coarse.validate()
+    assert coarse.num_vertices <= g.num_vertices
+    assert int(coarse.vwgt.sum()) == int(g.vwgt.sum())
+    # Contraction folds matched edges inside coarse vertices; the
+    # surviving inter-vertex weight can only shrink.
+    assert total_edge_weight(coarse) <= total_edge_weight(g)
+    # cmap is a total, onto map onto the coarse id space.
+    assert cmap.shape == (g.num_vertices,)
+    assert set(np.unique(cmap)) == set(range(coarse.num_vertices))
+
+
+@pytest.mark.parametrize("seed", SEEDS[:4])
+def test_repeated_contraction_stays_well_formed(seed):
+    g = random_graph(seed)
+    rng = np.random.default_rng([0xCC, seed])
+    for _ in range(4):
+        if g.num_vertices <= 4:
+            break
+        match = sequential_match(g, rng=rng).match
+        g, _ = contract(g, match)
+        g.validate()
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("method", ["metis", "gp-metis", "mt-metis"])
+def test_partitions_cover_all_parts(seed, method):
+    rng = np.random.default_rng([0xDEF, seed])
+    k = int(rng.integers(2, 9))
+    g = generators.delaunay(500 + 100 * seed, seed=seed)
+    result = api.partition(g, k, method=method, seed=seed, ubfactor=1.05)
+    part = result.part
+    assert part.shape == (g.num_vertices,)
+    assert set(np.unique(part)) == set(range(k))
+    assert imbalance(g, part, k) <= 1.05 + 1e-9
