@@ -1,12 +1,12 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check tier1 sanitize-smoke faults-smoke profile-smoke baseline gate report fuzz faults bench test
+.PHONY: check tier1 sanitize-smoke faults-smoke profile-smoke serve-smoke baseline gate report fuzz faults bench test
 
-# The gate: tier-1 suite + the sanitizer, fault-injection and
-# observability self-checks + the policy-driven perf-regression gate on
-# the committed ledger.
-check: tier1 sanitize-smoke faults-smoke profile-smoke gate
+# The gate: tier-1 suite + the sanitizer, fault-injection, observability
+# and partition-service self-checks + the policy-driven perf-regression
+# gate on the committed ledger.
+check: tier1 sanitize-smoke faults-smoke profile-smoke serve-smoke gate
 
 # Tier-1: the fast suite (fuzz/bench-marked tests excluded via pyproject).
 tier1:
@@ -25,6 +25,12 @@ faults-smoke:
 # schema-validate the JSON, require the per-engine metric set.
 profile-smoke:
 	$(PYTHON) benchmarks/profile_smoke.py
+
+# Partition-service acceptance: 100-request mixed workload over 4 workers,
+# every served vector differentially verified against a direct partition()
+# call; exits non-zero on drops, failures, a cold cache or a verify mismatch.
+serve-smoke:
+	$(PYTHON) -m repro bench --service --workers 4 --no-json
 
 # Perf gate: diff the profiled workload against benchmarks/BENCH_profile.json
 # (seeds the baseline on first run; --update after intentional perf changes).

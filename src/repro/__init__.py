@@ -32,8 +32,16 @@ from . import (
     ptscotch,
     runtime,
     serial,
+    service,
 )
-from .api import PARTITIONERS, available_methods, make_partitioner, partition
+from .api import (
+    PARTITIONERS,
+    available_methods,
+    make_partitioner,
+    partition,
+    resolve_method,
+    resolve_options,
+)
 from .exceptions import (
     CommunicationError,
     DeviceMemoryError,
@@ -43,6 +51,8 @@ from .exceptions import (
     KernelLaunchError,
     PartitioningError,
     ReproError,
+    ServiceError,
+    ServiceOverloadedError,
 )
 from .gpmetis import GPMetis, GPMetisOptions
 from .graphs import CSRGraph, load_dataset
@@ -51,6 +61,7 @@ from .parmetis import ParMetis, ParMetisOptions
 from .result import PartitionResult
 from .runtime import PAPER_MACHINE, MachineSpec
 from .serial import SerialMetis, SerialOptions
+from .service import PartitionRequest, PartitionService, ServiceConfig
 
 __version__ = "1.0.0"
 
@@ -59,7 +70,12 @@ __all__ = [
     "partition",
     "make_partitioner",
     "available_methods",
+    "resolve_method",
+    "resolve_options",
     "PARTITIONERS",
+    "PartitionRequest",
+    "PartitionService",
+    "ServiceConfig",
     "PartitionResult",
     "CSRGraph",
     "load_dataset",
@@ -81,6 +97,8 @@ __all__ = [
     "DeviceMemoryError",
     "KernelLaunchError",
     "CommunicationError",
+    "ServiceError",
+    "ServiceOverloadedError",
     "graphs",
     "serial",
     "runtime",
@@ -96,4 +114,5 @@ __all__ = [
     "ptscotch",
     "jostle",
     "gmetis",
+    "service",
 ]

@@ -4,17 +4,27 @@
 >>> g = repro.graphs.generators.grid2d(64, 64)
 >>> result = repro.partition(g, k=8, method="gp-metis")
 >>> result.quality(g).cut  # doctest: +SKIP
+
+Every method — the four paper engines, the background systems, and the
+non-multilevel baselines — now lives in one registry
+(:data:`PARTITIONERS`) mapping the method name to its
+``(partitioner class, options dataclass)`` pair, and every call funnels
+through :class:`repro.service.PartitionRequest`, the canonical input
+type the partition service batches, caches and schedules.
+:func:`partition` is a thin shim that builds a request and runs it
+synchronously, preserving the historical signature.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+import warnings
 
 from .baselines.naive import BlockPartitioner, RandomPartitioner
+from .baselines.options import BlockOptions, RandomOptions, SpectralOptions
 from .baselines.spectral import SpectralPartitioner
 from .exceptions import InvalidParameterError
-from .gpmetis.options import GPMetisOptions
 from .gmetis.partitioner import Gmetis, GmetisOptions
+from .gpmetis.options import GPMetisOptions
 from .gpmetis.partitioner import GPMetis
 from .graphs.csr import CSRGraph
 from .jostle.partitioner import Jostle, JostleOptions
@@ -27,16 +37,22 @@ from .result import PartitionResult
 from .runtime.machine import MachineSpec
 from .serial.options import SerialOptions
 from .serial.partitioner import SerialMetis
+from .service.request import PartitionRequest
 
 __all__ = [
     "partition",
     "make_partitioner",
     "available_methods",
+    "resolve_method",
+    "resolve_options",
     "PARTITIONERS",
     "SIMPLE_PARTITIONERS",
+    "PartitionRequest",
 ]
 
-#: method name -> (partitioner class, options class)
+#: method name -> (partitioner class, options class).  Order matters:
+#: the four paper methods lead, then the background systems, then the
+#: non-multilevel baselines (``available_methods`` preserves it).
 PARTITIONERS: dict[str, tuple[type, type]] = {
     "metis": (SerialMetis, SerialOptions),
     "parmetis": (ParMetis, ParMetisOptions),
@@ -45,13 +61,9 @@ PARTITIONERS: dict[str, tuple[type, type]] = {
     "pt-scotch": (PTScotch, PTScotchOptions),
     "jostle": (Jostle, JostleOptions),
     "gmetis": (Gmetis, GmetisOptions),
-}
-
-#: Baselines without an options dataclass (ctor kwargs: ubfactor, seed).
-SIMPLE_PARTITIONERS: dict[str, type] = {
-    "spectral": SpectralPartitioner,
-    "random": RandomPartitioner,
-    "block": BlockPartitioner,
+    "spectral": (SpectralPartitioner, SpectralOptions),
+    "random": (RandomPartitioner, RandomOptions),
+    "block": (BlockPartitioner, BlockOptions),
 }
 
 #: Accepted aliases (the paper's own naming included).
@@ -65,10 +77,84 @@ _ALIASES = {
     "mt_metis": "mt-metis",
 }
 
+#: Deprecated option spellings -> the canonical cross-engine name.
+#: Accepted everywhere with a :class:`DeprecationWarning` so callers
+#: written against older per-engine spellings keep working.
+_OPTION_ALIASES = {
+    "ub_factor": "ubfactor",
+    "balance_factor": "ubfactor",
+    "rng_seed": "seed",
+    "random_seed": "seed",
+    "faultplan": "fault_plan",
+    "fault_recover": "fault_recovery",
+}
+
+
+def __getattr__(name: str):
+    # SIMPLE_PARTITIONERS was the pre-unification side table for the
+    # baselines; everything now lives in PARTITIONERS.
+    if name == "SIMPLE_PARTITIONERS":
+        warnings.warn(
+            "repro.api.SIMPLE_PARTITIONERS is deprecated: the baselines are "
+            "registered in repro.api.PARTITIONERS (with options dataclasses)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return {key: PARTITIONERS[key][0] for key in ("spectral", "random", "block")}
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 def available_methods() -> list[str]:
-    """The four paper methods followed by the non-multilevel baselines."""
-    return list(PARTITIONERS) + list(SIMPLE_PARTITIONERS)
+    """The paper methods, the background systems, then the baselines."""
+    return list(PARTITIONERS)
+
+
+def resolve_method(method: str) -> str:
+    """The canonical registry key for a method name or alias."""
+    key = _ALIASES.get(method.lower(), method.lower())
+    if key not in PARTITIONERS:
+        raise InvalidParameterError(
+            f"unknown method {method!r}; available: {', '.join(available_methods())}"
+        )
+    return key
+
+
+def _normalize_options(key: str, options: dict) -> dict:
+    """Map deprecated option spellings onto the canonical names."""
+    out = dict(options)
+    for legacy, canonical in _OPTION_ALIASES.items():
+        if legacy not in out:
+            continue
+        if canonical in out:
+            raise InvalidParameterError(
+                f"bad options for {key!r}: both {legacy!r} and its canonical "
+                f"name {canonical!r} were given"
+            )
+        warnings.warn(
+            f"option {legacy!r} is deprecated; use {canonical!r}",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        out[canonical] = out.pop(legacy)
+    return out
+
+
+def resolve_options(method: str, **options):
+    """The method's options dataclass built from keyword overrides.
+
+    Deprecated option spellings are normalized first; unknown keys raise
+    :class:`InvalidParameterError` listing the valid ones.
+    """
+    key = resolve_method(method)
+    opts_cls = PARTITIONERS[key][1]
+    normalized = _normalize_options(key, options)
+    try:
+        return opts_cls(**normalized)
+    except TypeError as exc:
+        valid = ", ".join(opts_cls.__dataclass_fields__)
+        raise InvalidParameterError(
+            f"bad options for {key!r}: {exc}; valid options: {valid}"
+        ) from None
 
 
 def make_partitioner(method: str, machine: MachineSpec | None = None, **options):
@@ -77,27 +163,9 @@ def make_partitioner(method: str, machine: MachineSpec | None = None, **options)
     ``options`` are forwarded to the method's options dataclass; unknown
     keys raise :class:`InvalidParameterError` listing the valid ones.
     """
-    key = _ALIASES.get(method.lower(), method.lower())
-    if key in SIMPLE_PARTITIONERS:
-        try:
-            return SIMPLE_PARTITIONERS[key](machine=machine, **options)
-        except TypeError as exc:
-            raise InvalidParameterError(
-                f"bad options for {key!r}: {exc}; valid options: ubfactor, seed"
-            ) from None
-    if key not in PARTITIONERS:
-        raise InvalidParameterError(
-            f"unknown method {method!r}; available: {', '.join(available_methods())}"
-        )
-    cls, opts_cls = PARTITIONERS[key]
-    try:
-        opts = opts_cls(**options)
-    except TypeError as exc:
-        valid = ", ".join(opts_cls.__dataclass_fields__)
-        raise InvalidParameterError(
-            f"bad options for {key!r}: {exc}; valid options: {valid}"
-        ) from None
-    return cls(opts, machine=machine)
+    key = resolve_method(method)
+    cls = PARTITIONERS[key][0]
+    return cls(resolve_options(key, **options), machine=machine)
 
 
 def partition(
@@ -108,6 +176,11 @@ def partition(
     **options,
 ) -> PartitionResult:
     """Partition ``graph`` into ``k`` parts.
+
+    A thin shim over :class:`repro.service.PartitionRequest`: the request
+    is built and run synchronously on the calling thread.  Submit the
+    same request to a :class:`repro.service.PartitionService` to get
+    queuing, batching and caching instead.
 
     Parameters
     ----------
@@ -126,4 +199,6 @@ def partition(
         Method-specific options, e.g. ``ubfactor=1.05``,
         ``merge_strategy="sort"``, ``num_threads=16``.
     """
-    return make_partitioner(method, machine=machine, **options).partition(graph, k)
+    return PartitionRequest(
+        graph=graph, k=k, method=method, options=options, machine=machine,
+    ).run()

@@ -1,12 +1,16 @@
 """Non-multilevel baselines (pre-multilevel techniques + sanity anchors)."""
 
 from .naive import BlockPartitioner, RandomPartitioner
+from .options import BlockOptions, RandomOptions, SpectralOptions
 from .spectral import SpectralPartitioner, fiedler_vector, spectral_bisect
 
 __all__ = [
     "SpectralPartitioner",
+    "SpectralOptions",
     "fiedler_vector",
     "spectral_bisect",
     "RandomPartitioner",
+    "RandomOptions",
     "BlockPartitioner",
+    "BlockOptions",
 ]

@@ -3,6 +3,14 @@
 These anchor the benchmark suite — any heuristic worth running must beat
 them on cut (random) while matching their balance (both are perfectly
 balanced by construction on unit weights).
+
+Like the multilevel engines, both take a frozen options dataclass
+(:class:`~repro.baselines.options.RandomOptions` /
+:class:`~repro.baselines.options.BlockOptions`), report through
+:func:`repro.obs.profile_run` / :func:`repro.obs.finish_run` (so served
+and profiled runs land in the run ledger with a config fingerprint), and
+accept ``fault_plan`` / ``fault_recovery``.  The legacy kwarg
+constructor (``RandomPartitioner(ubfactor=..., seed=...)``) still works.
 """
 
 from __future__ import annotations
@@ -12,25 +20,48 @@ import time
 import numpy as np
 
 from ..exceptions import InvalidParameterError
+from ..faults import attach_injector
 from ..graphs.csr import CSRGraph
+from ..graphs.metrics import edge_cut, imbalance
+from ..obs.hooks import finish_run, profile_run
 from ..result import PartitionResult
 from ..runtime.clock import SimClock
 from ..runtime.machine import PAPER_MACHINE, MachineSpec
 from ..runtime.trace import Trace
+from .options import BlockOptions, RandomOptions
 
 __all__ = ["RandomPartitioner", "BlockPartitioner"]
 
 
 class _TrivialBase:
+    options_class: type = None  # set by subclasses
+
     def __init__(
-        self, ubfactor: float = 1.03, seed: int = 1,
-        machine: MachineSpec | None = None,
+        self, options=None, machine: MachineSpec | None = None, **legacy,
     ) -> None:
-        if ubfactor < 1.0:
-            raise InvalidParameterError("ubfactor must be >= 1.0")
-        self.ubfactor = ubfactor
-        self.seed = seed
+        if legacy:
+            if options is not None:
+                raise InvalidParameterError(
+                    "pass either an options dataclass or bare kwargs, not both"
+                )
+            try:
+                options = self.options_class(**legacy)
+            except TypeError as exc:
+                valid = ", ".join(self.options_class.__dataclass_fields__)
+                raise InvalidParameterError(
+                    f"bad options for {self.name!r}: {exc}; valid options: {valid}"
+                ) from None
+        self.options = options or self.options_class()
         self.machine = machine or PAPER_MACHINE
+
+    # Legacy attribute access (pre-dataclass callers read these).
+    @property
+    def ubfactor(self) -> float:
+        return self.options.ubfactor
+
+    @property
+    def seed(self) -> int:
+        return self.options.seed
 
     def _labels(self, graph: CSRGraph, k: int) -> np.ndarray:
         raise NotImplementedError
@@ -38,7 +69,15 @@ class _TrivialBase:
     def partition(self, graph: CSRGraph, k: int) -> PartitionResult:
         if k < 1:
             raise InvalidParameterError(f"k must be >= 1, got {k}")
+        opts = self.options
         clock = SimClock()
+        injector = attach_injector(
+            clock, opts.fault_plan, recover=opts.fault_recovery
+        )
+        trace = Trace()
+        profiler = profile_run(
+            clock, engine=self.name, graph=graph, k=k, options=opts,
+        )
         clock.set_phase("assign")
         t0 = time.perf_counter()
         part = self._labels(graph, k)
@@ -48,14 +87,26 @@ class _TrivialBase:
             count=float(graph.num_vertices),
             detail="label assignment",
         )
+        finish_run(
+            profiler,
+            trace=trace,
+            injector=injector,
+            cut=edge_cut(graph, part),
+            imbalance=imbalance(graph, part, k),
+        )
+        extras = {}
+        if injector is not None:
+            extras["degraded"] = injector.degraded
+            extras["fault_events"] = list(injector.events)
         return PartitionResult(
             method=self.name,  # type: ignore[attr-defined]
             graph_name=graph.name,
             k=k,
             part=part,
             clock=clock,
-            trace=Trace(),
+            trace=trace,
             wall_seconds=time.perf_counter() - t0,
+            extras=extras,
         )
 
 
@@ -63,9 +114,10 @@ class RandomPartitioner(_TrivialBase):
     """Balanced random assignment: shuffle, then deal round-robin."""
 
     name = "random"
+    options_class = RandomOptions
 
     def _labels(self, graph: CSRGraph, k: int) -> np.ndarray:
-        rng = np.random.default_rng(self.seed)
+        rng = np.random.default_rng(self.options.seed)
         order = rng.permutation(graph.num_vertices)
         part = np.empty(graph.num_vertices, dtype=np.int64)
         part[order] = np.arange(graph.num_vertices, dtype=np.int64) % k
@@ -79,6 +131,7 @@ class BlockPartitioner(_TrivialBase):
     ones), which the coalescing ablation exploits."""
 
     name = "block"
+    options_class = BlockOptions
 
     def _labels(self, graph: CSRGraph, k: int) -> np.ndarray:
         n = graph.num_vertices

@@ -18,12 +18,16 @@ import time
 import numpy as np
 
 from ..exceptions import InvalidParameterError, PartitioningError
+from ..faults import attach_injector
 from ..graphs.csr import CSRGraph
+from ..graphs.metrics import edge_cut, imbalance
+from ..obs.hooks import finish_run, profile_run
 from ..result import PartitionResult
 from ..runtime.clock import SimClock
 from ..runtime.machine import PAPER_MACHINE, MachineSpec
 from ..runtime.trace import Trace
 from ..serial.kway import rebalance_pass
+from .options import SpectralOptions
 
 __all__ = ["fiedler_vector", "spectral_bisect", "SpectralPartitioner"]
 
@@ -93,24 +97,52 @@ class SpectralPartitioner:
     """
 
     name = "spectral"
-    lanczos_iterations = 60
+    options_class = SpectralOptions
 
     def __init__(
-        self, ubfactor: float = 1.03, seed: int = 1,
-        machine: MachineSpec | None = None,
+        self, options: SpectralOptions | None = None,
+        machine: MachineSpec | None = None, **legacy,
     ) -> None:
-        if ubfactor < 1.0:
-            raise InvalidParameterError("ubfactor must be >= 1.0")
-        self.ubfactor = ubfactor
-        self.seed = seed
+        if legacy:
+            if options is not None:
+                raise InvalidParameterError(
+                    "pass either an options dataclass or bare kwargs, not both"
+                )
+            try:
+                options = SpectralOptions(**legacy)
+            except TypeError as exc:
+                valid = ", ".join(SpectralOptions.__dataclass_fields__)
+                raise InvalidParameterError(
+                    f"bad options for 'spectral': {exc}; valid options: {valid}"
+                ) from None
+        self.options = options or SpectralOptions()
         self.machine = machine or PAPER_MACHINE
+
+    # Legacy attribute access (pre-dataclass callers read these).
+    @property
+    def ubfactor(self) -> float:
+        return self.options.ubfactor
+
+    @property
+    def seed(self) -> int:
+        return self.options.seed
+
+    @property
+    def lanczos_iterations(self) -> int:
+        return self.options.lanczos_iterations
 
     def partition(self, graph: CSRGraph, k: int) -> PartitionResult:
         if k < 1:
             raise InvalidParameterError(f"k must be >= 1, got {k}")
         clock = SimClock()
-        clock.set_phase("spectral")
+        injector = attach_injector(
+            clock, self.options.fault_plan, recover=self.options.fault_recovery
+        )
         trace = Trace()
+        profiler = profile_run(
+            clock, engine=self.name, graph=graph, k=k, options=self.options,
+        )
+        clock.set_phase("spectral")
         t0 = time.perf_counter()
         n = graph.num_vertices
         part = np.zeros(n, dtype=np.int64)
@@ -159,6 +191,17 @@ class SpectralPartitioner:
                     detail="rebalance",
                 )
 
+        finish_run(
+            profiler,
+            trace=trace,
+            injector=injector,
+            cut=edge_cut(graph, part),
+            imbalance=imbalance(graph, part, k),
+        )
+        extras = {}
+        if injector is not None:
+            extras["degraded"] = injector.degraded
+            extras["fault_events"] = list(injector.events)
         return PartitionResult(
             method=self.name,
             graph_name=graph.name,
@@ -167,4 +210,5 @@ class SpectralPartitioner:
             clock=clock,
             trace=trace,
             wall_seconds=time.perf_counter() - t0,
+            extras=extras,
         )

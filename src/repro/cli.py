@@ -19,6 +19,11 @@ Commands mirror the classic ``gpmetis`` binary plus this repo's extras:
 * ``gate`` — the generalized perf-regression gate: compare fresh (or
   recorded) runs against a committed baseline ledger under a
   schema-validated tolerance policy, exiting non-zero on violation;
+* ``serve`` — drive the concurrent partition service
+  (:mod:`repro.service`) with a deterministic mixed workload and print
+  throughput, latency percentiles and cache statistics; ``bench
+  --service`` runs the same driver with differential verification and a
+  machine-readable JSON report;
 * ``sanitize`` — self-check of the GPU data-race sanitizer: a clean
   GP-metis pipeline must come out race-free and a deliberately broken
   matching kernel (conflict resolution disabled) must be flagged;
@@ -133,6 +138,33 @@ def build_parser() -> argparse.ArgumentParser:
     pb.add_argument(
         "--no-json", action="store_true",
         help="skip writing the machine-readable results file",
+    )
+    pb.add_argument(
+        "--service", action="store_true",
+        help="benchmark the concurrent partition service instead of the "
+             "paper grid: run the standard mixed workload with "
+             "differential verification and write BENCH_service.json",
+    )
+    _add_service_arguments(pb)
+
+    psrv = sub.add_parser(
+        "serve",
+        help="drive the concurrent partition service with a mixed workload",
+    )
+    _add_service_arguments(psrv)
+    psrv.add_argument(
+        "--verify", action="store_true",
+        help="differentially check every unique configuration against a "
+             "direct synchronous partition() call",
+    )
+    psrv.add_argument(
+        "--json", metavar="FILE",
+        help="write the machine-readable service report here",
+    )
+    psrv.add_argument(
+        "--ledger", metavar="FILE",
+        help="append one ledger record per served request (plus one "
+             "engine=service record per drain) to this JSONL file",
     )
 
     pi = sub.add_parser("info", help="print a graph file's statistics")
@@ -275,6 +307,144 @@ def build_parser() -> argparse.ArgumentParser:
              "same plan must fail once recovery is disabled",
     )
     return p
+
+
+def _add_service_arguments(parser) -> None:
+    parser.add_argument("--workers", type=int, default=4,
+                        help="simulated CPU workers in the pool (default 4)")
+    parser.add_argument("--gpu-slots", type=int, default=1,
+                        help="concurrent GPU leases (default 1, the paper testbed)")
+    parser.add_argument("--requests", type=int, default=100,
+                        help="workload size (default 100)")
+    parser.add_argument("--queue-limit", type=int, default=64,
+                        help="admission limit per priority lane (default 64)")
+    parser.add_argument("--graph-n", type=int, default=600,
+                        help="vertices of the workload graphs (default 600)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the fingerprint result cache")
+    parser.add_argument("--no-batching", action="store_true",
+                        help="disable identical-graph batch amortization")
+
+
+def _run_service_load(args, *, verify: bool) -> dict:
+    """Build the standard workload, serve it, and return the report."""
+    from .service import (
+        PartitionService,
+        ServiceConfig,
+        WorkloadSpec,
+        build_workload,
+        run_load,
+    )
+
+    spec = WorkloadSpec(requests=args.requests, graph_n=args.graph_n)
+    service = PartitionService(
+        ServiceConfig(
+            num_workers=args.workers,
+            gpu_slots=args.gpu_slots,
+            queue_limit=args.queue_limit,
+            cache_enabled=not args.no_cache,
+            batching=not args.no_batching,
+        )
+    )
+    report = run_load(service, build_workload(spec), verify=verify)
+    report["config"] = {
+        "workers": args.workers,
+        "gpu_slots": args.gpu_slots,
+        "requests": args.requests,
+        "queue_limit": args.queue_limit,
+        "graph_n": args.graph_n,
+        "cache": not args.no_cache,
+        "batching": not args.no_batching,
+    }
+    return report
+
+
+def _render_service_report(report: dict) -> None:
+    svc = report["service"]
+    cfg = report["config"]
+    print(f"service: {cfg['workers']} worker(s), {cfg['gpu_slots']} GPU "
+          f"slot(s), queue limit {cfg['queue_limit']}/lane")
+    print(f"requests        : {report['requests']} "
+          f"(served {report['served']}, failed {report['failed']}, "
+          f"dropped {report['dropped']})")
+    print(f"backpressure    : {report['resubmissions']} resubmission(s) "
+          "after overload")
+    print(f"cache           : {report['cache_hits']} hit(s), "
+          f"{report['cache_misses']} miss(es), "
+          f"hit rate {svc['cache']['hit_rate']:.2f}, "
+          f"saved {svc['cache']['saved_seconds']:.6f} modeled s")
+    print(f"batching        : {report['batched_followers']} follower(s) "
+          "amortized the CSR transfer")
+    print(f"throughput      : {svc['throughput_rps']:.1f} req/s "
+          "(modeled, last drain)")
+    print(f"latency p50/p95 : {svc['latency_p50']:.6f} / "
+          f"{svc['latency_p95']:.6f} s")
+    print(f"queue wait p95  : {svc['queue_wait_p95']:.6f} s")
+    print(f"utilization     : {svc['utilization']:.2f}")
+    if "verification" in report:
+        v = report["verification"]
+        status = "PASS" if v["ok"] else "FAIL"
+        print(f"verification    : {status} ({v['unique_configs']} unique "
+              f"config(s) vs direct partition(); "
+              f"{len(v['mismatches'])} mismatch(es))")
+
+
+def _cmd_serve(args) -> int:
+    from .obs import ledger as ledger_mod
+
+    if getattr(args, "ledger", None):
+        ledger_mod.set_default_ledger(args.ledger)
+    try:
+        report = _run_service_load(args, verify=args.verify)
+    finally:
+        if getattr(args, "ledger", None):
+            ledger_mod.set_default_ledger(None)
+    _render_service_report(report)
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True, default=str)
+        print(f"wrote {args.json}")
+    failed = report["failed"] or report["dropped"]
+    if args.verify and not report["verification"]["ok"]:
+        failed = True
+    return 1 if failed else 0
+
+
+def _cmd_bench_service(args) -> int:
+    """``bench --service``: the load driver with verification gates.
+
+    Exit 0 requires: every request completed (none dropped), at least
+    one cache hit, and every service result identical to a direct
+    synchronous run.
+    """
+    import json
+
+    report = _run_service_load(args, verify=True)
+    _render_service_report(report)
+    checks = [
+        ("all requests completed",
+         report["completed"] == report["requests"] and not report["dropped"]),
+        ("no failed requests", report["failed"] == 0),
+        ("cache produced at least one hit", report["cache_hits"] >= 1),
+        ("latency percentiles reported",
+         report["service"]["latency_p50"] is not None
+         and report["service"]["latency_p95"] is not None),
+        ("service results match direct partition()",
+         report["verification"]["ok"]),
+    ]
+    ok = True
+    for label, passed in checks:
+        print(("PASS" if passed else "FAIL"), label)
+        ok = ok and passed
+    out = args.json if args.json != "BENCH_results.json" else "BENCH_service.json"
+    if not args.no_json:
+        with open(out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True, default=str)
+        print(f"wrote {out} (machine-readable service report)")
+    print("service bench:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
 
 
 def _select_fault_plan(args):
@@ -543,6 +713,8 @@ def _cmd_generate(args) -> int:
 def _cmd_bench(args) -> int:
     from .bench import DEFAULT_METHODS
 
+    if args.service:
+        return _cmd_bench_service(args)
     extra = {}
     if args.datasets:
         extra["datasets"] = tuple(args.datasets.split(","))
@@ -843,6 +1015,7 @@ def main(argv=None) -> int:
         "analyze": _cmd_analyze,
         "sanitize": _cmd_sanitize,
         "faults": _cmd_faults,
+        "serve": _cmd_serve,
     }[args.command]
     return handler(args)
 

@@ -65,5 +65,25 @@ class WorkerStallError(ReproError):
     """A simulated shared-memory worker stalled past the deadlock watchdog."""
 
 
+class ServiceError(ReproError):
+    """The partition service could not serve a request."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Admission control rejected a request: the service queue (or the
+    request's priority lane) is at capacity.
+
+    Carries the lane, its occupancy and its limit so load drivers can
+    implement backpressure (shed, retry later, or lower the priority).
+    """
+
+    def __init__(self, message: str, *, lane: int | None = None,
+                 queued: int = 0, limit: int = 0) -> None:
+        super().__init__(message)
+        self.lane = lane
+        self.queued = queued
+        self.limit = limit
+
+
 class MessageLossError(CommunicationError):
     """A simulated MPI message was dropped (or duplicated without dedup)."""

@@ -21,8 +21,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..exceptions import InvalidParameterError
+from ..faults import attach_injector
 from ..graphs.csr import CSRGraph
 from ..graphs.metrics import edge_cut, imbalance
+from ..obs.hooks import finish_run, profile_run
 from ..parmetis.distgraph import DistGraph
 from ..parmetis.matching import distributed_match
 from ..result import PartitionResult
@@ -58,6 +60,12 @@ class JostleOptions:
     refine_sweeps: int = 2
     fm_passes: int = 2
     seed: int = 1
+    #: Optional fault plan (see :mod:`repro.faults`): a FaultPlan, a plan
+    #: dict, or a path to a plan JSON file.  ``None`` disables injection.
+    fault_plan: object = None
+    #: Respond to injected faults with retry/degradation (True) or let
+    #: them crash the run (False).
+    fault_recovery: bool = True
 
     def __post_init__(self) -> None:
         if self.num_ranks < 1:
@@ -123,7 +131,13 @@ class Jostle:
             raise InvalidParameterError(f"k must be >= 1, got {k}")
         opts = self.options
         clock = SimClock()
+        injector = attach_injector(
+            clock, opts.fault_plan, recover=opts.fault_recovery
+        )
         trace = Trace()
+        profiler = profile_run(
+            clock, engine=self.name, graph=graph, k=k, options=opts,
+        )
         mpi = MpiSim(opts.num_ranks, self.machine.cpu, self.machine.interconnect, clock)
         rng = np.random.default_rng(opts.seed)
         t0 = time.perf_counter()
@@ -260,6 +274,18 @@ class Jostle:
             ideal = graph.total_vertex_weight / k
             rebalance_pass(graph, part, pweights, k, opts.ubfactor * ideal)
 
+        finish_run(
+            profiler,
+            trace=trace,
+            injector=injector,
+            cut=edge_cut(graph, part),
+            imbalance=imbalance(graph, part, k),
+            num_ranks=opts.num_ranks,
+        )
+        extras = {"num_ranks": opts.num_ranks, "messages": mpi.messages_sent}
+        if injector is not None:
+            extras["degraded"] = injector.degraded
+            extras["fault_events"] = list(injector.events)
         return PartitionResult(
             method=self.name,
             graph_name=graph.name,
@@ -268,5 +294,5 @@ class Jostle:
             clock=clock,
             trace=trace,
             wall_seconds=time.perf_counter() - t0,
-            extras={"num_ranks": opts.num_ranks, "messages": mpi.messages_sent},
+            extras=extras,
         )

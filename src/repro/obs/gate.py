@@ -231,6 +231,10 @@ def collect_workload_records(config=None) -> list[dict]:
     Reuses the PR-2 :class:`~repro.bench.baseline.BaselineConfig`
     workload (the same graphs/methods the old gate snapshotted), but
     records full ledger records so every policy quantity is gateable.
+    One additional ``engine="service"`` record covers the concurrent
+    partition service (a fixed mixed workload on a 4-worker pool), so
+    ``metric:service.*`` rules gate throughput, latency percentiles and
+    cache behaviour alongside the engine runs.
     """
     # Imported lazily: repro.bench pulls in repro.api (and with it every
     # engine), which itself imports repro.obs.
@@ -248,4 +252,18 @@ def collect_workload_records(config=None) -> list[dict]:
         if profiler is None:
             raise RuntimeError(f"method {method!r} did not attach a profiler")
         records.append(ledger_record(profiler))
+    records.append(_service_workload_record())
     return records
+
+
+def _service_workload_record() -> dict:
+    """One deterministic service drain as a gateable ledger record."""
+    from ..service import PartitionService, ServiceConfig, WorkloadSpec, build_workload
+    from .ledger import ledger_record
+
+    service = PartitionService(ServiceConfig(num_workers=4, gpu_slots=1))
+    for request in build_workload(WorkloadSpec(requests=30, graph_n=400)):
+        service.submit(request)
+    service.drain()
+    assert service.last_profiler is not None
+    return ledger_record(service.last_profiler)

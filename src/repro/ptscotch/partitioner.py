@@ -13,8 +13,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..exceptions import InvalidParameterError
+from ..faults import attach_injector
 from ..graphs.csr import CSRGraph
 from ..graphs.metrics import edge_cut, imbalance
+from ..obs.hooks import finish_run, profile_run
 from ..parmetis.distgraph import DistGraph
 from ..result import PartitionResult
 from ..runtime.clock import SimClock
@@ -52,6 +54,12 @@ class PTScotchOptions:
     #: Hop distance of the refinement band around the separators.
     band_distance: int = 2
     seed: int = 1
+    #: Optional fault plan (see :mod:`repro.faults`): a FaultPlan, a plan
+    #: dict, or a path to a plan JSON file.  ``None`` disables injection.
+    fault_plan: object = None
+    #: Respond to injected faults with retry/degradation (True) or let
+    #: them crash the run (False).
+    fault_recovery: bool = True
 
     def __post_init__(self) -> None:
         if self.num_ranks < 1:
@@ -97,7 +105,13 @@ class PTScotch:
             raise InvalidParameterError(f"k must be >= 1, got {k}")
         opts = self.options
         clock = SimClock()
+        injector = attach_injector(
+            clock, opts.fault_plan, recover=opts.fault_recovery
+        )
         trace = Trace()
+        profiler = profile_run(
+            clock, engine=self.name, graph=graph, k=k, options=opts,
+        )
         mpi = MpiSim(opts.num_ranks, self.machine.cpu, self.machine.interconnect, clock)
         rng = np.random.default_rng(opts.seed)
         t0 = time.perf_counter()
@@ -212,6 +226,19 @@ class PTScotch:
             rebalance_pass(graph, part, pweights, k, opts.ubfactor * ideal)
 
         trace.note(f"{folds} folds performed")
+        finish_run(
+            profiler,
+            trace=trace,
+            injector=injector,
+            cut=edge_cut(graph, part),
+            imbalance=imbalance(graph, part, k),
+            num_ranks=opts.num_ranks,
+        )
+        extras = {"num_ranks": opts.num_ranks, "folds": folds,
+                  "messages": mpi.messages_sent}
+        if injector is not None:
+            extras["degraded"] = injector.degraded
+            extras["fault_events"] = list(injector.events)
         return PartitionResult(
             method=self.name,
             graph_name=graph.name,
@@ -220,6 +247,5 @@ class PTScotch:
             clock=clock,
             trace=trace,
             wall_seconds=time.perf_counter() - t0,
-            extras={"num_ranks": opts.num_ranks, "folds": folds,
-                    "messages": mpi.messages_sent},
+            extras=extras,
         )

@@ -1,0 +1,31 @@
+"""The concurrent partition service (see docs/SERVICE.md).
+
+:class:`PartitionRequest` is the canonical input of the whole partition
+API; :class:`PartitionService` serves queued requests over a simulated
+worker pool with a fingerprint-keyed result cache, identical-graph
+batching, priority-lane admission control and fault-plan-aware retries.
+"""
+
+from .cache import CacheEntry, ResultCache
+from .loadgen import WorkloadSpec, build_workload, run_load
+from .request import PartitionRequest
+from .scheduler import PartitionService, ServiceConfig, Ticket
+from .stats import ServiceStats
+from .workers import GPU_ENGINES, Assignment, Worker, WorkerPool
+
+__all__ = [
+    "PartitionRequest",
+    "PartitionService",
+    "ServiceConfig",
+    "Ticket",
+    "ResultCache",
+    "CacheEntry",
+    "ServiceStats",
+    "WorkerPool",
+    "Worker",
+    "Assignment",
+    "GPU_ENGINES",
+    "WorkloadSpec",
+    "build_workload",
+    "run_load",
+]

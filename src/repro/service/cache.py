@@ -1,0 +1,143 @@
+"""Fingerprint-keyed result cache with LRU eviction.
+
+The cache key is the run-ledger config fingerprint
+(:func:`repro.obs.ledger.config_fingerprint` over
+``{engine, graph, k, seed, options_hash}``), so "cache hit" means
+exactly what the comparative analyzer and the regression gate mean by
+"same configuration".  Because every simulated run is deterministic, a
+hit returns a result bit-identical to re-running the engine — minus the
+modeled compute time, which is the point of the service.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..exceptions import InvalidParameterError
+from ..result import PartitionResult
+
+__all__ = ["CacheEntry", "ResultCache"]
+
+
+@dataclass
+class CacheEntry:
+    """One cached partition result plus the config block it answers for."""
+
+    fingerprint: str
+    config: dict
+    result: PartitionResult
+    hits: int = 0
+    #: Modeled seconds the engine charged to produce this result — what a
+    #: cache hit saves the requester (reported as ``service.saved_seconds``).
+    modeled_seconds: float = field(default=0.0)
+
+
+class ResultCache:
+    """Bounded LRU mapping config fingerprints to partition results.
+
+    ``get`` refreshes recency; ``put`` evicts the least-recently-used
+    entry past ``max_entries``.  ``invalidate`` removes entries
+    explicitly — everything, one fingerprint, or every entry matching a
+    config selector (``graph=``/``engine=``) — for when the caller knows
+    the world changed (new code, new graph generator) even though the
+    fingerprint did not.
+    """
+
+    def __init__(self, max_entries: int = 128) -> None:
+        if max_entries < 1:
+            raise InvalidParameterError(
+                f"cache max_entries must be >= 1, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self.saved_seconds = 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries
+
+    # ------------------------------------------------------------------
+    def get(self, fingerprint: str) -> CacheEntry | None:
+        """The entry under ``fingerprint`` (refreshing recency), or None."""
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(fingerprint)
+        entry.hits += 1
+        self.hits += 1
+        self.saved_seconds += entry.modeled_seconds
+        return entry
+
+    def peek(self, fingerprint: str) -> CacheEntry | None:
+        """The entry without touching recency or hit/miss counters."""
+        return self._entries.get(fingerprint)
+
+    def put(self, fingerprint: str, config: dict, result: PartitionResult) -> CacheEntry:
+        """Store a result, evicting the LRU entry when over capacity."""
+        entry = CacheEntry(
+            fingerprint=fingerprint,
+            config=dict(config),
+            result=result,
+            modeled_seconds=result.modeled_seconds,
+        )
+        if fingerprint in self._entries:
+            self._entries.move_to_end(fingerprint)
+        self._entries[fingerprint] = entry
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return entry
+
+    # ------------------------------------------------------------------
+    def invalidate(
+        self,
+        fingerprint: str | None = None,
+        *,
+        graph: str | None = None,
+        engine: str | None = None,
+    ) -> int:
+        """Drop entries; returns how many were removed.
+
+        With no arguments, clears the cache.  ``fingerprint`` drops one
+        entry; ``graph``/``engine`` drop every entry whose config block
+        matches (both given = AND).
+        """
+        if fingerprint is not None:
+            removed = 1 if self._entries.pop(fingerprint, None) is not None else 0
+        elif graph is None and engine is None:
+            removed = len(self._entries)
+            self._entries.clear()
+        else:
+            doomed = [
+                fp
+                for fp, entry in self._entries.items()
+                if (graph is None or entry.config.get("graph") == graph)
+                and (engine is None or entry.config.get("engine") == engine)
+            ]
+            for fp in doomed:
+                del self._entries[fp]
+            removed = len(doomed)
+        self.invalidations += removed
+        return removed
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        lookups = self.hits + self.misses
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "saved_seconds": self.saved_seconds,
+        }

@@ -1,0 +1,408 @@
+"""The concurrent partition service: queueing, batching, caching.
+
+:class:`PartitionService` accepts :class:`~repro.service.PartitionRequest`
+submissions into bounded per-priority lanes and serves them over a
+simulated :class:`~repro.service.workers.WorkerPool` — CPU workers plus
+a shared GPU lease so concurrent gp-metis jobs serialize on the one
+simulated Titan instead of oversubscribing it.
+
+Concurrency is a *discrete-event simulation*: ``drain`` executes the
+queued requests sequentially in deterministic (lane, submission) order
+and lays the resulting modeled durations out on the pool's timeline.
+Queue waits, latencies and throughput therefore respond to the pool
+shape, while partition vectors, cache hit sequences and ledger contents
+are bit-identical whatever ``num_workers`` is — the property the
+determinism tests pin down.
+
+Served requests hit three cost reducers:
+
+* the **result cache** (:class:`~repro.service.cache.ResultCache`),
+  keyed by the ledger config fingerprint;
+* **batching**: requests in one drain sharing (engine, graph) form a
+  batch; the first executed miss pays the engine's full modeled cost,
+  followers get the one-time CSR build/H2D-transfer seconds
+  (the ``csr.*``-labelled transfer charges) refunded, modeling the graph
+  arrays already resident on the shared GPU across a k/seed sweep;
+* **retries**: transient engine faults (see :mod:`repro.faults`) are
+  retried under a :class:`~repro.faults.retry.RetryPolicy`, each backoff
+  charged to the request's service time.  Deterministic fault plans fail
+  identically on every attempt, so an unrecovered fault exhausts the
+  budget and surfaces on the ticket as ``status="failed"`` — deliberate:
+  the service never hides an engine error behind a retry loop.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..exceptions import (
+    GraphFormatError,
+    InvalidGraphError,
+    InvalidParameterError,
+    PartitioningError,
+    ReproError,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from ..faults.retry import RetryPolicy
+from ..obs.ledger import (
+    append_record,
+    get_default_ledger,
+    ledger_record,
+    options_hash,
+)
+from ..obs.spans import Profiler
+from ..result import PartitionResult
+from ..runtime.clock import SimClock
+from .cache import ResultCache
+from .request import PartitionRequest
+from .stats import ServiceStats
+from .workers import GPU_ENGINES, WorkerPool
+
+__all__ = ["ServiceConfig", "Ticket", "PartitionService"]
+
+#: Engine errors worth retrying: simulated-hardware transients.  Input
+#: and algorithm errors are deterministic rejections — retrying them
+#: would burn the budget to reach the same exception.
+_NON_RETRYABLE = (
+    InvalidParameterError,
+    InvalidGraphError,
+    GraphFormatError,
+    PartitioningError,
+    ServiceError,
+)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Shape and policy of one :class:`PartitionService`."""
+
+    num_workers: int = 4
+    #: Concurrent GPU jobs the pool supports (the paper testbed has 1).
+    gpu_slots: int = 1
+    #: Admission limit per priority lane; a full lane rejects with
+    #: :class:`~repro.exceptions.ServiceOverloadedError`.
+    queue_limit: int = 64
+    num_lanes: int = 3
+    cache_entries: int = 128
+    cache_enabled: bool = True
+    batching: bool = True
+    retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Fixed per-request dispatch overhead (modeled seconds).
+    dispatch_seconds: float = 5e-6
+    #: Optional JSONL ledger receiving one ``engine="service"`` record
+    #: per drain (engine runs append their own records through the
+    #: process-default ledger as usual).
+    ledger: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise InvalidParameterError("num_workers must be >= 1")
+        if self.num_lanes < 1:
+            raise InvalidParameterError("num_lanes must be >= 1")
+        if self.queue_limit < 1:
+            raise InvalidParameterError("queue_limit must be >= 1")
+        if self.dispatch_seconds < 0:
+            raise InvalidParameterError("dispatch_seconds must be >= 0")
+
+
+@dataclass
+class Ticket:
+    """The service's view of one submitted request, updated in place."""
+
+    request: PartitionRequest
+    seq: int
+    lane: int
+    engine: str
+    fingerprint: str
+    submitted_at: float
+    status: str = "queued"  # queued | served | failed
+    cache: str = "pending"  # pending | hit | miss | bypass
+    result: PartitionResult | None = None
+    error: Exception | None = None
+    worker: int | None = None
+    gpu_slot: int | None = None
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    queue_wait: float = 0.0
+    service_seconds: float = 0.0
+    latency: float = 0.0
+    retries: int = 0
+    retry_seconds: float = 0.0
+    batch_id: int | None = None
+    batch_leader: bool = False
+    amortized_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "served"
+
+
+def _csr_setup_seconds(result: PartitionResult) -> float:
+    """The one-time CSR H2D transfer cost inside a result's clock — the
+    seconds a same-graph batch follower does not pay again."""
+    return sum(
+        e.seconds
+        for e in result.clock.events
+        if e.category in ("transfer_latency", "transfer_bytes")
+        and e.detail.startswith("csr.")
+    )
+
+
+class PartitionService:
+    """Deterministic discrete-event partition service over a worker pool."""
+
+    def __init__(self, config: ServiceConfig | None = None, **overrides) -> None:
+        if config is None:
+            config = ServiceConfig(**overrides)
+        elif overrides:
+            raise InvalidParameterError(
+                "pass either a ServiceConfig or keyword overrides, not both"
+            )
+        self.config = config
+        self.pool = WorkerPool(config.num_workers, config.gpu_slots)
+        self.cache = ResultCache(config.cache_entries)
+        self.stats = ServiceStats()
+        self.clock = SimClock()
+        self._lanes: list[deque[Ticket]] = [deque() for _ in range(config.num_lanes)]
+        self._seq = 0
+        self._drains = 0
+        self._batch_ids = 0
+        self.now = 0.0
+        #: Profiler of the most recent drain (for ledger/gate harnesses).
+        self.last_profiler: Profiler | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def queued(self) -> int:
+        return sum(len(lane) for lane in self._lanes)
+
+    def lane_of(self, request: PartitionRequest) -> int:
+        return min(request.priority, self.config.num_lanes - 1)
+
+    def submit(self, request: PartitionRequest) -> Ticket:
+        """Admit a request into its priority lane.
+
+        Resolves the engine and fingerprint eagerly, so malformed
+        requests fail here — not on a worker — and raises
+        :class:`~repro.exceptions.ServiceOverloadedError` when the lane
+        is at ``queue_limit``.
+        """
+        if not isinstance(request, PartitionRequest):
+            raise InvalidParameterError(
+                f"submit takes a PartitionRequest, got {type(request).__name__}"
+            )
+        lane = self.lane_of(request)
+        if len(self._lanes[lane]) >= self.config.queue_limit:
+            self.stats.record_rejection(lane)
+            raise ServiceOverloadedError(
+                f"lane {lane} is full ({self.config.queue_limit} queued); "
+                "drain the service or lower the request rate",
+                lane=lane,
+                queued=len(self._lanes[lane]),
+                limit=self.config.queue_limit,
+            )
+        ticket = Ticket(
+            request=request,
+            seq=self._seq,
+            lane=lane,
+            engine=request.engine,
+            fingerprint=request.fingerprint,
+            submitted_at=self.now,
+        )
+        self._seq += 1
+        self._lanes[lane].append(ticket)
+        self.stats.record_submit(lane)
+        return ticket
+
+    # ------------------------------------------------------------------
+    def _execute(self, ticket: Ticket):
+        """Run the engine with fault-plan-aware retries.
+
+        Returns ``(result, error)``; retry backoffs accumulate on the
+        ticket.  Non-retryable errors (bad input, algorithm failure)
+        surface immediately.
+        """
+        policy = self.config.retry_policy
+        while True:
+            try:
+                return ticket.request.run(), None
+            except _NON_RETRYABLE as exc:
+                return None, exc
+            except ReproError as exc:
+                if ticket.retries >= policy.max_retries:
+                    return None, exc
+                ticket.retries += 1
+                ticket.retry_seconds += policy.backoff(ticket.retries)
+                self.stats.record_retry()
+
+    def _serve_hit(self, ticket: Ticket, entry, t0: float) -> None:
+        ticket.status = "served"
+        ticket.cache = "hit"
+        ticket.result = entry.result
+        ticket.started_at = t0
+        ticket.finished_at = t0 + self.config.dispatch_seconds
+        ticket.queue_wait = t0 - ticket.submitted_at
+        ticket.service_seconds = self.config.dispatch_seconds
+        ticket.latency = ticket.finished_at - ticket.submitted_at
+
+    def _serve_miss(self, ticket: Ticket, batch_state: dict, t0: float) -> None:
+        result, error = self._execute(ticket)
+        key = (ticket.engine, id(ticket.request.graph))
+        state = batch_state.setdefault(
+            key, {"id": None, "paid": False, "members": 0}
+        )
+        if result is not None:
+            setup = _csr_setup_seconds(result)
+            if self.config.batching and setup > 0:
+                if state["paid"]:
+                    ticket.amortized_seconds = setup
+                else:
+                    state["paid"] = True
+                    ticket.batch_leader = True
+                state["members"] += 1
+                if state["id"] is None:
+                    state["id"] = self._batch_ids
+                    self._batch_ids += 1
+                ticket.batch_id = state["id"]
+            seconds = max(0.0, result.modeled_seconds - ticket.amortized_seconds)
+            ticket.status = "served"
+            ticket.result = result
+            self.cache.put(ticket.fingerprint, ticket.request.config(), result)
+        else:
+            seconds = 0.0
+            ticket.status = "failed"
+            ticket.error = error
+        seconds += ticket.retry_seconds + self.config.dispatch_seconds
+        assignment = self.pool.assign(
+            t0, seconds, needs_gpu=ticket.engine in GPU_ENGINES
+        )
+        ticket.worker = assignment.worker
+        ticket.gpu_slot = assignment.gpu_slot
+        ticket.started_at = assignment.start
+        ticket.finished_at = assignment.start + seconds
+        ticket.queue_wait = assignment.start - ticket.submitted_at
+        ticket.service_seconds = seconds
+        ticket.latency = ticket.finished_at - ticket.submitted_at
+
+    # ------------------------------------------------------------------
+    def drain(self) -> list[Ticket]:
+        """Serve every queued request; returns the tickets in service order.
+
+        Execution order is (lane, submission sequence) — independent of
+        the pool shape — so results and cache behaviour are identical
+        across worker counts; only the timeline metadata changes.
+        """
+        tickets: list[Ticket] = []
+        for lane in self._lanes:
+            while lane:
+                tickets.append(lane.popleft())
+        tickets.sort(key=lambda t: (t.lane, t.seq))
+        if not tickets:
+            return []
+        t0 = self.now
+        self._drains += 1
+        self.pool.reset_accounting()
+        profiler = Profiler(
+            self.clock,
+            name=f"service drain {self._drains}",
+            category="run",
+            engine="service",
+            graph=self._workload_label(tickets),
+            num_vertices=0,
+            num_edges=0,
+            k=len(tickets),
+            seed=0,
+            options_hash=options_hash(
+                {
+                    "num_workers": self.config.num_workers,
+                    "gpu_slots": self.config.gpu_slots,
+                    "queue_limit": self.config.queue_limit,
+                    "requests": [t.fingerprint for t in tickets],
+                }
+            ),
+        )
+        self.clock.set_phase("serve")
+        batch_state: dict = {}
+        for ticket in tickets:
+            entry = self.cache.get(ticket.fingerprint) if self.config.cache_enabled else None
+            if not self.config.cache_enabled:
+                ticket.cache = "bypass"
+            if entry is not None:
+                self._serve_hit(ticket, entry, t0)
+            else:
+                if ticket.cache != "bypass":
+                    ticket.cache = "miss"
+                self._serve_miss(ticket, batch_state, t0)
+            profiler.add_span(
+                f"{ticket.engine} {ticket.request.graph.name}",
+                ticket.started_at,
+                ticket.finished_at,
+                category="request",
+                engine=ticket.engine,
+                k=ticket.request.k,
+                cache=ticket.cache,
+                status=ticket.status,
+                worker=ticket.worker,
+                queue_wait=ticket.queue_wait,
+            )
+            self.stats.record_ticket(ticket)
+        makespan_end = max(t.finished_at for t in tickets)
+        served = sum(1 for t in tickets if t.ok)
+        batches = sum(1 for s in batch_state.values() if s["members"] >= 2)
+        self.clock.charge(
+            "sync", makespan_end - t0, count=len(tickets), detail="serve makespan"
+        )
+        self.now = makespan_end
+        self.stats.record_drain(
+            makespan=makespan_end - t0,
+            served=served,
+            utilization=self.pool.utilization(since=t0),
+            batches=batches,
+        )
+        self.stats.record_cache(self.cache.stats())
+        for key, counter in self.stats.metrics.counters.items():
+            profiler.metrics.counter(key).inc(counter.value)
+        for key, gauge in self.stats.metrics.gauges.items():
+            profiler.metrics.gauge(key).set(gauge.value)
+        profiler.finish(
+            served=served,
+            failed=len(tickets) - served,
+            cache_hits=sum(1 for t in tickets if t.cache == "hit"),
+            batches=batches,
+        )
+        self.last_profiler = profiler
+        ledger_path = self.config.ledger or get_default_ledger()
+        if ledger_path is not None:
+            append_record(ledger_path, ledger_record(profiler))
+        return tickets
+
+    def serve(self, requests) -> list[Ticket]:
+        """Submit a batch of requests and drain; rejected submissions
+        raise — use :meth:`submit` directly for shedding semantics."""
+        for request in requests:
+            self.submit(request)
+        return self.drain()
+
+    # ------------------------------------------------------------------
+    def invalidate(self, fingerprint: str | None = None, *, graph: str | None = None,
+                   engine: str | None = None) -> int:
+        """Explicitly drop cache entries (see :meth:`ResultCache.invalidate`)."""
+        removed = self.cache.invalidate(fingerprint, graph=graph, engine=engine)
+        self.stats.record_invalidation(removed)
+        return removed
+
+    @staticmethod
+    def _workload_label(tickets: list[Ticket]) -> str:
+        names = {t.request.graph.name for t in tickets}
+        return names.pop() if len(names) == 1 else "mixed"
+
+    def snapshot(self) -> dict:
+        """JSON-ready state: headline stats + cache + pool breakdowns."""
+        out = self.stats.snapshot()
+        out["cache"] = self.cache.stats()
+        out["pool"] = self.pool.stats()
+        out["queued"] = self.queued
+        out["now"] = self.now
+        return out

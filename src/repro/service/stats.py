@@ -1,0 +1,123 @@
+"""Service-side observability: the ``service.*`` metric family.
+
+One :class:`ServiceStats` per :class:`~repro.service.PartitionService`
+accumulates counters (requests, hits, rejections, retries), latency
+histograms (queue wait, end-to-end latency, on-worker seconds) and
+derived gauges (throughput, utilization) in a standard
+:class:`repro.obs.MetricsRegistry`, so the exporters, the ledger and the
+regression gate consume service behaviour through exactly the machinery
+PR 2-3 built for engine runs.
+"""
+
+from __future__ import annotations
+
+from ..obs.metrics import MetricsRegistry
+
+__all__ = ["ServiceStats"]
+
+
+class ServiceStats:
+    """Accumulates ``service.*`` metrics across a service's lifetime."""
+
+    def __init__(self) -> None:
+        self.metrics = MetricsRegistry()
+        # Materialize the headline counters at zero so snapshots, ledger
+        # records and gate rules see them even when nothing happened
+        # (an absent "service.failed" would be skipped, not gated).
+        for name in (
+            "service.requests",
+            "service.served",
+            "service.failed",
+            "service.rejected",
+            "service.retries",
+            "service.cache_hits",
+            "service.cache_misses",
+        ):
+            self.metrics.counter(name)
+
+    # -- per-event recorders -------------------------------------------
+    def record_submit(self, lane: int) -> None:
+        self.metrics.counter("service.requests").inc()
+        self.metrics.counter("service.queued", lane=str(lane)).inc()
+
+    def record_rejection(self, lane: int) -> None:
+        self.metrics.counter("service.rejected").inc()
+        self.metrics.counter("service.rejected.lane", lane=str(lane)).inc()
+
+    def record_retry(self, count: int = 1) -> None:
+        self.metrics.counter("service.retries").inc(count)
+
+    def record_invalidation(self, count: int) -> None:
+        self.metrics.counter("service.cache_invalidated").inc(count)
+
+    def record_ticket(self, ticket) -> None:
+        """Fold one finished ticket into the registry."""
+        m = self.metrics
+        if ticket.status == "failed":
+            m.counter("service.failed").inc()
+        else:
+            m.counter("service.served").inc()
+        if ticket.cache == "hit":
+            m.counter("service.cache_hits").inc()
+        elif ticket.cache == "miss":
+            m.counter("service.cache_misses").inc()
+        if ticket.batch_id is not None and not ticket.batch_leader:
+            m.counter("service.batched_followers").inc()
+            m.counter("service.amortized_seconds").inc(ticket.amortized_seconds)
+        m.histogram("service.queue_wait").observe(ticket.queue_wait)
+        m.histogram("service.latency").observe(ticket.latency)
+        m.histogram("service.service_seconds").observe(ticket.service_seconds)
+        m.histogram("service.latency.engine", engine=ticket.engine).observe(
+            ticket.latency
+        )
+
+    def record_drain(self, *, makespan: float, served: int, utilization: float,
+                     batches: int) -> None:
+        m = self.metrics
+        m.counter("service.drains").inc()
+        m.counter("service.batches").inc(batches)
+        m.gauge("service.makespan_seconds").set(makespan)
+        m.gauge("service.utilization").set(utilization)
+        if makespan > 0:
+            m.gauge("service.throughput_rps").set(served / makespan)
+        # Percentiles as gauges so the regression gate (which reads
+        # counters/gauges) can police latency directly.
+        latency = m.histogram("service.latency")
+        queue_wait = m.histogram("service.queue_wait")
+        m.gauge("service.latency_p50").set(latency.percentile(50.0) or 0.0)
+        m.gauge("service.latency_p95").set(latency.percentile(95.0) or 0.0)
+        m.gauge("service.queue_wait_p95").set(queue_wait.percentile(95.0) or 0.0)
+
+    def record_cache(self, cache_stats: dict) -> None:
+        m = self.metrics
+        m.gauge("service.cache_entries").set(cache_stats["entries"])
+        m.gauge("service.cache_hit_rate").set(cache_stats["hit_rate"])
+        m.gauge("service.saved_seconds").set(cache_stats["saved_seconds"])
+
+    # -- reads ---------------------------------------------------------
+    def value(self, name: str, **labels) -> float:
+        out = self.metrics.value(name, **labels)
+        return 0.0 if out is None else out
+
+    def snapshot(self) -> dict:
+        """JSON-ready summary: the headline numbers plus full registry."""
+        m = self.metrics
+        latency = m.histogram("service.latency").summary()
+        queue_wait = m.histogram("service.queue_wait").summary()
+        return {
+            "requests": self.value("service.requests"),
+            "served": self.value("service.served"),
+            "failed": self.value("service.failed"),
+            "rejected": self.value("service.rejected"),
+            "retries": self.value("service.retries"),
+            "cache_hits": self.value("service.cache_hits"),
+            "cache_misses": self.value("service.cache_misses"),
+            "throughput_rps": self.value("service.throughput_rps"),
+            "makespan_seconds": self.value("service.makespan_seconds"),
+            "utilization": self.value("service.utilization"),
+            "latency_p50": latency["p50"],
+            "latency_p95": latency["p95"],
+            "queue_wait_p50": queue_wait["p50"],
+            "queue_wait_p95": queue_wait["p95"],
+            "metrics": m.as_dict(),
+        }

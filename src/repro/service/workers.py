@@ -1,0 +1,124 @@
+"""The simulated worker pool: CPU workers plus a shared GPU lease.
+
+The service models a small cluster in *simulated* time: each worker is a
+machine that can run one partition job at a time, and the pool holds a
+fixed number of GPU slots that jobs on GPU-backed engines (gp-metis)
+must lease for their whole duration — submitting eight gp-metis jobs to
+eight workers with one GPU serializes on the lease instead of pretending
+eight Titans exist.
+
+Assignment is a deterministic list-scheduler: the worker (and GPU slot)
+that frees earliest wins, ties broken by lowest index.  Execution order
+never depends on the pool shape — only start/finish times do — which is
+what makes service results worker-count-invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import InvalidParameterError
+
+__all__ = ["Worker", "Assignment", "WorkerPool", "GPU_ENGINES"]
+
+#: Engines whose jobs must hold a GPU slot while running.
+GPU_ENGINES = frozenset({"gp-metis"})
+
+
+@dataclass
+class Worker:
+    """One simulated machine of the pool."""
+
+    index: int
+    free_at: float = 0.0
+    jobs: int = 0
+    busy_seconds: float = 0.0
+
+
+@dataclass
+class Assignment:
+    """Where and when a job will run."""
+
+    worker: int
+    start: float
+    gpu_slot: int | None = None
+
+
+@dataclass
+class WorkerPool:
+    """Fixed set of workers plus a bounded GPU lease."""
+
+    num_workers: int = 4
+    gpu_slots: int = 1
+    workers: list[Worker] = field(init=False)
+    _gpu_free_at: list[float] = field(init=False)
+    gpu_busy_seconds: float = field(init=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise InvalidParameterError(
+                f"num_workers must be >= 1, got {self.num_workers}"
+            )
+        if self.gpu_slots < 0:
+            raise InvalidParameterError(
+                f"gpu_slots must be >= 0, got {self.gpu_slots}"
+            )
+        self.workers = [Worker(i) for i in range(self.num_workers)]
+        self._gpu_free_at = [0.0] * self.gpu_slots
+
+    # ------------------------------------------------------------------
+    def assign(self, ready_at: float, seconds: float, *, needs_gpu: bool) -> Assignment:
+        """Place one job and advance the chosen worker's (and GPU slot's)
+        free time.  ``ready_at`` is when the job became runnable; the job
+        starts when the worker — and, for GPU engines, a GPU slot — is
+        free."""
+        if needs_gpu and not self._gpu_free_at:
+            raise InvalidParameterError(
+                "job needs a GPU but the pool was built with gpu_slots=0"
+            )
+        worker = min(self.workers, key=lambda w: (w.free_at, w.index))
+        start = max(ready_at, worker.free_at)
+        gpu_slot: int | None = None
+        if needs_gpu:
+            gpu_slot = min(
+                range(len(self._gpu_free_at)), key=lambda i: (self._gpu_free_at[i], i)
+            )
+            start = max(start, self._gpu_free_at[gpu_slot])
+            self._gpu_free_at[gpu_slot] = start + seconds
+            self.gpu_busy_seconds += seconds
+        worker.free_at = start + seconds
+        worker.jobs += 1
+        worker.busy_seconds += seconds
+        return Assignment(worker=worker.index, start=start, gpu_slot=gpu_slot)
+
+    # ------------------------------------------------------------------
+    @property
+    def makespan(self) -> float:
+        """When the last worker frees (0 when nothing ran)."""
+        return max((w.free_at for w in self.workers), default=0.0)
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Busy share of worker-time between ``since`` and the makespan."""
+        horizon = self.makespan - since
+        if horizon <= 0:
+            return 0.0
+        return min(
+            1.0,
+            sum(w.busy_seconds for w in self.workers)
+            / (self.num_workers * horizon),
+        )
+
+    def reset_accounting(self) -> None:
+        """Zero the per-drain busy counters (free times stay)."""
+        for w in self.workers:
+            w.busy_seconds = 0.0
+
+    def stats(self) -> dict:
+        return {
+            "num_workers": self.num_workers,
+            "gpu_slots": self.gpu_slots,
+            "makespan": self.makespan,
+            "jobs": [w.jobs for w in self.workers],
+            "busy_seconds": [w.busy_seconds for w in self.workers],
+            "gpu_busy_seconds": self.gpu_busy_seconds,
+        }

@@ -1,0 +1,103 @@
+"""ResultCache: fingerprint-keyed LRU with explicit invalidation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.service import PartitionRequest, ResultCache
+
+
+def _entry(graph, k=4, seed=1, method="random"):
+    req = PartitionRequest(graph=graph, k=k, method=method, seed=seed)
+    return req.fingerprint, req.config(), req.run()
+
+
+class TestHitMiss:
+    def test_miss_then_hit(self, grid):
+        cache = ResultCache(max_entries=4)
+        fp, config, result = _entry(grid)
+        assert cache.get(fp) is None
+        cache.put(fp, config, result)
+        entry = cache.get(fp)
+        assert entry is not None and entry.result is result
+        assert cache.hits == 1 and cache.misses == 1
+        assert entry.hits == 1
+
+    def test_peek_does_not_touch_counters(self, grid):
+        cache = ResultCache()
+        fp, config, result = _entry(grid)
+        cache.put(fp, config, result)
+        assert cache.peek(fp) is not None
+        assert cache.peek("nope") is None
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_saved_seconds_accumulates_on_hits(self, grid):
+        cache = ResultCache()
+        fp, config, result = _entry(grid)
+        cache.put(fp, config, result)
+        cache.get(fp)
+        cache.get(fp)
+        assert cache.stats()["saved_seconds"] == pytest.approx(
+            2 * result.modeled_seconds
+        )
+
+
+class TestEviction:
+    def test_lru_eviction_order(self, grid):
+        cache = ResultCache(max_entries=2)
+        entries = [_entry(grid, seed=s) for s in (1, 2, 3)]
+        cache.put(*entries[0])
+        cache.put(*entries[1])
+        cache.get(entries[0][0])  # refresh 0 -> 1 becomes LRU
+        cache.put(*entries[2])
+        assert entries[0][0] in cache
+        assert entries[1][0] not in cache
+        assert entries[2][0] in cache
+        assert cache.evictions == 1
+
+    def test_reput_refreshes_instead_of_duplicating(self, grid):
+        cache = ResultCache(max_entries=2)
+        fp, config, result = _entry(grid)
+        cache.put(fp, config, result)
+        cache.put(fp, config, result)
+        assert len(cache) == 1 and cache.evictions == 0
+
+    def test_max_entries_validated(self):
+        with pytest.raises(InvalidParameterError):
+            ResultCache(max_entries=0)
+
+
+class TestInvalidation:
+    def test_invalidate_one_fingerprint(self, grid):
+        cache = ResultCache()
+        fp, config, result = _entry(grid)
+        cache.put(fp, config, result)
+        assert cache.invalidate(fp) == 1
+        assert cache.invalidate(fp) == 0  # already gone
+        assert fp not in cache
+
+    def test_invalidate_all(self, grid):
+        cache = ResultCache()
+        for s in (1, 2, 3):
+            cache.put(*_entry(grid, seed=s))
+        assert cache.invalidate() == 3
+        assert len(cache) == 0
+        assert cache.invalidations == 3
+
+    def test_invalidate_by_selector(self, grid, medium_graph):
+        cache = ResultCache()
+        cache.put(*_entry(grid, method="random"))
+        cache.put(*_entry(grid, method="block"))
+        cache.put(*_entry(medium_graph, method="random"))
+        assert cache.invalidate(graph=grid.name) == 2
+        assert len(cache) == 1
+        assert cache.invalidate(engine="random") == 1
+        assert len(cache) == 0
+
+    def test_invalidate_selector_conjunction(self, grid, medium_graph):
+        cache = ResultCache()
+        cache.put(*_entry(grid, method="random"))
+        cache.put(*_entry(medium_graph, method="random"))
+        assert cache.invalidate(graph=grid.name, engine="block") == 0
+        assert cache.invalidate(graph=grid.name, engine="random") == 1

@@ -1,0 +1,61 @@
+"""Differential check: the service is a scheduler, not an algorithm.
+
+Every engine must produce bit-identical partition vectors whether a
+request goes through :class:`PartitionService` (any pool shape, cache
+on or off) or straight through ``repro.partition()``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import available_methods
+from repro.service import PartitionRequest, PartitionService
+
+
+ENGINES = available_methods()
+
+
+class TestServedMatchesDirect:
+    @pytest.mark.parametrize("method", ENGINES)
+    def test_engine_parity(self, grid, method):
+        request = PartitionRequest(graph=grid, k=4, method=method, seed=2)
+        direct = repro.partition(grid, 4, method=method, seed=2)
+        (ticket,) = PartitionService(num_workers=2).serve([request])
+        assert ticket.ok, f"{method} failed in service: {ticket.error}"
+        assert np.array_equal(ticket.result.part, direct.part), method
+        assert (ticket.result.quality(grid).cut
+                == direct.quality(grid).cut)
+
+    def test_registry_is_complete(self):
+        # The parametrization above must actually cover the full registry.
+        assert len(ENGINES) == 10
+        assert set(ENGINES) >= {"metis", "gp-metis", "mt-metis", "spectral",
+                                "random", "block"}
+
+    def test_mixed_sweep_parity(self, grid, medium_graph):
+        """A k/seed sweep served in one drain equals direct calls."""
+        requests = [
+            PartitionRequest(graph=g, k=k, method=m, seed=s)
+            for g in (grid, medium_graph)
+            for m in ("metis", "gp-metis", "random")
+            for k in (2, 4)
+            for s in (1, 2)
+        ]
+        tickets = PartitionService(num_workers=4).serve(requests)
+        for ticket in tickets:
+            direct = ticket.request.run()
+            assert np.array_equal(ticket.result.part, direct.part), (
+                ticket.engine, ticket.request.k, ticket.request.seed)
+
+    def test_cache_off_still_matches(self, grid):
+        svc = PartitionService(cache_enabled=False, num_workers=3)
+        tickets = svc.serve([
+            PartitionRequest(graph=grid, k=4, method="mt-metis", seed=s)
+            for s in (1, 1, 2)
+        ])
+        assert np.array_equal(tickets[0].result.part, tickets[1].result.part)
+        direct = repro.partition(grid, 4, method="mt-metis", seed=2)
+        assert np.array_equal(tickets[2].result.part, direct.part)

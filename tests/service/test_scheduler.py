@@ -1,0 +1,332 @@
+"""PartitionService: determinism, lanes, the GPU lease, batching,
+backpressure, retries and observability integration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError, ServiceOverloadedError
+from repro.faults import FaultPlan, FaultSpec
+from repro.obs import ledger as ledger_mod
+from repro.service import (
+    GPU_ENGINES,
+    PartitionRequest,
+    PartitionService,
+    ServiceConfig,
+    WorkerPool,
+)
+
+
+def _mixed_requests(grid, medium_graph):
+    return [
+        PartitionRequest(graph=grid, k=4, method="random", seed=1),
+        PartitionRequest(graph=grid, k=4, method="random", seed=1),  # dup -> hit
+        PartitionRequest(graph=grid, k=8, method="block", priority=0),
+        PartitionRequest(graph=medium_graph, k=4, method="metis", seed=2),
+        PartitionRequest(graph=grid, k=4, method="spectral", seed=1, priority=2),
+    ]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("workers", [1, 3, 8])
+    def test_results_invariant_across_worker_counts(
+        self, grid, medium_graph, workers
+    ):
+        reference = PartitionService(num_workers=1).serve(
+            _mixed_requests(grid, medium_graph)
+        )
+        tickets = PartitionService(num_workers=workers).serve(
+            _mixed_requests(grid, medium_graph)
+        )
+        assert [t.seq for t in tickets] == [t.seq for t in reference]
+        assert [t.cache for t in tickets] == [t.cache for t in reference]
+        for a, b in zip(tickets, reference):
+            assert np.array_equal(a.result.part, b.result.part)
+
+    def test_gpu_slots_do_not_change_results(self, grid):
+        reqs = lambda: [
+            PartitionRequest(graph=grid, k=4, method="gp-metis", seed=s)
+            for s in (1, 2, 3)
+        ]
+        one = PartitionService(num_workers=4, gpu_slots=1).serve(reqs())
+        three = PartitionService(num_workers=4, gpu_slots=3).serve(reqs())
+        for a, b in zip(one, three):
+            assert np.array_equal(a.result.part, b.result.part)
+
+    def test_timeline_reacts_to_worker_count(self, grid, medium_graph):
+        slow = PartitionService(num_workers=1).serve(
+            _mixed_requests(grid, medium_graph)
+        )
+        fast = PartitionService(num_workers=8).serve(
+            _mixed_requests(grid, medium_graph)
+        )
+        assert max(t.finished_at for t in fast) < max(t.finished_at for t in slow)
+
+
+class TestLanes:
+    def test_priority_orders_service(self, grid):
+        svc = PartitionService(num_workers=1)
+        low = svc.submit(PartitionRequest(graph=grid, k=4, method="random",
+                                          seed=1, priority=2))
+        high = svc.submit(PartitionRequest(graph=grid, k=4, method="block",
+                                           priority=0))
+        tickets = svc.drain()
+        assert tickets[0] is high and tickets[1] is low
+        assert high.started_at <= low.started_at
+
+    def test_priority_clamps_to_lane_count(self, grid):
+        svc = PartitionService(num_workers=1)
+        t = svc.submit(PartitionRequest(graph=grid, k=4, method="random",
+                                        priority=99))
+        assert t.lane == svc.config.num_lanes - 1
+
+    def test_overload_rejects_with_typed_error(self, grid):
+        svc = PartitionService(num_workers=1, queue_limit=2)
+        for seed in (1, 2):
+            svc.submit(PartitionRequest(graph=grid, k=4, method="random",
+                                        seed=seed, priority=1))
+        with pytest.raises(ServiceOverloadedError) as exc_info:
+            svc.submit(PartitionRequest(graph=grid, k=4, method="random",
+                                        seed=3, priority=1))
+        err = exc_info.value
+        assert err.lane == 1 and err.queued == 2 and err.limit == 2
+        assert svc.stats.value("service.rejected") == 1
+
+    def test_lanes_are_independent(self, grid):
+        svc = PartitionService(num_workers=1, queue_limit=1)
+        svc.submit(PartitionRequest(graph=grid, k=4, method="random", priority=1))
+        # A different lane still has room.
+        svc.submit(PartitionRequest(graph=grid, k=4, method="block", priority=0))
+        with pytest.raises(ServiceOverloadedError):
+            svc.submit(PartitionRequest(graph=grid, k=8, method="random",
+                                        priority=1))
+
+    def test_drain_frees_the_lane(self, grid):
+        svc = PartitionService(num_workers=1, queue_limit=1)
+        svc.submit(PartitionRequest(graph=grid, k=4, method="random"))
+        svc.drain()
+        svc.submit(PartitionRequest(graph=grid, k=8, method="random"))
+        assert svc.queued == 1
+
+
+class TestGpuLease:
+    def test_gpu_jobs_serialize_on_the_lease(self, grid):
+        reqs = [
+            PartitionRequest(graph=grid, k=4, method="gp-metis", seed=s,
+                             options={"gpu_threshold_min": 64})
+            for s in (1, 2, 3)
+        ]
+        svc = PartitionService(num_workers=8, gpu_slots=1)
+        tickets = svc.serve(reqs)
+        spans = sorted((t.started_at, t.finished_at) for t in tickets)
+        for (_, end_prev), (start_next, _) in zip(spans, spans[1:]):
+            assert start_next >= end_prev - 1e-12
+        assert all(t.gpu_slot == 0 for t in tickets)
+
+    def test_cpu_jobs_do_not_take_the_lease(self, grid):
+        svc = PartitionService(num_workers=2, gpu_slots=1)
+        tickets = svc.serve(
+            [PartitionRequest(graph=grid, k=4, method="metis", seed=s)
+             for s in (1, 2)]
+        )
+        assert all(t.gpu_slot is None for t in tickets)
+        assert "gp-metis" in GPU_ENGINES and "metis" not in GPU_ENGINES
+
+    def test_pool_rejects_gpu_job_without_slots(self):
+        pool = WorkerPool(num_workers=2, gpu_slots=0)
+        with pytest.raises(InvalidParameterError, match="gpu_slots=0"):
+            pool.assign(0.0, 1.0, needs_gpu=True)
+
+
+class TestBatching:
+    def _sweep(self, medium_graph):
+        return [
+            PartitionRequest(graph=medium_graph, k=4, method="gp-metis", seed=s,
+                             options={"gpu_threshold_min": 64})
+            for s in (1, 2, 3)
+        ]
+
+    def test_followers_amortize_csr_transfer(self, medium_graph):
+        svc = PartitionService(num_workers=1)
+        tickets = svc.serve(self._sweep(medium_graph))
+        leader = [t for t in tickets if t.batch_leader]
+        followers = [t for t in tickets if t.batch_id is not None
+                     and not t.batch_leader]
+        assert len(leader) == 1 and len(followers) == 2
+        assert all(t.amortized_seconds > 0 for t in followers)
+        for t in followers:
+            assert t.service_seconds < t.result.modeled_seconds
+
+    def test_batching_can_be_disabled(self, medium_graph):
+        svc = PartitionService(ServiceConfig(num_workers=1, batching=False))
+        tickets = svc.serve(self._sweep(medium_graph))
+        assert all(t.batch_id is None for t in tickets)
+        assert all(t.amortized_seconds == 0 for t in tickets)
+
+    def test_different_graphs_do_not_batch(self, grid, medium_graph):
+        svc = PartitionService(num_workers=1)
+        tickets = svc.serve([
+            PartitionRequest(graph=medium_graph, k=4, method="gp-metis", seed=1,
+                             options={"gpu_threshold_min": 64}),
+            PartitionRequest(graph=grid, k=4, method="gp-metis", seed=1,
+                             options={"gpu_threshold_min": 64}),
+        ])
+        assert all(not t.amortized_seconds for t in tickets)
+
+
+class TestCacheIntegration:
+    def test_hit_returns_same_vector_without_worker(self, grid):
+        svc = PartitionService(num_workers=2)
+        first, second = svc.serve([
+            PartitionRequest(graph=grid, k=4, method="random", seed=1),
+            PartitionRequest(graph=grid, k=4, method="random", seed=1),
+        ])
+        assert first.cache == "miss" and second.cache == "hit"
+        assert second.worker is None
+        assert np.array_equal(first.result.part, second.result.part)
+        assert second.service_seconds < first.service_seconds
+
+    def test_cache_disabled_bypasses(self, grid):
+        svc = PartitionService(ServiceConfig(cache_enabled=False))
+        tickets = svc.serve([
+            PartitionRequest(graph=grid, k=4, method="random", seed=1),
+            PartitionRequest(graph=grid, k=4, method="random", seed=1),
+        ])
+        assert [t.cache for t in tickets] == ["bypass", "bypass"]
+
+    def test_invalidation_forces_recompute(self, grid):
+        svc = PartitionService()
+        req = PartitionRequest(graph=grid, k=4, method="random", seed=1)
+        svc.serve([req])
+        assert svc.invalidate(engine="random") == 1
+        (ticket,) = svc.serve([PartitionRequest(graph=grid, k=4,
+                                                method="random", seed=1)])
+        assert ticket.cache == "miss"
+        assert svc.stats.value("service.cache_invalidated") == 1
+
+    def test_eviction_bounded_by_config(self, grid):
+        svc = PartitionService(ServiceConfig(cache_entries=2))
+        svc.serve([PartitionRequest(graph=grid, k=4, method="random", seed=s)
+                   for s in (1, 2, 3)])
+        assert len(svc.cache) == 2
+        assert svc.cache.evictions == 1
+
+
+class TestRetriesAndFailure:
+    def _doomed(self, medium_graph):
+        plan = FaultPlan(
+            seed=1,
+            specs=(FaultSpec("transfer.h2d", "fail", probability=1.0,
+                             max_fires=0),),
+        )
+        return PartitionRequest(
+            graph=medium_graph, k=4, method="gp-metis",
+            options={"gpu_threshold_min": 64, "fault_plan": plan,
+                     "fault_recovery": False},
+        )
+
+    def test_unrecovered_fault_exhausts_retries(self, medium_graph):
+        svc = PartitionService(num_workers=1)
+        (ticket,) = svc.serve([self._doomed(medium_graph)])
+        assert ticket.status == "failed"
+        assert ticket.result is None
+        assert ticket.error is not None
+        assert ticket.retries == svc.config.retry_policy.max_retries
+        assert ticket.retry_seconds > 0
+        assert svc.stats.value("service.failed") == 1
+        assert svc.stats.value("service.retries") == 3
+
+    def test_failure_does_not_poison_the_cache(self, grid, medium_graph):
+        svc = PartitionService(num_workers=1)
+        svc.serve([self._doomed(medium_graph)])
+        assert len(svc.cache) == 0
+        (ok,) = svc.serve([PartitionRequest(graph=grid, k=4, method="random")])
+        assert ok.status == "served"
+
+    def test_invalid_request_fails_fast_without_retries(self, grid):
+        svc = PartitionService(num_workers=1)
+        with pytest.raises(InvalidParameterError):
+            # Bad options surface at submit time (fingerprint resolution),
+            # never reaching a worker.
+            svc.submit(PartitionRequest(graph=grid, k=4, method="random",
+                                        options={"bogus_option": 1}))
+
+
+class TestObservability:
+    def test_ledger_records_per_request_and_drain(self, grid, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger_mod.set_default_ledger(path)
+        try:
+            svc = PartitionService(num_workers=2)
+            svc.serve([
+                PartitionRequest(graph=grid, k=4, method="random", seed=1),
+                PartitionRequest(graph=grid, k=4, method="random", seed=1),
+                PartitionRequest(graph=grid, k=8, method="block"),
+            ])
+        finally:
+            ledger_mod.set_default_ledger(None)
+        records = ledger_mod.read_ledger(path)
+        engines = [r["config"]["engine"] for r in records]
+        # Two misses ran engines (the hit did not re-run), plus the
+        # service's own drain record.
+        assert engines.count("service") == 1
+        assert engines.count("random") == 1 and engines.count("block") == 1
+        service_record = records[engines.index("service")]
+        counters = service_record["metrics"]["counters"]
+        assert counters["service.requests"] == 3
+        assert counters["service.cache_hits"] == 1
+        assert service_record["run"]["modeled_seconds"] > 0
+
+    def test_snapshot_reports_headline_numbers(self, grid):
+        svc = PartitionService(num_workers=2)
+        svc.serve([
+            PartitionRequest(graph=grid, k=4, method="random", seed=1),
+            PartitionRequest(graph=grid, k=4, method="random", seed=1),
+        ])
+        snap = svc.snapshot()
+        assert snap["served"] == 2
+        assert snap["cache_hits"] == 1
+        assert snap["throughput_rps"] > 0
+        assert snap["latency_p95"] >= snap["latency_p50"] > 0
+        assert snap["queued"] == 0
+        assert snap["pool"]["num_workers"] == 2
+
+    def test_drain_spans_cover_requests(self, grid):
+        svc = PartitionService(num_workers=1)
+        svc.serve([PartitionRequest(graph=grid, k=4, method="random", seed=s)
+                   for s in (1, 2)])
+        root = svc.last_profiler.root
+        request_spans = root.find_category("request")
+        assert len(request_spans) == 2
+        assert root.attrs["engine"] == "service"
+
+    def test_queue_wait_grows_when_workers_scarce(self, grid):
+        reqs = lambda: [
+            PartitionRequest(graph=grid, k=4, method="metis", seed=s)
+            for s in (1, 2, 3, 4)
+        ]
+        scarce = PartitionService(num_workers=1).serve(reqs())
+        ample = PartitionService(num_workers=4).serve(reqs())
+        assert (max(t.queue_wait for t in scarce)
+                > max(t.queue_wait for t in ample))
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"num_workers": 0}, {"queue_limit": 0}, {"num_lanes": 0},
+         {"dispatch_seconds": -1.0}],
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            ServiceConfig(**kwargs)
+
+    def test_config_and_overrides_are_exclusive(self):
+        with pytest.raises(InvalidParameterError):
+            PartitionService(ServiceConfig(), num_workers=2)
+
+    def test_submit_requires_request_type(self, grid):
+        svc = PartitionService()
+        with pytest.raises(InvalidParameterError):
+            svc.submit({"graph": grid, "k": 4})
