@@ -51,6 +51,18 @@ class _TrivialBase:
                 raise InvalidParameterError(
                     f"bad options for {self.name!r}: {exc}; valid options: {valid}"
                 ) from None
+        if options is not None and not isinstance(options, self.options_class):
+            raise InvalidParameterError(
+                f"{self.name!r} takes a {self.options_class.__name__} options "
+                f"dataclass, got {type(options).__name__}; the legacy "
+                f"positional (ubfactor, seed) constructor is gone — pass "
+                f"keyword arguments (e.g. {type(self).__name__}(ubfactor=..., "
+                f"seed=...)) or an options dataclass"
+            )
+        if machine is not None and not isinstance(machine, MachineSpec):
+            raise InvalidParameterError(
+                f"machine must be a MachineSpec, got {type(machine).__name__}"
+            )
         self.options = options or self.options_class()
         self.machine = machine or PAPER_MACHINE
 

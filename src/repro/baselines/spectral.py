@@ -115,6 +115,18 @@ class SpectralPartitioner:
                 raise InvalidParameterError(
                     f"bad options for 'spectral': {exc}; valid options: {valid}"
                 ) from None
+        if options is not None and not isinstance(options, SpectralOptions):
+            raise InvalidParameterError(
+                f"'spectral' takes a SpectralOptions options dataclass, got "
+                f"{type(options).__name__}; the legacy positional "
+                f"(ubfactor, seed) constructor is gone — pass keyword "
+                f"arguments (e.g. SpectralPartitioner(ubfactor=..., "
+                f"seed=...)) or an options dataclass"
+            )
+        if machine is not None and not isinstance(machine, MachineSpec):
+            raise InvalidParameterError(
+                f"machine must be a MachineSpec, got {type(machine).__name__}"
+            )
         self.options = options or SpectralOptions()
         self.machine = machine or PAPER_MACHINE
 

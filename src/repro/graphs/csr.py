@@ -20,6 +20,7 @@ integral, as in Metis; generators that want unweighted graphs use weight 1.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -104,6 +105,27 @@ class CSRGraph:
     @property
     def max_degree(self) -> int:
         return int(self.degrees().max(initial=0))
+
+    @property
+    def content_digest(self) -> str:
+        """Stable hex digest of the four CSR arrays — the graph's identity
+        independent of its display ``name``.
+
+        Two generator draws that share a name (``delaunay(300, seed=1)``
+        and ``seed=2`` are both ``"delaunay_300"``) digest differently,
+        so anything keyed by content — notably the partition-service
+        result cache — can tell them apart.  Computed once per instance
+        (the arrays are immutable by convention).
+        """
+        cached = getattr(self, "_content_digest", None)
+        if cached is None:
+            h = hashlib.sha256()
+            for arr in (self.adjp, self.adjncy, self.adjwgt, self.vwgt):
+                h.update(arr.tobytes())
+                h.update(b"|")
+            cached = h.hexdigest()[:16]
+            object.__setattr__(self, "_content_digest", cached)
+        return cached
 
     @property
     def nbytes(self) -> int:

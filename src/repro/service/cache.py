@@ -1,11 +1,12 @@
 """Fingerprint-keyed result cache with LRU eviction.
 
-The cache key is the run-ledger config fingerprint
+The cache key is the request's config fingerprint
 (:func:`repro.obs.ledger.config_fingerprint` over
-``{engine, graph, k, seed, options_hash}``), so "cache hit" means
-exactly what the comparative analyzer and the regression gate mean by
-"same configuration".  Because every simulated run is deterministic, a
-hit returns a result bit-identical to re-running the engine — minus the
+``{engine, graph, graph_digest, k, seed, options_hash}``) — the ledger's
+"same configuration" plus a content digest of the graph's CSR arrays, so
+two distinct graphs sharing a display name can never serve each other's
+partition vectors.  Because every simulated run is deterministic, a hit
+returns a result bit-identical to re-running the engine — minus the
 modeled compute time, which is the point of the service.
 """
 

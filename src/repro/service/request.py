@@ -5,10 +5,12 @@ Every way of running a partitioner — the synchronous
 concurrent :class:`~repro.service.PartitionService` — builds a
 :class:`PartitionRequest` and executes it.  The request owns the mapping
 to the engine registry (:data:`repro.api.PARTITIONERS`), the effective
-seed, and the *config fingerprint* — the same
-``{engine, graph, k, seed, options_hash}`` digest the run ledger keys
-records by — so the service result cache, the ledger and the gate all
-agree on what "the same configuration" means.
+seed, and the *config fingerprint* — the run ledger's
+``{engine, graph, k, seed, options_hash}`` digest plus a content digest
+of the graph's CSR arrays.  The extra component matters to the service
+result cache: two distinct graphs can share a display name (two
+``delaunay(300)`` draws with different seeds), and a cache keyed on the
+name alone would serve one graph's partition vector for the other.
 """
 
 from __future__ import annotations
@@ -98,6 +100,9 @@ class PartitionRequest:
         return {
             "engine": self.engine,
             "graph": self.graph.name,
+            # Content identity, not just the display name: same-named
+            # graphs with different arrays must not share a cache entry.
+            "graph_digest": self.graph.content_digest,
             "k": int(self.k),
             "seed": getattr(opts, "seed", None),
             "options_hash": options_hash(opts),
@@ -105,8 +110,11 @@ class PartitionRequest:
 
     @property
     def fingerprint(self) -> str:
-        """The run-ledger config fingerprint of this request — the
-        result-cache key and the cross-run comparison key."""
+        """The config fingerprint of this request — the result-cache key.
+
+        Digest of :meth:`config`, i.e. the ledger config block extended
+        with the graph's CSR content digest, so requests agree exactly
+        when engine, graph *content*, k, seed and options all agree."""
         from ..obs.ledger import config_fingerprint
 
         return config_fingerprint(self.config())

@@ -17,7 +17,8 @@ determinism tests pin down.
 Served requests hit three cost reducers:
 
 * the **result cache** (:class:`~repro.service.cache.ResultCache`),
-  keyed by the ledger config fingerprint;
+  keyed by the request's config fingerprint (the ledger config block
+  plus a content digest of the graph's CSR arrays);
 * **batching**: requests in one drain sharing (engine, graph) form a
   batch; the first executed miss pays the engine's full modeled cost,
   followers get the one-time CSR build/H2D-transfer seconds
@@ -25,10 +26,11 @@ Served requests hit three cost reducers:
   arrays already resident on the shared GPU across a k/seed sweep;
 * **retries**: transient engine faults (see :mod:`repro.faults`) are
   retried under a :class:`~repro.faults.retry.RetryPolicy`, each backoff
-  charged to the request's service time.  Deterministic fault plans fail
-  identically on every attempt, so an unrecovered fault exhausts the
-  budget and surfaces on the ticket as ``status="failed"`` — deliberate:
-  the service never hides an engine error behind a retry loop.
+  charged to the request's service time.  Requests carrying a *fault
+  plan* are exempt: a plan is a seeded schedule that replays identically
+  on every attempt, so a fault the engine's own recovery ladder could
+  not absorb can never succeed on a service re-run — those fail fast as
+  ``status="failed"`` instead of burning doomed re-executions.
 """
 
 from __future__ import annotations
@@ -169,6 +171,9 @@ class PartitionService:
         self._seq = 0
         self._drains = 0
         self._batch_ids = 0
+        #: Lifetime counter values already reported by earlier drain
+        #: records — each drain's ledger record carries the delta.
+        self._counter_marks: dict[str, float] = {}
         self.now = 0.0
         #: Profiler of the most recent drain (for ledger/gate harnesses).
         self.last_profiler: Profiler | None = None
@@ -222,16 +227,23 @@ class PartitionService:
 
         Returns ``(result, error)``; retry backoffs accumulate on the
         ticket.  Non-retryable errors (bad input, algorithm failure)
-        surface immediately.
+        surface immediately, and so do faults from a request that
+        carries a fault plan: the plan is a deterministic schedule, so
+        re-running the engine replays the identical fault sequence and a
+        service-level retry can never succeed.
         """
         policy = self.config.retry_policy
+        deterministic = (
+            getattr(ticket.request.engine_options(), "fault_plan", None) is not None
+        )
+        max_retries = 0 if deterministic else policy.max_retries
         while True:
             try:
                 return ticket.request.run(), None
             except _NON_RETRYABLE as exc:
                 return None, exc
             except ReproError as exc:
-                if ticket.retries >= policy.max_retries:
+                if ticket.retries >= max_retries:
                     return None, exc
                 ticket.retries += 1
                 ticket.retry_seconds += policy.backoff(ticket.retries)
@@ -269,7 +281,8 @@ class PartitionService:
             seconds = max(0.0, result.modeled_seconds - ticket.amortized_seconds)
             ticket.status = "served"
             ticket.result = result
-            self.cache.put(ticket.fingerprint, ticket.request.config(), result)
+            if self.config.cache_enabled:
+                self.cache.put(ticket.fingerprint, ticket.request.config(), result)
         else:
             seconds = 0.0
             ticket.status = "failed"
@@ -324,6 +337,7 @@ class PartitionService:
             ),
         )
         self.clock.set_phase("serve")
+        cache_before = self.cache.stats()
         batch_state: dict = {}
         for ticket in tickets:
             entry = self.cache.get(ticket.fingerprint) if self.config.cache_enabled else None
@@ -355,17 +369,18 @@ class PartitionService:
             "sync", makespan_end - t0, count=len(tickets), detail="serve makespan"
         )
         self.now = makespan_end
+        makespan = makespan_end - t0
+        utilization = self.pool.utilization(since=t0)
         self.stats.record_drain(
-            makespan=makespan_end - t0,
-            served=served,
-            utilization=self.pool.utilization(since=t0),
+            makespan=makespan, served=served, utilization=utilization,
             batches=batches,
         )
         self.stats.record_cache(self.cache.stats())
-        for key, counter in self.stats.metrics.counters.items():
-            profiler.metrics.counter(key).inc(counter.value)
-        for key, gauge in self.stats.metrics.gauges.items():
-            profiler.metrics.gauge(key).set(gauge.value)
+        self._fold_drain_metrics(
+            profiler, tickets, cache_before,
+            makespan=makespan, served=served, utilization=utilization,
+            batches=batches,
+        )
         profiler.finish(
             served=served,
             failed=len(tickets) - served,
@@ -377,6 +392,46 @@ class PartitionService:
         if ledger_path is not None:
             append_record(ledger_path, ledger_record(profiler))
         return tickets
+
+    def _fold_drain_metrics(
+        self, profiler: Profiler, tickets: list[Ticket], cache_before: dict, *,
+        makespan: float, served: int, utilization: float, batches: int,
+    ) -> None:
+        """Copy a *per-drain* view of the ``service.*`` metrics into the
+        drain's ledger record.
+
+        The lifetime :class:`ServiceStats` registry keeps accumulating
+        across drains (that is what :meth:`snapshot` reports), but each
+        ledger record must stand alone: counters go in as deltas since
+        the previous drain's record, and latency/queue-wait/cache gauges
+        are recomputed over this drain's tickets only — otherwise a
+        multi-drain run appends records whose totals double-count and
+        whose percentiles span every earlier drain.
+        """
+        drain_stats = ServiceStats()
+        for ticket in tickets:
+            drain_stats.record_ticket(ticket)
+        drain_stats.record_drain(
+            makespan=makespan, served=served, utilization=utilization,
+            batches=batches,
+        )
+        cache_now = self.cache.stats()
+        hits = cache_now["hits"] - cache_before["hits"]
+        lookups = hits + cache_now["misses"] - cache_before["misses"]
+        drain_stats.record_cache({
+            "entries": cache_now["entries"],
+            "hit_rate": hits / lookups if lookups else 0.0,
+            "saved_seconds": (
+                cache_now["saved_seconds"] - cache_before["saved_seconds"]
+            ),
+        })
+        for key, counter in self.stats.metrics.counters.items():
+            profiler.metrics.counter(key).inc(
+                counter.value - self._counter_marks.get(key, 0.0)
+            )
+            self._counter_marks[key] = counter.value
+        for key, gauge in drain_stats.metrics.gauges.items():
+            profiler.metrics.gauge(key).set(gauge.value)
 
     def serve(self, requests) -> list[Ticket]:
         """Submit a batch of requests and drain; rejected submissions

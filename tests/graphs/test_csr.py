@@ -44,6 +44,25 @@ class TestShapeAccessors:
         g.validate()
 
 
+class TestContentDigest:
+    def test_equal_content_equal_digest_regardless_of_name(self):
+        edges = [(0, 1), (1, 2), (2, 0)]
+        a = from_edges(3, edges, name="a")
+        b = from_edges(3, edges, name="b")
+        assert a.content_digest == b.content_digest
+
+    def test_different_content_different_digest(self):
+        a = from_edges(3, [(0, 1), (1, 2), (2, 0)], name="same")
+        b = from_edges(3, [(0, 1), (1, 2)], name="same")
+        c = from_edges(3, [(0, 1), (1, 2), (2, 0)], [2, 1, 1], name="same")
+        assert len({a.content_digest, b.content_digest, c.content_digest}) == 3
+
+    def test_digest_is_cached_and_stable(self, tiny_graph):
+        first = tiny_graph.content_digest
+        assert tiny_graph.content_digest == first
+        assert len(first) == 16
+
+
 class TestNeighborAccess:
     def test_neighbors_sorted(self, tiny_graph):
         for v in range(tiny_graph.num_vertices):

@@ -7,6 +7,7 @@ import pytest
 
 import repro
 from repro.exceptions import InvalidParameterError
+from repro.graphs import generators
 from repro.service import PartitionRequest
 
 
@@ -76,11 +77,24 @@ class TestFingerprint:
         assert (base.fingerprint
                 != base.with_overrides(graph=medium_graph).fingerprint)
 
+    def test_fingerprint_separates_same_name_graphs(self):
+        # Distinct generator draws share a display name; the content
+        # digest in the config block keeps their fingerprints apart, so
+        # a cache keyed on the fingerprint can never cross-serve them.
+        g1 = generators.delaunay(80, seed=1)
+        g2 = generators.delaunay(80, seed=2)
+        assert g1.name == g2.name
+        a = PartitionRequest(graph=g1, k=4, method="random", seed=3)
+        b = PartitionRequest(graph=g2, k=4, method="random", seed=3)
+        assert a.fingerprint != b.fingerprint
+
     def test_config_block_matches_ledger_schema(self, grid):
         config = PartitionRequest(graph=grid, k=4, method="random", seed=3).config()
-        assert set(config) == {"engine", "graph", "k", "seed", "options_hash"}
+        assert set(config) == {"engine", "graph", "graph_digest", "k", "seed",
+                               "options_hash"}
         assert config["engine"] == "random"
         assert config["graph"] == grid.name
+        assert config["graph_digest"] == grid.content_digest
         assert config["seed"] == 3
 
 

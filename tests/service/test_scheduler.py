@@ -6,8 +6,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.exceptions import InvalidParameterError, ServiceOverloadedError
+from repro.exceptions import (
+    InvalidParameterError,
+    ReproError,
+    ServiceOverloadedError,
+)
 from repro.faults import FaultPlan, FaultSpec
+from repro.graphs import generators
 from repro.obs import ledger as ledger_mod
 from repro.service import (
     GPU_ENGINES,
@@ -194,6 +199,27 @@ class TestCacheIntegration:
             PartitionRequest(graph=grid, k=4, method="random", seed=1),
         ])
         assert [t.cache for t in tickets] == ["bypass", "bypass"]
+        # Bypass mode must neither store results nor report cache state.
+        assert len(svc.cache) == 0
+        cache = svc.snapshot()["cache"]
+        assert cache["entries"] == 0 and cache["saved_seconds"] == 0
+
+    def test_same_name_different_graph_is_not_a_hit(self):
+        # Two generator draws share the display name "delaunay_120" but
+        # have different arrays; the second request must run its own
+        # graph, not be served the first one's partition vector.
+        g1 = generators.delaunay(120, seed=1)
+        g2 = generators.delaunay(120, seed=2)
+        assert g1.name == g2.name
+        assert g1.content_digest != g2.content_digest
+        svc = PartitionService(num_workers=1)
+        first, second = svc.serve([
+            PartitionRequest(graph=g1, k=4, method="metis", seed=1),
+            PartitionRequest(graph=g2, k=4, method="metis", seed=1),
+        ])
+        assert [first.cache, second.cache] == ["miss", "miss"]
+        direct = PartitionRequest(graph=g2, k=4, method="metis", seed=1).run()
+        assert np.array_equal(second.result.part, direct.part)
 
     def test_invalidation_forces_recompute(self, grid):
         svc = PartitionService()
@@ -226,16 +252,39 @@ class TestRetriesAndFailure:
                      "fault_recovery": False},
         )
 
-    def test_unrecovered_fault_exhausts_retries(self, medium_graph):
+    def test_planned_fault_fails_fast_without_retries(self, medium_graph):
+        # A fault plan is a deterministic schedule: re-running the engine
+        # replays the identical faults, so the service must not burn
+        # doomed re-executions on it.
         svc = PartitionService(num_workers=1)
         (ticket,) = svc.serve([self._doomed(medium_graph)])
         assert ticket.status == "failed"
         assert ticket.result is None
         assert ticket.error is not None
-        assert ticket.retries == svc.config.retry_policy.max_retries
-        assert ticket.retry_seconds > 0
+        assert ticket.retries == 0
+        assert ticket.retry_seconds == 0
         assert svc.stats.value("service.failed") == 1
-        assert svc.stats.value("service.retries") == 3
+        assert svc.stats.value("service.retries") == 0
+
+    def test_transient_error_without_plan_is_retried(self, grid, monkeypatch):
+        real_run = PartitionRequest.run
+        calls = {"n": 0}
+
+        def flaky(request):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise ReproError("transient blip")
+            return real_run(request)
+
+        monkeypatch.setattr(PartitionRequest, "run", flaky)
+        svc = PartitionService(num_workers=1)
+        (ticket,) = svc.serve(
+            [PartitionRequest(graph=grid, k=4, method="random", seed=1)]
+        )
+        assert ticket.status == "served"
+        assert ticket.retries == 1
+        assert ticket.retry_seconds > 0
+        assert svc.stats.value("service.retries") == 1
 
     def test_failure_does_not_poison_the_cache(self, grid, medium_graph):
         svc = PartitionService(num_workers=1)
@@ -277,6 +326,37 @@ class TestObservability:
         assert counters["service.requests"] == 3
         assert counters["service.cache_hits"] == 1
         assert service_record["run"]["modeled_seconds"] > 0
+
+    def test_drain_records_carry_per_drain_deltas(self, grid, tmp_path):
+        # The lifetime stats registry accumulates across drains, but each
+        # drain's ledger record must report only that drain's work — a
+        # second 1-request drain records requests=1, not 2.
+        path = tmp_path / "ledger.jsonl"
+        ledger_mod.set_default_ledger(path)
+        try:
+            svc = PartitionService(num_workers=2)
+            svc.serve([
+                PartitionRequest(graph=grid, k=4, method="random", seed=1),
+                PartitionRequest(graph=grid, k=4, method="random", seed=1),
+            ])
+            svc.serve([
+                PartitionRequest(graph=grid, k=4, method="random", seed=1),
+            ])
+        finally:
+            ledger_mod.set_default_ledger(None)
+        records = [r for r in ledger_mod.read_ledger(path)
+                   if r["config"]["engine"] == "service"]
+        assert len(records) == 2
+        first, second = (r["metrics"]["counters"] for r in records)
+        assert first["service.requests"] == 2
+        assert first["service.served"] == 2
+        assert first["service.cache_hits"] == 1
+        assert second["service.requests"] == 1
+        assert second["service.served"] == 1
+        assert second["service.cache_hits"] == 1
+        assert second["service.cache_misses"] == 0
+        # Lifetime stats still accumulate for snapshot().
+        assert svc.stats.value("service.requests") == 3
 
     def test_snapshot_reports_headline_numbers(self, grid):
         svc = PartitionService(num_workers=2)

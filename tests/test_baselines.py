@@ -119,3 +119,13 @@ class TestTrivialBaselines:
         for cls in (RandomPartitioner, BlockPartitioner):
             res = cls().partition(g, 4)
             assert res.part.size == 0
+
+    def test_legacy_positional_construction_rejected_at_init(self):
+        # Pre-dataclass callers wrote RandomPartitioner(1.05, 7) meaning
+        # (ubfactor, seed); those now bind (options, machine) and must
+        # fail loudly at construction, not with an AttributeError later.
+        for cls in (RandomPartitioner, BlockPartitioner, SpectralPartitioner):
+            with pytest.raises(InvalidParameterError, match="options dataclass"):
+                cls(1.05)
+            with pytest.raises(InvalidParameterError, match="MachineSpec"):
+                cls(None, 7)
