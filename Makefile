@@ -1,12 +1,12 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check tier1 sanitize-smoke faults-smoke profile-smoke serve-smoke baseline gate report fuzz faults bench test
+.PHONY: check tier1 sanitize-smoke faults-smoke profile-smoke serve-smoke slo-smoke baseline gate report fuzz faults bench test
 
-# The gate: tier-1 suite + the sanitizer, fault-injection, observability
-# and partition-service self-checks + the policy-driven perf-regression
-# gate on the committed ledger.
-check: tier1 sanitize-smoke faults-smoke profile-smoke serve-smoke gate
+# The gate: tier-1 suite + the sanitizer, fault-injection, observability,
+# partition-service and SLO self-checks + the policy-driven
+# perf-regression gate on the committed ledger.
+check: tier1 sanitize-smoke faults-smoke profile-smoke serve-smoke slo-smoke gate
 
 # Tier-1: the fast suite (fuzz/bench-marked tests excluded via pyproject).
 tier1:
@@ -31,6 +31,23 @@ profile-smoke:
 # call; exits non-zero on drops, failures, a cold cache or a verify mismatch.
 serve-smoke:
 	$(PYTHON) -m repro bench --service --workers 4 --no-json
+
+# SLO monitor smoke: the committed baseline ledger must meet the declared
+# objectives (self-baselined so quality ratios evaluate), and a freshly
+# served workload must pass the same policy end-to-end, including the
+# per-request waterfall + Chrome-trace export.
+slo-smoke:
+	$(PYTHON) -m repro slo benchmarks/BENCH_ledger.jsonl \
+		--policy benchmarks/slo_policy.json \
+		--baseline benchmarks/BENCH_ledger.jsonl
+	rm -f .slo_smoke_ledger.jsonl
+	$(PYTHON) -m repro serve --requests 40 --graph-n 400 \
+		--ledger .slo_smoke_ledger.jsonl > /dev/null
+	$(PYTHON) -m repro slo .slo_smoke_ledger.jsonl \
+		--policy benchmarks/slo_policy.json
+	$(PYTHON) -m repro trace .slo_smoke_ledger.jsonl \
+		--trace-out .slo_smoke_trace.json
+	rm -f .slo_smoke_ledger.jsonl .slo_smoke_trace.json
 
 # Perf gate: diff the profiled workload against benchmarks/BENCH_profile.json
 # (seeds the baseline on first run; --update after intentional perf changes).

@@ -19,6 +19,15 @@ Commands mirror the classic ``gpmetis`` binary plus this repo's extras:
 * ``gate`` — the generalized perf-regression gate: compare fresh (or
   recorded) runs against a committed baseline ledger under a
   schema-validated tolerance policy, exiting non-zero on violation;
+* ``trace`` — per-request waterfall from a service drain's ledger
+  record: the critical path through queue/dispatch/engine phases plus a
+  latency attribution table; ``--trace-out`` exports the drain's request
+  timeline as Chrome trace-event JSON with flow arrows joining batch
+  leaders to their followers;
+* ``slo`` — the SLO monitor: evaluate declared objectives (latency
+  percentiles per lane, error/degraded budgets, quality vs a baseline)
+  over the ledger window and report burn rates, exiting 1 when any
+  error budget is blown;
 * ``serve`` — drive the concurrent partition service
   (:mod:`repro.service`) with a deterministic mixed workload and print
   throughput, latency percentiles and cache statistics; ``bench
@@ -220,6 +229,55 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("-o", "--output", default="report.html",
                     help="output HTML file (default: report.html)")
     pr.add_argument("--title", default="repro run ledger")
+    pr.add_argument(
+        "--slo-policy", metavar="FILE",
+        help="SLO policy JSON (schema repro.obs.slo-policy/1); adds the "
+             "SLO page (objective verdicts + per-lane budget burn-down)",
+    )
+
+    ptr = sub.add_parser(
+        "trace",
+        help="per-request waterfall: critical path and latency attribution "
+             "from a service drain's ledger record",
+    )
+    ptr.add_argument("ledger", help="JSONL run ledger with service drains")
+    ptr.add_argument(
+        "--request", metavar="ID",
+        help="fingerprint or trace-id prefix of the request to render "
+             "(default: the slowest request of the latest drain)",
+    )
+    ptr.add_argument(
+        "--list", action="store_true",
+        help="list every request in the window instead of rendering one",
+    )
+    ptr.add_argument(
+        "--window", type=int, default=1, metavar="N",
+        help="look at the last N service drains (default 1, 0 = all)",
+    )
+    ptr.add_argument(
+        "--trace-out", metavar="FILE",
+        help="also export the latest drain's request timeline as Chrome "
+             "trace-event JSON (flow arrows join batch leaders/followers)",
+    )
+
+    pslo = sub.add_parser(
+        "slo",
+        help="evaluate SLO objectives (latency percentiles, error/degraded "
+             "budgets, quality) over a run ledger; exit 1 on budget burn",
+    )
+    pslo.add_argument("ledger", help="JSONL run ledger to evaluate")
+    pslo.add_argument(
+        "--policy", metavar="FILE", required=True,
+        help="SLO policy JSON (schema repro.obs.slo-policy/1)",
+    )
+    pslo.add_argument(
+        "--baseline", metavar="FILE",
+        help="baseline ledger for quality max_ratio objectives",
+    )
+    pslo.add_argument(
+        "--json", metavar="FILE", dest="json_out",
+        help="also write the evaluation as machine-readable JSON",
+    )
 
     pgate = sub.add_parser(
         "gate",
@@ -433,6 +491,12 @@ def _cmd_bench_service(args) -> int:
          and report["service"]["latency_p95"] is not None),
         ("service results match direct partition()",
          report["verification"]["ok"]),
+        ("request spans share their ticket's trace id",
+         report["tracing"]["spans_share_trace"]
+         and report["tracing"]["trace_ids_present"]
+         and report["tracing"]["trace_ids_unique"]),
+        ("attribution buckets sum to latency (1e-6)",
+         report["tracing"]["attribution_sums_to_latency"]),
     ]
     ok = True
     for label, passed in checks:
@@ -625,11 +689,25 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_report(args) -> int:
-    from .obs import read_ledger, write_html_report
+    from .obs import (
+        evaluate_slo,
+        lane_burn_down,
+        load_slo_policy,
+        read_ledger,
+        write_html_report,
+    )
 
     try:
         records = read_ledger(args.ledger)
-        write_html_report(records, args.output, title=args.title)
+        slo = None
+        if args.slo_policy:
+            policy = load_slo_policy(args.slo_policy)
+            slo = {
+                "results": evaluate_slo(policy, records),
+                "burn_down": lane_burn_down(policy, records),
+                "window": int(policy.get("window_drains", 0)),
+            }
+        write_html_report(records, args.output, title=args.title, slo=slo)
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -638,6 +716,120 @@ def _cmd_report(args) -> int:
         "open in any browser)"
     )
     return 0
+
+
+def _cmd_trace(args) -> int:
+    import json
+
+    from .obs import read_ledger, render_waterfall, requests_chrome_trace
+    from .obs.schema import validate_chrome_trace
+    from .obs.slo import service_drain_records
+
+    try:
+        records = read_ledger(args.ledger)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    drains = service_drain_records(records, max(0, args.window))
+    if not drains:
+        print(f"error: {args.ledger}: no service drain records with a "
+              "requests section (run `repro serve --ledger ...`)",
+              file=sys.stderr)
+        return 2
+    entries = [e for d in drains for e in d["requests"]]
+
+    if args.list:
+        print(f"{len(entries)} request(s) across {len(drains)} drain(s):")
+        for e in sorted(entries, key=lambda e: -e["latency"]):
+            print(
+                f"  {e['trace_id']}  {e['fingerprint'][:12]:<12s} "
+                f"{e['engine']:<14s} {e['graph']:<12s} lane={e['lane']} "
+                f"{e['status']:<9s} {e['cache']:<5s} "
+                f"latency={e['latency'] * 1e3:8.3f} ms"
+            )
+        return 0
+
+    if args.request:
+        needle = args.request
+        matches = [
+            e for e in entries
+            if e["fingerprint"].startswith(needle)
+            or e["trace_id"].startswith(needle)
+        ]
+        if not matches:
+            print(f"error: no request matches {needle!r} "
+                  f"(try `repro trace {args.ledger} --list`)", file=sys.stderr)
+            return 2
+        if len({e["trace_id"] for e in matches}) > 1:
+            print(f"error: {needle!r} is ambiguous "
+                  f"({len(matches)} requests); use a trace-id prefix",
+                  file=sys.stderr)
+            return 2
+        entry = matches[-1]
+    else:
+        entry = max(entries, key=lambda e: e["latency"])
+
+    print(render_waterfall(entry))
+
+    if args.trace_out:
+        doc = requests_chrome_trace(drains[-1])
+        validate_chrome_trace(doc)
+        with open(args.trace_out, "w") as fh:
+            json.dump(doc, fh, indent=1)
+        print(f"\nwrote {args.trace_out} "
+              f"({len(doc['traceEvents'])} events; open in Perfetto)")
+    return 0
+
+
+def _cmd_slo(args) -> int:
+    import dataclasses
+    import json
+
+    from .obs import (
+        evaluate_slo,
+        load_slo_policy,
+        read_ledger,
+        render_slo,
+        slo_ok,
+    )
+
+    try:
+        policy = load_slo_policy(args.policy)
+    except (OSError, ValueError) as exc:
+        print(f"error: bad policy: {exc}", file=sys.stderr)
+        return 2
+    try:
+        records = read_ledger(args.ledger)
+        baseline = read_ledger(args.baseline) if args.baseline else None
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    results = evaluate_slo(policy, records, baseline_records=baseline)
+    window = int(policy.get("window_drains", 0))
+    print(render_slo(results, window=window))
+
+    if args.json_out:
+        import math
+
+        def _jsonable(r):
+            d = dataclasses.asdict(r)
+            if math.isinf(d["burn_rate"]):
+                d["burn_rate"] = None  # JSON has no Infinity
+            d["budget_remaining"] = r.budget_remaining
+            return d
+
+        doc = {
+            "schema": "repro.obs.slo-report/1",
+            "policy": args.policy,
+            "window_drains": window,
+            "ok": slo_ok(results),
+            "objectives": [_jsonable(r) for r in results],
+        }
+        with open(args.json_out, "w") as fh:
+            json.dump(doc, fh, indent=1, default=str)
+        print(f"wrote {args.json_out}")
+    return 0 if slo_ok(results) else 1
 
 
 def _cmd_gate(args) -> int:
@@ -1011,6 +1203,8 @@ def main(argv=None) -> int:
         "profile": _cmd_profile,
         "compare": _cmd_compare,
         "report": _cmd_report,
+        "trace": _cmd_trace,
+        "slo": _cmd_slo,
         "gate": _cmd_gate,
         "analyze": _cmd_analyze,
         "sanitize": _cmd_sanitize,

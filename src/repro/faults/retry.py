@@ -63,10 +63,20 @@ def with_retry(
             attempt += 1
             if attempt > policy.max_retries:
                 raise
-            clock.charge(
-                "sync", policy.backoff(attempt), count=1.0,
-                detail=f"retry backoff {site}" + (f" {detail}" if detail else ""),
-            )
+            # The backoff charge as a span, so retries show up in the
+            # run's trace (and in request critical paths) with the same
+            # trace context as the work being retried.
+            from ..obs.spans import clock_span
+
+            with clock_span(
+                clock, f"retry {site}", category="retry",
+                attempt=attempt, max_retries=policy.max_retries,
+            ):
+                clock.charge(
+                    "sync", policy.backoff(attempt), count=1.0,
+                    detail=f"retry backoff {site}"
+                    + (f" {detail}" if detail else ""),
+                )
             injector.record_recovery(
                 site, "retry",
                 f"attempt {attempt}/{policy.max_retries}: {exc}",

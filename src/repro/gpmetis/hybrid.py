@@ -145,7 +145,17 @@ def run_hybrid(
             injector.record_recovery(
                 "transfer.h2d", "cpu-fallback", f"input transfer failed: {exc}"
             )
-        res = mt.partition(graph, k)
+        # The fallback engine runs with its own clock and profiler; have
+        # it adopt this run's trace context so its span tree joins the
+        # same trace (and, under the service, the same request).
+        outer = getattr(clock, "profiler", None)
+        if outer is not None:
+            from ..obs.tracectx import use_trace_context
+
+            with use_trace_context(outer.trace_context):
+                res = mt.partition(graph, k)
+        else:
+            res = mt.partition(graph, k)
         clock.merge([res.clock])
         return HybridOutcome(
             part=res.part, trace=res.trace, device=dev,

@@ -28,6 +28,16 @@ from .compare import (
     compare_runs,
     render_comparison,
 )
+from .critical import (
+    BUCKETS,
+    attribution_totals,
+    phase_bucket,
+    render_waterfall,
+    request_entry,
+    requests_chrome_trace,
+    ticket_attribution,
+    ticket_critical_path,
+)
 from .export import (
     CHROME_TRACE_SCHEMA,
     METRICS_SCHEMA,
@@ -60,13 +70,30 @@ from .report import html_report, write_html_report
 from .schema import (
     GATE_POLICY_SCHEMA,
     LEDGER_SCHEMA,
+    SLO_POLICY_SCHEMA,
     SchemaError,
     validate_chrome_trace,
     validate_gate_policy,
     validate_ledger_record,
     validate_metrics,
+    validate_slo_policy,
+)
+from .slo import (
+    ObjectiveResult,
+    evaluate_slo,
+    lane_burn_down,
+    load_slo_policy,
+    render_slo,
+    slo_ok,
+    window_requests,
 )
 from .spans import Profiler, Span, clock_span
+from .tracectx import (
+    TraceContext,
+    current_trace_context,
+    request_trace_id,
+    use_trace_context,
+)
 
 __all__ = [
     "CHROME_TRACE_SCHEMA",
@@ -118,4 +145,28 @@ __all__ = [
     # report
     "html_report",
     "write_html_report",
+    # tracectx
+    "TraceContext",
+    "current_trace_context",
+    "use_trace_context",
+    "request_trace_id",
+    # critical path / attribution
+    "BUCKETS",
+    "phase_bucket",
+    "ticket_attribution",
+    "ticket_critical_path",
+    "request_entry",
+    "attribution_totals",
+    "render_waterfall",
+    "requests_chrome_trace",
+    # slo
+    "SLO_POLICY_SCHEMA",
+    "ObjectiveResult",
+    "load_slo_policy",
+    "evaluate_slo",
+    "slo_ok",
+    "render_slo",
+    "lane_burn_down",
+    "window_requests",
+    "validate_slo_policy",
 ]

@@ -38,12 +38,30 @@ def _us(seconds: float) -> float:
     return round(seconds * _US, 3)
 
 
+def _span_args(span: Span) -> dict:
+    """Span attrs plus the trace-identity fields, when present."""
+    args = _jsonable(span.attrs)
+    if span.trace_id is not None:
+        args["trace_id"] = span.trace_id
+    if span.span_id is not None:
+        args["span_id"] = span.span_id
+    if span.parent_id is not None:
+        args["parent_id"] = span.parent_id
+    if span.links:
+        args["links"] = [dict(link) for link in span.links]
+    return args
+
+
 def chrome_trace(profiler: Profiler, pid: int = 0, tid: int = 0) -> dict:
     """The span tree as a Chrome trace-event document.
 
-    Every span becomes one complete ("X") event; trace notes become
-    instant ("i") events at the run's end.  Timestamps are simulated
-    microseconds, so the Perfetto timeline is the *modeled* run.
+    Every span becomes one complete ("X") event carrying its
+    trace/span/parent ids in ``args``; span *links* (batching followers
+    referencing the leader's engine run) become flow event pairs
+    ("s" at the linked span, "f" at the linking span) so Perfetto draws
+    the cross-request arrows.  Trace notes become instant ("i") events
+    at the run's end.  Timestamps are simulated microseconds, so the
+    timeline is the *modeled* run.
     """
     engine = profiler.root.attrs.get("engine", "repro")
     events: list[dict] = [
@@ -62,7 +80,13 @@ def chrome_trace(profiler: Profiler, pid: int = 0, tid: int = 0) -> dict:
             "args": {"name": profiler.root.attrs.get("graph", "run")},
         },
     ]
+    by_span_id: dict[str, Span] = {}
+    linked: list[Span] = []
     for span, _depth in profiler.root.walk():
+        if span.span_id is not None:
+            by_span_id[span.span_id] = span
+        if span.links:
+            linked.append(span)
         end = span.end if span.end is not None else span.start
         events.append(
             {
@@ -73,9 +97,24 @@ def chrome_trace(profiler: Profiler, pid: int = 0, tid: int = 0) -> dict:
                 "dur": _us(end - span.start),
                 "pid": pid,
                 "tid": tid,
-                "args": _jsonable(span.attrs),
+                "args": _span_args(span),
             }
         )
+    flow_id = 0
+    for span in linked:
+        for link in span.links:
+            target = by_span_id.get(link.get("span_id"))
+            if target is None:
+                continue  # cross-document link: args still carry it
+            flow_id += 1
+            events.append({
+                "name": "link", "cat": "flow", "ph": "s", "id": flow_id,
+                "ts": _us(target.start), "pid": pid, "tid": tid,
+            })
+            events.append({
+                "name": "link", "cat": "flow", "ph": "f", "bp": "e",
+                "id": flow_id, "ts": _us(span.start), "pid": pid, "tid": tid,
+            })
     if profiler.trace is not None:
         for note in profiler.trace.notes:
             events.append(
@@ -117,6 +156,9 @@ def metrics_json(profiler: Profiler) -> dict:
             "modeled_seconds": total,
             "spans": sum(1 for _ in root.walk()),
             "max_depth": root.max_depth,
+            "trace_id": root.trace_id,
+            "span_id": root.span_id,
+            "parent_id": root.parent_id,
         },
         "phases": phases,
         "metrics": profiler.metrics.as_dict(),

@@ -25,7 +25,11 @@ Policy file (schema ``repro.obs.gate-policy/1``)::
 
 ``quantity`` targets: ``total``, ``cut``, ``imbalance``,
 ``phase:<name>`` (``phase:*`` expands over the baseline's phases), and
-``metric:<key>`` (a counter or gauge key, labels included).
+``metric:<key>`` (a counter or gauge key, labels included; append
+``#p50``/``#p95``/``#p99``/``#mean``/``#max``/``#count`` to read a
+histogram summary stat).  A rule whose quantity is missing or
+non-numeric on one side is WARN-skipped, never a crash; missing on both
+sides is a silent non-match (service rules against engine records).
 ``direction`` declares which way is *worse*: ``increase`` (default),
 ``decrease`` (e.g. coalescing efficiency), or ``both``.  A violation
 needs both the relative ``tolerance`` and the absolute ``floor``
@@ -116,12 +120,25 @@ def resolve_quantity(record: dict, quantity: str):
         return None if entry is None else entry.get("seconds")
     if quantity.startswith("metric:"):
         key = quantity[len("metric:"):]
+        stat = None
+        if "#" in key:
+            key, stat = key.rsplit("#", 1)
         metrics = record.get("metrics", {})
-        for kind in ("counters", "gauges"):
-            if key in metrics.get(kind, {}):
-                return metrics[kind][key]
+        if stat is None:
+            for kind in ("counters", "gauges"):
+                if key in metrics.get(kind, {}):
+                    return metrics[kind][key]
+        hist = metrics.get("histograms", {}).get(key)
+        if isinstance(hist, dict):
+            # Histogram summary stat (``metric:<key>#p95``); may be None
+            # for an empty histogram — the evaluator warns and skips.
+            return hist.get(stat if stat is not None else "mean")
         return None
     raise ValueError(f"unknown gate quantity {quantity!r}")
+
+
+def _numeric(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
 def _expand_rule(rule: dict, baseline: dict) -> list[dict]:
@@ -183,7 +200,23 @@ def evaluate_gate(
             for concrete in _expand_rule(rule, base_record):
                 base_value = resolve_quantity(base_record, concrete["quantity"])
                 cur_value = resolve_quantity(cur_record, concrete["quantity"])
-                if base_value is None or cur_value is None:
+                if not _numeric(base_value) or not _numeric(cur_value):
+                    if base_value is None and cur_value is None:
+                        # Rule does not apply to this record pair (e.g.
+                        # a service.* rule against an engine record).
+                        continue
+                    # Present on one side but missing/None/non-numeric on
+                    # the other (an empty histogram's p50, a null gauge):
+                    # warn and skip instead of crashing the gate run.
+                    sides = []
+                    if not _numeric(base_value):
+                        sides.append(f"baseline={base_value!r}")
+                    if not _numeric(cur_value):
+                        sides.append(f"current={cur_value!r}")
+                    notes.append(
+                        f"WARN {label} {concrete['quantity']}: metric missing "
+                        f"or non-numeric ({', '.join(sides)}); rule skipped"
+                    )
                     continue
                 checks += 1
                 direction = _violates(concrete, float(base_value), float(cur_value))
@@ -259,11 +292,21 @@ def collect_workload_records(config=None) -> list[dict]:
 def _service_workload_record() -> dict:
     """One deterministic service drain as a gateable ledger record."""
     from ..service import PartitionService, ServiceConfig, WorkloadSpec, build_workload
+    from .critical import request_entry
     from .ledger import ledger_record
 
     service = PartitionService(ServiceConfig(num_workers=4, gpu_slots=1))
     for request in build_workload(WorkloadSpec(requests=30, graph_n=400)):
         service.submit(request)
-    service.drain()
+    tickets = service.drain()
     assert service.last_profiler is not None
-    return ledger_record(service.last_profiler)
+    entries = [
+        request_entry(
+            t, dispatch_seconds=service.config.dispatch_seconds,
+            batch_wait=t.batch_wait, links=t.links,
+        )
+        for t in tickets
+    ]
+    return ledger_record(
+        service.last_profiler, sections={"requests": entries}
+    )

@@ -151,7 +151,8 @@ def _merge_rollup(into: dict, other: dict) -> None:
 
 
 # ----------------------------------------------------------------------
-def ledger_record(profiler: Profiler, **extra_config) -> dict:
+def ledger_record(profiler: Profiler, *, sections: dict | None = None,
+                  **extra_config) -> dict:
     """Flatten one finished profiled run into a ledger record.
 
     The config fingerprint is derived from the root span's standard
@@ -159,6 +160,11 @@ def ledger_record(profiler: Profiler, **extra_config) -> dict:
     ``options_hash`` when the engine passed its options to
     ``profile_run``); ``extra_config`` entries join the fingerprint, so
     callers can distinguish e.g. machine variants.
+
+    ``sections`` adds extra top-level blocks (the service scheduler
+    attaches a per-request ``requests`` array); they are hashed into the
+    run id like every other part of the record, and must not collide
+    with the standard keys.
     """
     doc = metrics_json(profiler)
     attrs = _jsonable(profiler.root.attrs)
@@ -185,6 +191,11 @@ def ledger_record(profiler: Profiler, **extra_config) -> dict:
         "spans": span_rollup(profiler.root),
         "metrics": doc["metrics"],
     }
+    if sections:
+        overlap = set(sections) & set(record)
+        if overlap:
+            raise ValueError(f"sections may not shadow record keys: {sorted(overlap)}")
+        record.update(sections)
     # The run id hashes the record *content* (not the wall clock), so an
     # identical rerun of identical code gets an identical id.
     record["run_id"] = f"{fingerprint}-{_digest(record, 8)}"

@@ -92,7 +92,8 @@ _SAMPLE_CAP = 4096
 @dataclass
 class Histogram:
     """Summary of a per-event quantity: exact count/sum/min/max/mean plus
-    p50/p95 quantiles from a bounded, deterministically decimated sample."""
+    p50/p95/p99 quantiles from a bounded, deterministically decimated
+    sample."""
 
     name: str
     count: int = 0
@@ -136,7 +137,7 @@ class Histogram:
         if not self.count:
             return {
                 "count": 0, "sum": 0.0, "min": None, "max": None, "mean": None,
-                "p50": None, "p95": None,
+                "p50": None, "p95": None, "p99": None,
             }
         return {
             "count": self.count,
@@ -146,6 +147,7 @@ class Histogram:
             "mean": self.mean,
             "p50": self.percentile(50.0),
             "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
         }
 
 

@@ -290,6 +290,82 @@ def _trend_table(records: list[dict]) -> str:
 
 
 # ----------------------------------------------------------------------
+def _slo_section(slo: dict) -> str:
+    """The SLO page: objective verdicts plus per-lane budget burn-down."""
+    results = slo.get("results", [])
+    rows = []
+    for r in results:
+        if r.status == "BREACH":
+            badge = '<span class="slo-bad">BREACH</span>'
+        elif r.status == "OK":
+            badge = '<span class="slo-ok">OK</span>'
+        else:
+            badge = f'<span class="muted">{_esc(r.status)}</span>'
+        burn = "∞" if r.burn_rate == float("inf") else f"{r.burn_rate:.2f}"
+        remaining = r.budget_remaining
+        rows.append(
+            "<tr>"
+            f"<td>{badge}</td>"
+            f"<td>{_esc(r.name)}</td>"
+            f"<td>{_esc(r.kind)}{'' if r.lane is None else f' (lane {r.lane})'}</td>"
+            f"<td class='num'>{r.bad:,}/{r.events:,}</td>"
+            f"<td class='num'>{r.allowed_fraction:.2%}</td>"
+            f"<td class='num'>{burn}</td>"
+            "<td><div class='budget'><div class='budget-fill' "
+            f"style='width:{100.0 * remaining:.1f}%'></div></div></td>"
+            "</tr>"
+        )
+    table = (
+        "<table><thead><tr><th>status</th><th>objective</th><th>kind</th>"
+        "<th class='num'>bad/events</th><th class='num'>allowed</th>"
+        "<th class='num'>burn rate</th><th>budget left</th></tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table>"
+    )
+    burn_blocks = []
+    for series in slo.get("burn_down", []):
+        points = series.get("points", [])
+        if not points:
+            continue
+        bars = []
+        for i, point in enumerate(points):
+            remaining = point.get("budget_remaining", 0.0) or 0.0
+            burn = point.get("burn_rate")
+            tip = (
+                f"drain {i + 1} ({point.get('run_id', '?')}): "
+                f"{point.get('bad', 0)}/{point.get('events', 0)} bad, "
+                f"burn {'∞' if burn is None else f'{burn:.2f}'}, "
+                f"budget left {remaining:.0%}"
+            )
+            bars.append(
+                '<div class="bar-row">'
+                f'<div class="bar-label">drain {i + 1}</div>'
+                '<div class="budget budget-wide" '
+                f'data-tip="{_esc(tip)}">'
+                f'<div class="budget-fill" style="width:{100.0 * remaining:.1f}%">'
+                "</div></div>"
+                f'<div class="bar-total">{remaining:.0%} left</div>'
+                "</div>"
+            )
+        lane = series.get("lane")
+        label = (
+            f"{series['name']} — p{series['percentile']:g} "
+            f"{series['kind']} ≤ {series['threshold_seconds'] * 1e3:g} ms"
+            + (f", lane {lane}" if lane is not None else ", all lanes")
+        )
+        burn_blocks.append(
+            f"<h3>{_esc(label)}</h3><div class='bars'>{''.join(bars)}</div>"
+        )
+    burn_html = "".join(burn_blocks) or (
+        "<p class='muted'>No latency objectives with drain data to burn down."
+        "</p>"
+    )
+    return (
+        f"{table}<h3>Error-budget burn-down (cumulative over the window)</h3>"
+        f"{burn_html}"
+    )
+
+
+# ----------------------------------------------------------------------
 _CSS_TEMPLATE = """
 :root {{ color-scheme: light dark; }}
 body {{
@@ -345,6 +421,13 @@ svg {{ width: 100%; height: auto; display: block; }}
 .svg-label {{ font-size: 11px; fill: var(--text-secondary); }}
 .muted {{ color: var(--muted); font-size: 12px; }}
 details summary {{ cursor: pointer; font-size: 13px; color: var(--text-secondary); }}
+.slo-ok {{ color: var(--series-3, #1baf7a); font-weight: 600; }}
+.slo-bad {{ color: var(--series-8, #e34948); font-weight: 600; }}
+.budget {{ width: 140px; height: 10px; border-radius: 3px;
+  background: var(--grid); overflow: hidden; }}
+.budget-wide {{ flex: 1 1 auto; width: auto; height: 12px; }}
+.budget-fill {{ height: 100%; background: var(--series-3, #1baf7a);
+  border-radius: 3px; }}
 #tip {{
   position: fixed; display: none; pointer-events: none; z-index: 10;
   background: var(--surface-1); color: var(--text-primary);
@@ -373,8 +456,14 @@ _JS = """
 """
 
 
-def html_report(records: list[dict], title: str = "repro run ledger") -> str:
-    """Render ledger records as one self-contained HTML document."""
+def html_report(records: list[dict], title: str = "repro run ledger",
+                slo: dict | None = None) -> str:
+    """Render ledger records as one self-contained HTML document.
+
+    ``slo`` (optional) adds the SLO page: a dict with ``results`` (a
+    list of :class:`repro.obs.slo.ObjectiveResult`), ``burn_down`` (from
+    :func:`repro.obs.slo.lane_burn_down`) and ``window``.
+    """
     if not records:
         raise ValueError("cannot render a report from an empty ledger")
     phase_slots = _SlotMap()
@@ -398,6 +487,13 @@ def html_report(records: list[dict], title: str = "repro run ledger") -> str:
         "<section><h2>Trend across the ledger</h2>"
         f"{_trend_svg(records, series_slots)}{_trend_table(records)}</section>"
     )
+    if slo is not None:
+        window = slo.get("window", 0)
+        scope = f"last {window} drains" if window else "whole ledger"
+        body += (
+            f"<section><h2>Service-level objectives ({_esc(scope)})</h2>"
+            f"{_slo_section(slo)}</section>"
+        )
     return (
         "<!DOCTYPE html>\n"
         '<html lang="en"><head><meta charset="utf-8">\n'
@@ -408,8 +504,9 @@ def html_report(records: list[dict], title: str = "repro run ledger") -> str:
     )
 
 
-def write_html_report(records: list[dict], path, title: str = "repro run ledger") -> str:
-    doc = html_report(records, title=title)
+def write_html_report(records: list[dict], path, title: str = "repro run ledger",
+                      slo: dict | None = None) -> str:
+    doc = html_report(records, title=title, slo=slo)
     with open(path, "w") as fh:
         fh.write(doc)
     return doc

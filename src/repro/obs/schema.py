@@ -12,17 +12,21 @@ from .export import CHROME_TRACE_SCHEMA, METRICS_SCHEMA
 __all__ = [
     "LEDGER_SCHEMA",
     "GATE_POLICY_SCHEMA",
+    "SLO_POLICY_SCHEMA",
     "SchemaError",
     "validate_chrome_trace",
     "validate_metrics",
     "validate_ledger_record",
     "validate_gate_policy",
+    "validate_slo_policy",
 ]
 
 #: Schema tag of one run-ledger JSONL record (see repro.obs.ledger).
 LEDGER_SCHEMA = "repro.obs.ledger/1"
 #: Schema tag of a regression-gate policy file (see repro.obs.gate).
 GATE_POLICY_SCHEMA = "repro.obs.gate-policy/1"
+#: Schema tag of a service-level-objective policy file (see repro.obs.slo).
+SLO_POLICY_SCHEMA = "repro.obs.slo-policy/1"
 
 
 class SchemaError(ValueError):
@@ -49,7 +53,7 @@ def validate_chrome_trace(doc: dict) -> None:
         _require(isinstance(ev, dict), f"event {i} must be an object")
         _require("name" in ev and "ph" in ev, f"event {i} missing name/ph")
         ph = ev["ph"]
-        _require(ph in ("X", "M", "i"), f"event {i} has unknown phase {ph!r}")
+        _require(ph in ("X", "M", "i", "s", "f"), f"event {i} has unknown phase {ph!r}")
         _require("pid" in ev and "tid" in ev, f"event {i} missing pid/tid")
         if ph == "X":
             saw_complete = True
@@ -58,6 +62,11 @@ def validate_chrome_trace(doc: dict) -> None:
                 float(ev["dur"]) >= 0 and float(ev["ts"]) >= 0,
                 f"event {i} has negative ts/dur",
             )
+        elif ph in ("s", "f"):
+            # Flow events bind by id; "f" must declare its binding point.
+            _require("ts" in ev and "id" in ev, f"flow event {i} missing ts/id")
+            if ph == "f":
+                _require(ev.get("bp") == "e", f"flow event {i} missing bp='e'")
     _require(saw_complete, "no complete ('X') span events")
 
 
@@ -95,15 +104,16 @@ def _validate_histograms(histograms: dict) -> None:
             f"histogram {key!r} must carry count/sum",
         )
         if value.get("count"):
-            for q in ("p50", "p95", "max"):
+            for q in ("p50", "p95", "p99", "max"):
                 _require(
                     isinstance(value.get(q), (int, float)),
                     f"histogram {key!r} with observations must carry {q!r}",
                 )
             _require(
-                value["p50"] <= value["p95"] <= value["max"],
+                value["p50"] <= value["p95"] <= value["p99"] <= value["max"],
                 f"histogram {key!r} quantiles out of order "
-                f"(p50={value['p50']}, p95={value['p95']}, max={value['max']})",
+                f"(p50={value['p50']}, p95={value['p95']}, "
+                f"p99={value['p99']}, max={value['max']})",
             )
 
 
@@ -208,3 +218,91 @@ def validate_gate_policy(doc: dict) -> None:
         )
         unknown = set(rule) - {"quantity", "tolerance", "floor", "direction", "note"}
         _require(not unknown, f"rule {i} ({quantity}) has unknown keys {sorted(unknown)}")
+
+
+#: Objective kinds an SLO policy may declare (see repro.obs.slo).
+_SLO_KINDS = ("latency", "queue_wait", "error_rate", "degraded_rate", "quality")
+_SLO_QUALITY_METRICS = ("cut", "imbalance")
+
+
+def validate_slo_policy(doc: dict) -> None:
+    """Check an SLO policy document (see :mod:`repro.obs.slo`)."""
+    _require(isinstance(doc, dict), "SLO policy must be an object")
+    _require(
+        doc.get("schema") == SLO_POLICY_SCHEMA,
+        f"schema must be {SLO_POLICY_SCHEMA!r}",
+    )
+    window = doc.get("window_drains", 0)
+    _require(
+        isinstance(window, int) and not isinstance(window, bool) and window >= 0,
+        "window_drains must be an int >= 0 (0 = whole ledger)",
+    )
+    objectives = doc.get("objectives")
+    _require(
+        isinstance(objectives, list) and objectives,
+        "policy must declare a non-empty objectives list",
+    )
+    known = {
+        "name", "kind", "percentile", "threshold_seconds", "lane",
+        "budget", "metric", "max_ratio", "max_value", "note",
+    }
+    for i, obj in enumerate(objectives):
+        _require(isinstance(obj, dict), f"objective {i} must be an object")
+        name = obj.get("name")
+        _require(isinstance(name, str) and name, f"objective {i} missing name")
+        kind = obj.get("kind")
+        _require(
+            kind in _SLO_KINDS,
+            f"objective {i} ({name}) kind must be one of {_SLO_KINDS}",
+        )
+        unknown = set(obj) - known
+        _require(
+            not unknown,
+            f"objective {i} ({name}) has unknown keys {sorted(unknown)}",
+        )
+        if kind in ("latency", "queue_wait"):
+            pct = obj.get("percentile")
+            _require(
+                isinstance(pct, (int, float)) and 0 < pct < 100,
+                f"objective {i} ({name}) percentile must be in (0, 100)",
+            )
+            threshold = obj.get("threshold_seconds")
+            _require(
+                isinstance(threshold, (int, float)) and threshold > 0,
+                f"objective {i} ({name}) threshold_seconds must be > 0",
+            )
+            lane = obj.get("lane")
+            _require(
+                lane is None
+                or (isinstance(lane, int) and not isinstance(lane, bool) and lane >= 0),
+                f"objective {i} ({name}) lane must be an int >= 0",
+            )
+        elif kind in ("error_rate", "degraded_rate"):
+            budget = obj.get("budget")
+            _require(
+                isinstance(budget, (int, float)) and 0 <= budget < 1,
+                f"objective {i} ({name}) budget must be in [0, 1)",
+            )
+        else:  # quality
+            metric = obj.get("metric", "cut")
+            _require(
+                metric in _SLO_QUALITY_METRICS,
+                f"objective {i} ({name}) metric must be one of "
+                f"{_SLO_QUALITY_METRICS}",
+            )
+            ratio = obj.get("max_ratio")
+            value = obj.get("max_value")
+            _require(
+                ratio is not None or value is not None,
+                f"objective {i} ({name}) needs max_ratio and/or max_value",
+            )
+            if ratio is not None:
+                _require(
+                    isinstance(ratio, (int, float)) and ratio >= 1.0,
+                    f"objective {i} ({name}) max_ratio must be >= 1",
+                )
+            if value is not None:
+                _require(
+                    isinstance(value, (int, float)) and value > 0,
+                    f"objective {i} ({name}) max_value must be > 0",
+                )

@@ -1,0 +1,357 @@
+"""Service-level objectives over the run ledger, with error budgets.
+
+The regression gate (:mod:`repro.obs.gate`) answers "did this change
+make things worse than the committed baseline?".  The SLO monitor
+answers the operator's question instead: "is the service meeting its
+declared objectives over the recent window, and how fast is it burning
+its error budget?"
+
+Policy file (schema ``repro.obs.slo-policy/1``)::
+
+    {
+      "schema": "repro.obs.slo-policy/1",
+      "window_drains": 20,
+      "objectives": [
+        {"name": "p95 latency",        "kind": "latency",
+         "percentile": 95, "threshold_seconds": 0.010},
+        {"name": "lane-0 p99 latency", "kind": "latency",
+         "percentile": 99, "threshold_seconds": 0.020, "lane": 0},
+        {"name": "queue wait p95",     "kind": "queue_wait",
+         "percentile": 95, "threshold_seconds": 0.005},
+        {"name": "error budget",       "kind": "error_rate",
+         "budget": 0.02},
+        {"name": "degraded runs",      "kind": "degraded_rate",
+         "budget": 0.10},
+        {"name": "edge-cut quality",   "kind": "quality",
+         "metric": "cut", "max_ratio": 1.10}
+      ]
+    }
+
+Semantics follow the SRE playbook: a ``latency`` objective
+"p95 <= 10 ms" allows 5 % of requests over the threshold; the *burn
+rate* is the observed bad fraction divided by the allowed fraction, so
+``burn_rate <= 1`` means the budget holds and ``> 1`` means the
+objective is breached over the window.  ``error_rate`` /
+``degraded_rate`` budgets are direct bad-fraction allowances.
+``quality`` objectives compare engine records against a baseline ledger
+(``max_ratio`` per matched run) and/or an absolute ``max_value``; with
+no baseline given, ratio objectives are SKIPPED with a warning, never
+silently passed.
+
+Latency objectives are evaluated *per request* from the ``requests``
+sections of the last ``window_drains`` service drain records (0 = the
+whole ledger).  ``error_rate`` shares that window; ``degraded_rate``
+and ``quality`` read the engine records (which are per-run, not
+per-drain, so the drain window does not apply to them).
+
+Everything is deterministic: same ledger, same policy -> same burn
+rates, whatever worker-pool shape produced the drains.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+
+from .gate import match_key
+from .schema import SLO_POLICY_SCHEMA, validate_slo_policy
+
+__all__ = [
+    "SLO_POLICY_SCHEMA",
+    "ObjectiveResult",
+    "load_slo_policy",
+    "service_drain_records",
+    "window_requests",
+    "evaluate_slo",
+    "slo_ok",
+    "render_slo",
+    "lane_burn_down",
+]
+
+
+@dataclass(frozen=True)
+class ObjectiveResult:
+    """One evaluated objective: budget arithmetic plus a verdict."""
+
+    name: str
+    kind: str
+    status: str  # OK | BREACH | NO-DATA | SKIPPED
+    events: int = 0
+    bad: int = 0
+    allowed_fraction: float = 0.0
+    bad_fraction: float = 0.0
+    burn_rate: float = 0.0
+    lane: int | None = None
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status != "BREACH"
+
+    @property
+    def budget_remaining(self) -> float:
+        """Fraction of the error budget left (0 when blown)."""
+        if math.isinf(self.burn_rate):
+            return 0.0
+        return max(0.0, 1.0 - self.burn_rate)
+
+
+def load_slo_policy(path) -> dict:
+    """Read and schema-validate an SLO policy file."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    validate_slo_policy(doc)
+    return doc
+
+
+# ----------------------------------------------------------------------
+def service_drain_records(records: list[dict], window_drains: int = 0) -> list[dict]:
+    """The service drain records in the evaluation window (last N)."""
+    drains = [
+        r for r in records
+        if r.get("config", {}).get("engine") == "service"
+        and isinstance(r.get("requests"), list)
+    ]
+    if window_drains and window_drains > 0:
+        drains = drains[-window_drains:]
+    return drains
+
+
+def window_requests(records: list[dict], window_drains: int = 0) -> list[dict]:
+    """Per-request entries across the drain window, in service order."""
+    out: list[dict] = []
+    for record in service_drain_records(records, window_drains):
+        out.extend(record["requests"])
+    return out
+
+
+def _engine_records(records: list[dict]) -> list[dict]:
+    return [
+        r for r in records if r.get("config", {}).get("engine") != "service"
+    ]
+
+
+def _burn(bad: int, events: int, allowed: float) -> tuple[float, float]:
+    """(bad_fraction, burn_rate); a zero budget with any badness burns
+    infinitely fast."""
+    bad_fraction = bad / events if events else 0.0
+    if allowed > 0:
+        return bad_fraction, bad_fraction / allowed
+    return bad_fraction, (math.inf if bad else 0.0)
+
+
+def _result(obj: dict, *, events: int, bad: int, allowed: float,
+            detail: str = "") -> ObjectiveResult:
+    if events == 0:
+        return ObjectiveResult(
+            name=obj["name"], kind=obj["kind"], status="NO-DATA",
+            allowed_fraction=allowed, lane=obj.get("lane"),
+            detail=detail or "no events in window",
+        )
+    bad_fraction, burn = _burn(bad, events, allowed)
+    return ObjectiveResult(
+        name=obj["name"], kind=obj["kind"],
+        status="BREACH" if burn > 1.0 + 1e-12 else "OK",
+        events=events, bad=bad, allowed_fraction=allowed,
+        bad_fraction=bad_fraction, burn_rate=burn,
+        lane=obj.get("lane"), detail=detail,
+    )
+
+
+def _eval_latency(obj: dict, requests: list[dict]) -> ObjectiveResult:
+    value_key = "latency" if obj["kind"] == "latency" else "queue_wait"
+    lane = obj.get("lane")
+    pool = [r for r in requests if lane is None or r.get("lane") == lane]
+    threshold = float(obj["threshold_seconds"])
+    allowed = 1.0 - float(obj["percentile"]) / 100.0
+    bad = sum(1 for r in pool if float(r.get(value_key, 0.0)) > threshold)
+    return _result(
+        obj, events=len(pool), bad=bad, allowed=allowed,
+        detail=f"{value_key} > {threshold:g}s"
+        + (f" on lane {lane}" if lane is not None else ""),
+    )
+
+
+def _eval_error_rate(obj: dict, requests: list[dict]) -> ObjectiveResult:
+    bad = sum(1 for r in requests if r.get("status") == "failed")
+    return _result(
+        obj, events=len(requests), bad=bad, allowed=float(obj["budget"]),
+        detail="failed requests",
+    )
+
+
+def _is_degraded(record: dict) -> bool:
+    gauges = record.get("metrics", {}).get("gauges", {})
+    if gauges.get("run.degraded"):
+        return True
+    return bool(record.get("run", {}).get("degraded"))
+
+
+def _eval_degraded_rate(obj: dict, engine_recs: list[dict]) -> ObjectiveResult:
+    bad = sum(1 for r in engine_recs if _is_degraded(r))
+    return _result(
+        obj, events=len(engine_recs), bad=bad, allowed=float(obj["budget"]),
+        detail="degraded engine runs",
+    )
+
+
+def _eval_quality(
+    obj: dict, engine_recs: list[dict], baseline_records: list[dict] | None
+) -> ObjectiveResult:
+    metric = obj.get("metric", "cut")
+    ratio = obj.get("max_ratio")
+    ceiling = obj.get("max_value")
+    measured = [
+        r for r in engine_recs
+        if isinstance(r.get("quality", {}).get(metric), (int, float))
+    ]
+    if ratio is not None and baseline_records is None and ceiling is None:
+        return ObjectiveResult(
+            name=obj["name"], kind=obj["kind"], status="SKIPPED",
+            detail="max_ratio needs a --baseline ledger; none given",
+        )
+    base_by_key = (
+        {
+            key: rec for key, rec in (
+                (match_key(r), r) for r in baseline_records
+            )
+        }
+        if baseline_records is not None else {}
+    )
+    events = 0
+    bad = 0
+    for record in measured:
+        value = float(record["quality"][metric])
+        checked = False
+        is_bad = False
+        if ceiling is not None:
+            checked = True
+            is_bad = is_bad or value > float(ceiling)
+        if ratio is not None and baseline_records is not None:
+            base = base_by_key.get(match_key(record))
+            base_value = (
+                base.get("quality", {}).get(metric) if base is not None else None
+            )
+            if isinstance(base_value, (int, float)) and base_value > 0:
+                checked = True
+                is_bad = is_bad or value > float(base_value) * float(ratio)
+        if checked:
+            events += 1
+            bad += 1 if is_bad else 0
+    # A quality objective is all-or-nothing per run: any bad run blows
+    # the budget (allowed fraction 0 would be inf-burn on one bad run;
+    # use a per-run pass criterion with zero tolerance instead).
+    return _result(
+        obj, events=events, bad=bad, allowed=0.0,
+        detail=f"{metric} vs "
+        + " and ".join(
+            s for s in (
+                f"{ratio:g}x baseline" if ratio is not None else "",
+                f"max {ceiling:g}" if ceiling is not None else "",
+            ) if s
+        ),
+    )
+
+
+def evaluate_slo(
+    policy: dict, records: list[dict], *,
+    baseline_records: list[dict] | None = None,
+) -> list[ObjectiveResult]:
+    """Evaluate every policy objective over the ledger window."""
+    validate_slo_policy(policy)
+    window = int(policy.get("window_drains", 0))
+    requests = window_requests(records, window)
+    engine_recs = _engine_records(records)
+    results: list[ObjectiveResult] = []
+    for obj in policy["objectives"]:
+        kind = obj["kind"]
+        if kind in ("latency", "queue_wait"):
+            results.append(_eval_latency(obj, requests))
+        elif kind == "error_rate":
+            results.append(_eval_error_rate(obj, requests))
+        elif kind == "degraded_rate":
+            results.append(_eval_degraded_rate(obj, engine_recs))
+        else:  # quality
+            results.append(_eval_quality(obj, engine_recs, baseline_records))
+    return results
+
+
+def slo_ok(results: list[ObjectiveResult]) -> bool:
+    """True when no objective breached its budget."""
+    return all(r.ok for r in results)
+
+
+def render_slo(results: list[ObjectiveResult], *, window: int = 0) -> str:
+    """The SLO verdict as a printable report."""
+    lines = [
+        "SLO evaluation"
+        + (f" (window: last {window} drains)" if window else " (whole ledger)")
+    ]
+    for r in results:
+        burn = (
+            "inf" if math.isinf(r.burn_rate) else f"{r.burn_rate:.2f}"
+        )
+        lines.append(
+            f"{r.status:<7s} {r.name}: {r.bad}/{r.events} bad"
+            f" (allowed {r.allowed_fraction:.2%}), burn rate {burn}"
+            + (f" — {r.detail}" if r.detail else "")
+        )
+    breaches = sum(1 for r in results if not r.ok)
+    if breaches:
+        lines.append(f"FAIL: {breaches} objective(s) over budget")
+    else:
+        lines.append(f"PASS: {len(results)} objective(s) within budget")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+def lane_burn_down(policy: dict, records: list[dict]) -> list[dict]:
+    """Per-drain cumulative burn for every latency/queue-wait objective.
+
+    Powers the HTML report's SLO page: one series per objective, one
+    point per drain in the window, tracking the cumulative burn rate and
+    remaining budget as the window fills.
+    """
+    validate_slo_policy(policy)
+    window = int(policy.get("window_drains", 0))
+    drains = service_drain_records(records, window)
+    series: list[dict] = []
+    for obj in policy["objectives"]:
+        if obj["kind"] not in ("latency", "queue_wait"):
+            continue
+        value_key = "latency" if obj["kind"] == "latency" else "queue_wait"
+        lane = obj.get("lane")
+        threshold = float(obj["threshold_seconds"])
+        allowed = 1.0 - float(obj["percentile"]) / 100.0
+        points = []
+        events = 0
+        bad = 0
+        for record in drains:
+            pool = [
+                r for r in record["requests"]
+                if lane is None or r.get("lane") == lane
+            ]
+            events += len(pool)
+            bad += sum(
+                1 for r in pool if float(r.get(value_key, 0.0)) > threshold
+            )
+            _frac, burn = _burn(bad, events, allowed)
+            points.append({
+                "run_id": record.get("run_id"),
+                "events": events,
+                "bad": bad,
+                "burn_rate": None if math.isinf(burn) else burn,
+                "budget_remaining": (
+                    0.0 if math.isinf(burn) else max(0.0, 1.0 - burn)
+                ),
+            })
+        series.append({
+            "name": obj["name"],
+            "kind": obj["kind"],
+            "lane": lane,
+            "threshold_seconds": threshold,
+            "percentile": obj["percentile"],
+            "points": points,
+        })
+    return series

@@ -23,13 +23,22 @@ from typing import Iterator
 
 from ..runtime.clock import SimClock
 from .metrics import MetricsRegistry
+from .tracectx import TraceContext, current_trace_context, trace_digest
 
 __all__ = ["Span", "Profiler", "clock_span"]
 
 
 @dataclass
 class Span:
-    """One timed region of a run, in simulated seconds."""
+    """One timed region of a run, in simulated seconds.
+
+    ``trace_id``/``span_id``/``parent_id`` place the span in a trace
+    (see :mod:`repro.obs.tracectx`); ``links`` are causal references to
+    spans that are *not* ancestors — e.g. a batching follower's
+    engine-run span links to the leader run whose CSR transfer it
+    amortized.  Each link is a ``{"trace_id": ..., "span_id": ...}``
+    mapping.
+    """
 
     name: str
     category: str = "span"
@@ -37,6 +46,10 @@ class Span:
     end: float | None = None
     attrs: dict = field(default_factory=dict)
     children: list["Span"] = field(default_factory=list)
+    trace_id: str | None = None
+    span_id: str | None = None
+    parent_id: str | None = None
+    links: tuple = ()
 
     @property
     def closed(self) -> bool:
@@ -84,13 +97,44 @@ class Profiler:
         self, clock: SimClock, name: str = "run", category: str = "run", **attrs
     ) -> None:
         self.clock = clock
-        self.root = Span(name, category, start=clock.total_seconds, attrs=dict(attrs))
+        # Join the active trace when one is in scope (a service request,
+        # an outer engine run); otherwise start a fresh deterministic
+        # trace derived from the run's identity.
+        ctx = current_trace_context()
+        if ctx is not None:
+            self.trace_id = ctx.trace_id
+            parent_id = ctx.span_id
+        else:
+            self.trace_id = trace_digest({
+                "root": name,
+                "category": category,
+                "attrs": {k: str(v) for k, v in sorted(attrs.items())},
+            })
+            parent_id = None
+        root_span_id = trace_digest(
+            {"trace": self.trace_id, "span": name, "parent": parent_id}, 12
+        )
+        self.root = Span(
+            name, category, start=clock.total_seconds, attrs=dict(attrs),
+            trace_id=self.trace_id, span_id=root_span_id, parent_id=parent_id,
+        )
         self._stack: list[Span] = [self.root]
+        self._span_seq = 0
         self._phase_span: Span | None = None
         self.metrics = MetricsRegistry()
         #: The run's :class:`~repro.runtime.trace.Trace`, once attached.
         self.trace = None
         clock.profiler = self
+
+    @property
+    def trace_context(self) -> TraceContext:
+        """The context a nested profiler should adopt to join this trace
+        as a child of the root span."""
+        return TraceContext(self.trace_id, self.root.span_id)
+
+    def _next_span_id(self) -> str:
+        self._span_seq += 1
+        return f"{self.root.span_id}:{self._span_seq}"
 
     # -- stack management --------------------------------------------------
     @property
@@ -99,7 +143,11 @@ class Profiler:
 
     def begin(self, name: str, category: str = "span", **attrs) -> Span:
         """Open a child span of the current span at the clock's now."""
-        span = Span(name, category, start=self.clock.total_seconds, attrs=dict(attrs))
+        span = Span(
+            name, category, start=self.clock.total_seconds, attrs=dict(attrs),
+            trace_id=self.trace_id, span_id=self._next_span_id(),
+            parent_id=self.current.span_id,
+        )
         self.current.children.append(span)
         self._stack.append(span)
         return span
@@ -130,11 +178,26 @@ class Profiler:
             self.end(span)
 
     def add_span(
-        self, name: str, start: float, end: float, category: str = "kernel", **attrs
+        self, name: str, start: float, end: float, category: str = "kernel",
+        *, parent: Span | None = None, trace_id: str | None = None,
+        span_id: str | None = None, links: tuple = (), **attrs,
     ) -> Span:
-        """Attach an already-complete span as a child of the current span."""
-        span = Span(name, category, start=start, end=end, attrs=dict(attrs))
-        self.current.children.append(span)
+        """Attach an already-complete span as a child of the current span
+        (or of an explicit ``parent``).
+
+        ``trace_id``/``span_id`` default to this profiler's trace and its
+        next sequential id; the service scheduler overrides them to file
+        request spans under the *request's* trace instead of the drain's.
+        """
+        parent = self.current if parent is None else parent
+        if span_id is None:
+            span_id = self._next_span_id()
+        span = Span(
+            name, category, start=start, end=end, attrs=dict(attrs),
+            trace_id=self.trace_id if trace_id is None else trace_id,
+            span_id=span_id, parent_id=parent.span_id, links=tuple(links),
+        )
+        parent.children.append(span)
         return span
 
     # -- phase integration (driven by SimClock.set_phase) ------------------

@@ -1,0 +1,111 @@
+"""Deterministic trace-context propagation for request-scoped spans.
+
+A *trace* is the causal story of one unit of work — typically a
+:class:`~repro.service.PartitionRequest` travelling through the service:
+lane queueing, worker dispatch, the engine run it paid for, every kernel
+and transfer span underneath, and any retries along the way.  All of
+those spans share one ``trace_id``; parent/child edges are ``span_id`` /
+``parent_id`` pairs; cross-request causality that is *not* parentage
+(a batching follower amortizing a leader's CSR transfer) is a ``link``.
+
+Everything here is deterministic: trace ids are content digests of the
+request's config fingerprint plus its position in the drain — never a
+wall clock, never a random number — so re-running a workload reproduces
+the identical ids and the ledger/diff machinery can join records across
+runs.
+
+Propagation uses a module-level context stack (this codebase's
+concurrency is a discrete-event simulation on one thread, so a plain
+stack is exact, not approximate).  A :class:`~repro.obs.spans.Profiler`
+constructed while a context is active *adopts* it: the profiler's root
+span joins the active trace as a child of the active span.  That is how
+an engine run started by the service lands inside the request's trace,
+and how a nested engine (gp-metis' CPU fallback running mt-metis) lands
+inside the outer engine's trace.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+__all__ = [
+    "TraceContext",
+    "current_trace_context",
+    "push_trace_context",
+    "pop_trace_context",
+    "use_trace_context",
+    "trace_digest",
+    "request_trace_id",
+]
+
+
+def trace_digest(payload, length: int = 16) -> str:
+    """Short hex digest of a JSON-able payload (dict keys sorted)."""
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:length]
+
+
+def request_trace_id(fingerprint: str, drain: int, seq: int) -> str:
+    """The deterministic trace id of one service ticket.
+
+    Derived from the request's config fingerprint plus its drain number
+    and submission sequence — the same request submitted twice gets two
+    traces, but re-running the identical workload reproduces identical
+    ids whatever the worker-pool shape.
+    """
+    return trace_digest({"fingerprint": fingerprint, "drain": drain, "seq": seq})
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The (trace, active span) pair a new profiler should join."""
+
+    trace_id: str
+    span_id: str
+
+
+# One stack per process: the simulation executes requests sequentially
+# in deterministic order, so the active context is always well defined.
+_STACK: list[tuple[int, TraceContext]] = []
+_TOKENS = itertools.count(1)
+
+
+def current_trace_context() -> TraceContext | None:
+    """The innermost active context, or ``None`` outside any trace."""
+    return _STACK[-1][1] if _STACK else None
+
+
+def push_trace_context(ctx: TraceContext) -> int:
+    """Activate ``ctx``; returns a token for :func:`pop_trace_context`."""
+    if not isinstance(ctx, TraceContext):
+        raise TypeError(f"expected TraceContext, got {type(ctx).__name__}")
+    token = next(_TOKENS)
+    _STACK.append((token, ctx))
+    return token
+
+
+def pop_trace_context(token: int) -> None:
+    """Deactivate the context pushed under ``token``.
+
+    Also drops anything pushed above it and not yet popped, so an
+    exception inside a traced region cannot leak contexts into the next
+    request.  Unknown (already-popped) tokens are a no-op.
+    """
+    for i in range(len(_STACK) - 1, -1, -1):
+        if _STACK[i][0] == token:
+            del _STACK[i:]
+            return
+
+
+@contextmanager
+def use_trace_context(ctx: TraceContext):
+    """``with use_trace_context(ctx): ...`` — push/pop around a block."""
+    token = push_trace_context(ctx)
+    try:
+        yield ctx
+    finally:
+        pop_trace_context(token)

@@ -108,6 +108,7 @@ def run_load(
     verification = None
     if verify:
         verification = _verify_against_direct(tickets)
+    tracing = _verify_tracing(service, tickets)
     report = {
         "requests": len(requests),
         "completed": sum(1 for t in tickets if t.status in ("served", "failed")),
@@ -121,10 +122,64 @@ def run_load(
             1 for t in tickets if t.batch_id is not None and not t.batch_leader
         ),
         "service": service.snapshot(),
+        "tracing": tracing,
     }
     if verification is not None:
         report["verification"] = verification
     return report
+
+
+def _verify_tracing(service, tickets) -> dict:
+    """Check the request-tracing invariants over the served tickets.
+
+    Every ticket carries a unique deterministic trace id; every span of
+    the last drain's request subtrees shares its request's trace id; and
+    each request's attribution buckets sum to its latency (to 1e-6).
+    """
+    from ..obs.critical import request_entry
+
+    trace_ids = [t.trace_id for t in tickets]
+    spans_share_trace = bool(tickets)
+    profiler = service.last_profiler
+    if profiler is not None:
+        walk = [profiler.root]
+        request_spans = []
+        while walk:
+            node = walk.pop()
+            if node.category == "request":
+                request_spans.append(node)
+            else:
+                walk.extend(node.children)
+        for span in request_spans:
+            tid = span.trace_id
+            stack = [span]
+            while stack:
+                node = stack.pop()
+                if node.trace_id != tid:
+                    spans_share_trace = False
+                stack.extend(node.children)
+    attribution_ok = True
+    max_residual = 0.0
+    for ticket in tickets:
+        entry = request_entry(
+            ticket, dispatch_seconds=service.config.dispatch_seconds,
+            batch_wait=ticket.batch_wait, links=ticket.links,
+        )
+        residual = abs(sum(entry["attribution"].values()) - entry["latency"])
+        max_residual = max(max_residual, residual)
+        if residual > 1e-6:
+            attribution_ok = False
+    return {
+        "trace_ids_present": all(trace_ids),
+        "trace_ids_unique": len(set(trace_ids)) == len(trace_ids),
+        "spans_share_trace": spans_share_trace,
+        "attribution_sums_to_latency": attribution_ok,
+        "max_attribution_residual": max_residual,
+        "ok": all(trace_ids)
+        and len(set(trace_ids)) == len(trace_ids)
+        and spans_share_trace
+        and attribution_ok,
+    }
 
 
 def _verify_against_direct(tickets) -> dict:

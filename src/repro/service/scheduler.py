@@ -48,6 +48,7 @@ from ..exceptions import (
     ServiceOverloadedError,
 )
 from ..faults.retry import RetryPolicy
+from ..obs.critical import attribution_totals, request_entry
 from ..obs.ledger import (
     append_record,
     get_default_ledger,
@@ -55,6 +56,7 @@ from ..obs.ledger import (
     options_hash,
 )
 from ..obs.spans import Profiler
+from ..obs.tracectx import TraceContext, request_trace_id, use_trace_context
 from ..result import PartitionResult
 from ..runtime.clock import SimClock
 from .cache import ResultCache
@@ -135,6 +137,12 @@ class Ticket:
     batch_id: int | None = None
     batch_leader: bool = False
     amortized_seconds: float = 0.0
+    #: Slice of ``queue_wait`` spent behind this ticket's batch leader.
+    batch_wait: float = 0.0
+    #: Deterministic trace id (set at drain time; see repro.obs.tracectx).
+    trace_id: str = ""
+    #: Causal links to other traces (batch follower -> leader engine run).
+    links: list = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -259,20 +267,35 @@ class PartitionService:
         ticket.service_seconds = self.config.dispatch_seconds
         ticket.latency = ticket.finished_at - ticket.submitted_at
 
-    def _serve_miss(self, ticket: Ticket, batch_state: dict, t0: float) -> None:
-        result, error = self._execute(ticket)
+    def _serve_miss(
+        self, ticket: Ticket, batch_state: dict, t0: float, ctx: TraceContext
+    ) -> None:
+        # The engine profiler adopts the request's trace context, so the
+        # whole phase/kernel/transfer tree (and any nested fallback
+        # engine) joins this ticket's trace under its engine-run span.
+        with use_trace_context(ctx):
+            result, error = self._execute(ticket)
         key = (ticket.engine, id(ticket.request.graph))
         state = batch_state.setdefault(
-            key, {"id": None, "paid": False, "members": 0}
+            key, {"id": None, "paid": False, "members": 0, "leader": None}
         )
         if result is not None:
             setup = _csr_setup_seconds(result)
             if self.config.batching and setup > 0:
                 if state["paid"]:
                     ticket.amortized_seconds = setup
+                    leader = state["leader"]
+                    if leader is not None:
+                        # Causal link, not parentage: the follower's run
+                        # amortizes the leader's CSR transfer.
+                        ticket.links.append({
+                            "trace_id": leader.trace_id,
+                            "span_id": f"{leader.trace_id}:run",
+                        })
                 else:
                     state["paid"] = True
                     ticket.batch_leader = True
+                    state["leader"] = ticket
                 state["members"] += 1
                 if state["id"] is None:
                     state["id"] = self._batch_ids
@@ -298,6 +321,14 @@ class PartitionService:
         ticket.queue_wait = assignment.start - ticket.submitted_at
         ticket.service_seconds = seconds
         ticket.latency = ticket.finished_at - ticket.submitted_at
+        leader = state["leader"]
+        if leader is not None and leader is not ticket:
+            # Queue time spent waiting behind the batch leader's run.
+            ticket.batch_wait = max(
+                0.0,
+                min(ticket.started_at, leader.finished_at)
+                - max(ticket.submitted_at, leader.started_at),
+            )
 
     # ------------------------------------------------------------------
     def drain(self) -> list[Ticket]:
@@ -340,6 +371,9 @@ class PartitionService:
         cache_before = self.cache.stats()
         batch_state: dict = {}
         for ticket in tickets:
+            ticket.trace_id = request_trace_id(
+                ticket.fingerprint, self._drains, ticket.seq
+            )
             entry = self.cache.get(ticket.fingerprint) if self.config.cache_enabled else None
             if not self.config.cache_enabled:
                 ticket.cache = "bypass"
@@ -348,20 +382,23 @@ class PartitionService:
             else:
                 if ticket.cache != "bypass":
                     ticket.cache = "miss"
-                self._serve_miss(ticket, batch_state, t0)
-            profiler.add_span(
-                f"{ticket.engine} {ticket.request.graph.name}",
-                ticket.started_at,
-                ticket.finished_at,
-                category="request",
-                engine=ticket.engine,
-                k=ticket.request.k,
-                cache=ticket.cache,
-                status=ticket.status,
-                worker=ticket.worker,
-                queue_wait=ticket.queue_wait,
-            )
+                ctx = TraceContext(ticket.trace_id, f"{ticket.trace_id}:run")
+                self._serve_miss(ticket, batch_state, t0, ctx)
+            self._add_request_spans(profiler, ticket)
             self.stats.record_ticket(ticket)
+        entries = [
+            request_entry(
+                ticket,
+                dispatch_seconds=self.config.dispatch_seconds,
+                batch_wait=ticket.batch_wait,
+                links=ticket.links,
+            )
+            for ticket in tickets
+        ]
+        for bucket, seconds in attribution_totals(entries).items():
+            profiler.metrics.counter(
+                f"service.attribution.{bucket}_seconds"
+            ).inc(seconds)
         makespan_end = max(t.finished_at for t in tickets)
         served = sum(1 for t in tickets if t.ok)
         batches = sum(1 for s in batch_state.values() if s["members"] >= 2)
@@ -390,8 +427,70 @@ class PartitionService:
         self.last_profiler = profiler
         ledger_path = self.config.ledger or get_default_ledger()
         if ledger_path is not None:
-            append_record(ledger_path, ledger_record(profiler))
+            append_record(
+                ledger_path,
+                ledger_record(profiler, sections={"requests": entries}),
+            )
         return tickets
+
+    def _add_request_spans(self, profiler: Profiler, ticket: Ticket) -> None:
+        """File one ticket's span subtree under the drain profiler.
+
+        The subtree lives in the *request's* trace (not the drain's):
+        ``request -> queue-wait -> dispatch -> [retry] -> [engine-run]``,
+        with deterministic span ids derived from the trace id so they
+        are identical whatever the worker-pool shape.  The engine-run
+        span id is exactly the context the engine profiler adopted in
+        :meth:`_serve_miss`, which stitches the engine's own span tree
+        (a separate profiler, a separate ledger record) onto this
+        request as a child.
+        """
+        tid = ticket.trace_id
+        req = profiler.add_span(
+            f"{ticket.engine} {ticket.request.graph.name}",
+            ticket.submitted_at,
+            ticket.finished_at,
+            category="request",
+            trace_id=tid,
+            span_id=f"{tid}:req",
+            engine=ticket.engine,
+            k=ticket.request.k,
+            lane=ticket.lane,
+            cache=ticket.cache,
+            status=ticket.status,
+            worker=ticket.worker,
+            queue_wait=ticket.queue_wait,
+            fingerprint=ticket.fingerprint,
+        )
+        if ticket.started_at > ticket.submitted_at:
+            profiler.add_span(
+                "queue-wait", ticket.submitted_at, ticket.started_at,
+                category="queue", parent=req, trace_id=tid,
+                span_id=f"{tid}:queue", lane=ticket.lane,
+                batch_wait=ticket.batch_wait,
+            )
+        cursor = ticket.started_at
+        profiler.add_span(
+            "dispatch", cursor, cursor + self.config.dispatch_seconds,
+            category="dispatch", parent=req, trace_id=tid,
+            span_id=f"{tid}:dispatch", worker=ticket.worker,
+        )
+        cursor += self.config.dispatch_seconds
+        if ticket.retry_seconds > 0:
+            profiler.add_span(
+                "retry-backoff", cursor, cursor + ticket.retry_seconds,
+                category="retry", parent=req, trace_id=tid,
+                span_id=f"{tid}:retry", retries=ticket.retries,
+            )
+            cursor += ticket.retry_seconds
+        if ticket.result is not None and ticket.cache != "hit":
+            profiler.add_span(
+                "engine-run", cursor, ticket.finished_at,
+                category="engine-run", parent=req, trace_id=tid,
+                span_id=f"{tid}:run", links=tuple(ticket.links),
+                engine=ticket.engine,
+                amortized_seconds=ticket.amortized_seconds,
+            )
 
     def _fold_drain_metrics(
         self, profiler: Profiler, tickets: list[Ticket], cache_before: dict, *,
@@ -432,6 +531,10 @@ class PartitionService:
             self._counter_marks[key] = counter.value
         for key, gauge in drain_stats.metrics.gauges.items():
             profiler.metrics.gauge(key).set(gauge.value)
+        # Transplant the per-drain latency/queue-wait histograms (global
+        # and per-lane) so the record's summaries cover this drain only.
+        for key, hist in drain_stats.metrics.histograms.items():
+            profiler.metrics.histograms[key] = hist
 
     def serve(self, requests) -> list[Ticket]:
         """Submit a batch of requests and drain; rejected submissions

@@ -70,6 +70,11 @@ class ServiceStats:
         m.histogram("service.latency.engine", engine=ticket.engine).observe(
             ticket.latency
         )
+        # Per-lane splits so the SLO monitor can target a single lane;
+        # the un-labelled histograms above stay for gate-policy compat.
+        lane = str(ticket.lane)
+        m.histogram("service.latency", lane=lane).observe(ticket.latency)
+        m.histogram("service.queue_wait", lane=lane).observe(ticket.queue_wait)
 
     def record_drain(self, *, makespan: float, served: int, utilization: float,
                      batches: int) -> None:
@@ -86,6 +91,7 @@ class ServiceStats:
         queue_wait = m.histogram("service.queue_wait")
         m.gauge("service.latency_p50").set(latency.percentile(50.0) or 0.0)
         m.gauge("service.latency_p95").set(latency.percentile(95.0) or 0.0)
+        m.gauge("service.latency_p99").set(latency.percentile(99.0) or 0.0)
         m.gauge("service.queue_wait_p95").set(queue_wait.percentile(95.0) or 0.0)
 
     def record_cache(self, cache_stats: dict) -> None:
@@ -117,6 +123,7 @@ class ServiceStats:
             "utilization": self.value("service.utilization"),
             "latency_p50": latency["p50"],
             "latency_p95": latency["p95"],
+            "latency_p99": latency["p99"],
             "queue_wait_p50": queue_wait["p50"],
             "queue_wait_p95": queue_wait["p95"],
             "metrics": m.as_dict(),

@@ -142,6 +142,43 @@ class TestEvaluate:
         record = build_record({"coarsening": 1.0}, engine="e", graph="g", k=7, seed=9)
         assert match_key(record) == ("e", "g", 7, 9)
 
+    def test_histogram_summary_stat_resolved(self):
+        record = build_record({"coarsening": 1.0})
+        record["metrics"]["histograms"]["service.latency"] = {
+            "count": 3, "sum": 5.5, "min": 1.0, "max": 3.0,
+            "mean": 1.5, "p50": 1.0, "p95": 2.0, "p99": 3.0,
+        }
+        assert resolve_quantity(record, "metric:service.latency#p99") == 3.0
+        assert resolve_quantity(record, "metric:service.latency#mean") == 1.5
+        assert resolve_quantity(record, "metric:service.latency#count") == 3
+
+    def test_null_metric_warns_and_skips(self):
+        # Regression: a gauge recorded as literal None (an empty drain's
+        # latency percentile) used to crash the float() comparison; it
+        # must WARN-skip the rule and gate the rest.
+        base = [build_record({"coarsening": 1.0})]
+        cur = [build_record({"coarsening": 1.0})]
+        base[0]["metrics"]["gauges"]["service.latency_p99"] = 0.5
+        cur[0]["metrics"]["gauges"]["service.latency_p99"] = None
+        pol = policy(
+            {"quantity": "metric:service.latency_p99", "tolerance": 0.1},
+            {"quantity": "total", "tolerance": 0.1},
+        )
+        violations, checks, notes = evaluate_gate(pol, base, cur)
+        assert violations == []
+        assert checks == 1  # total still gated
+        assert any("WARN" in n and "rule skipped" in n for n in notes)
+
+    def test_rule_absent_on_both_sides_is_silent(self):
+        # A service.* rule against an engine record is a non-match, not
+        # a warning: the rule simply does not apply to that pair.
+        base = [build_record({"coarsening": 1.0})]
+        pol = policy({"quantity": "metric:service.never_there", "tolerance": 0.1})
+        violations, checks, notes = evaluate_gate(pol, base, base)
+        assert violations == []
+        assert checks == 0
+        assert notes == []
+
 
 class TestCliGate:
     def test_tampered_baseline_fails_gate(self, tmp_path):

@@ -72,6 +72,7 @@ class TestHistogram:
             "mean": None,
             "p50": None,
             "p95": None,
+            "p99": None,
         }
         assert Histogram("h").mean == 0.0
 
@@ -81,10 +82,13 @@ class TestHistogram:
             h.observe(float(v))
         assert h.percentile(50) == 51.0
         assert h.percentile(95) == 96.0
+        assert h.percentile(99) == 100.0
         assert h.percentile(0) == 1.0
         assert h.percentile(100) == 101.0
         s = h.summary()
         assert s["p50"] == 51.0 and s["p95"] == 96.0 and s["max"] == 101.0
+        assert s["p99"] == 100.0
+        assert s["p50"] <= s["p95"] <= s["p99"] <= s["max"]
         with pytest.raises(ValueError, match=r"\[0, 100\]"):
             h.percentile(101)
 

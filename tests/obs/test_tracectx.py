@@ -1,0 +1,103 @@
+"""Unit tests for the deterministic trace-context propagation layer."""
+
+import pytest
+
+from repro.obs import Profiler, TraceContext, current_trace_context, use_trace_context
+from repro.obs.tracectx import (
+    pop_trace_context,
+    push_trace_context,
+    request_trace_id,
+    trace_digest,
+)
+from repro.runtime.clock import SimClock
+
+
+class TestTraceIds:
+    def test_digest_deterministic_and_sized(self):
+        a = trace_digest({"x": 1, "y": "z"})
+        b = trace_digest({"y": "z", "x": 1})  # key order irrelevant
+        assert a == b
+        assert len(a) == 16
+        assert len(trace_digest({"x": 1}, 12)) == 12
+
+    def test_request_trace_id_varies_on_each_input(self):
+        base = request_trace_id("fp", 1, 2)
+        assert base == request_trace_id("fp", 1, 2)  # no wall clock inside
+        assert base != request_trace_id("fp2", 1, 2)
+        assert base != request_trace_id("fp", 2, 2)
+        assert base != request_trace_id("fp", 1, 3)
+
+
+class TestContextStack:
+    def test_default_is_empty(self):
+        assert current_trace_context() is None
+
+    def test_use_scopes_and_restores(self):
+        ctx = TraceContext("t1", "s1")
+        with use_trace_context(ctx):
+            assert current_trace_context() == ctx
+            inner = TraceContext("t2", "s2")
+            with use_trace_context(inner):
+                assert current_trace_context() == inner
+            assert current_trace_context() == ctx
+        assert current_trace_context() is None
+
+    def test_pop_truncates_at_token(self):
+        # An exception that skips inner pops must not leak contexts:
+        # popping an outer token removes everything pushed after it.
+        t1 = push_trace_context(TraceContext("t1", "s1"))
+        push_trace_context(TraceContext("t2", "s2"))
+        push_trace_context(TraceContext("t3", "s3"))
+        pop_trace_context(t1)
+        assert current_trace_context() is None
+        pop_trace_context(t1)  # unknown/stale token: no-op
+        assert current_trace_context() is None
+
+
+class TestProfilerAdoption:
+    def test_root_trace_without_context_is_deterministic(self):
+        mk = lambda: Profiler(SimClock(), engine="gp-metis", graph="g", k=4)
+        a, b = mk(), mk()
+        assert a.trace_id == b.trace_id
+        assert a.root.span_id == b.root.span_id
+        assert a.root.parent_id is None
+
+    def test_profiler_adopts_active_context(self):
+        ctx = TraceContext("req-trace", "req-span:run")
+        with use_trace_context(ctx):
+            prof = Profiler(SimClock(), engine="metis", graph="g", k=2)
+        assert prof.trace_id == "req-trace"
+        assert prof.root.parent_id == "req-span:run"
+        with prof.span("coarsen pass"):
+            pass
+        child = prof.root.children[0]
+        assert child.trace_id == "req-trace"
+        assert child.parent_id == prof.root.span_id
+        assert child.span_id.startswith(prof.root.span_id + ":")
+
+    def test_profiler_does_not_push_its_own_context(self):
+        Profiler(SimClock(), engine="metis", graph="g", k=2)
+        assert current_trace_context() is None
+
+    def test_trace_context_property_points_at_root(self):
+        prof = Profiler(SimClock(), engine="metis", graph="g", k=2)
+        ctx = prof.trace_context
+        assert ctx.trace_id == prof.trace_id
+        assert ctx.span_id == prof.root.span_id
+
+    def test_add_span_explicit_ids_and_links(self):
+        prof = Profiler(SimClock(), engine="service", graph="-", k=0)
+        span = prof.add_span(
+            "request", 0.0, 1.0, category="request",
+            trace_id="tid", span_id="tid:req",
+            links=({"trace_id": "other", "span_id": "other:run"},),
+        )
+        assert span.trace_id == "tid"
+        assert span.span_id == "tid:req"
+        assert span.links == ({"trace_id": "other", "span_id": "other:run"},)
+
+
+@pytest.fixture(autouse=True)
+def _no_context_leak():
+    yield
+    assert current_trace_context() is None, "test leaked a trace context"

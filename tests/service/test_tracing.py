@@ -1,0 +1,213 @@
+"""End-to-end request-tracing properties across the service stack.
+
+The PR-8 acceptance invariants, pinned as tests:
+
+* every span of a ticket's request subtree shares the request's
+  deterministic ``trace_id``, and the engine's own profiler adopts it;
+* each request's attribution buckets sum to its latency (1e-6);
+* the critical path never exceeds the latency;
+* trace ids and engine-side attribution are invariant under the
+  worker-pool shape, and a rerun is bit-identical;
+* the per-request Chrome export round-trips with batch flow events.
+"""
+
+import pytest
+
+from repro import api
+from repro.graphs import generators
+from repro.obs import read_ledger, requests_chrome_trace, validate_chrome_trace
+from repro.obs.critical import BUCKETS, request_entry
+from repro.service import (
+    PartitionService,
+    ServiceConfig,
+    WorkloadSpec,
+    build_workload,
+)
+from repro.service.request import PartitionRequest
+
+ENGINE_BUCKETS = ("transfer", "coarsen", "initpart", "refine")
+
+
+def entries_for(service, tickets):
+    return [
+        request_entry(
+            t, dispatch_seconds=service.config.dispatch_seconds,
+            batch_wait=t.batch_wait, links=t.links,
+        )
+        for t in tickets
+    ]
+
+
+def drain_workload(*, workers=4, requests=24, graph_n=300, config=None):
+    service = PartitionService(
+        config or ServiceConfig(num_workers=workers, gpu_slots=1)
+    )
+    for request in build_workload(
+        WorkloadSpec(requests=requests, graph_n=graph_n)
+    ):
+        service.submit(request)
+    return service, service.drain()
+
+
+class TestEveryEngine:
+    """One request per registered engine, all in one drain."""
+
+    @pytest.fixture(scope="class")
+    def drained(self):
+        graph = generators.grid2d(12, 12)
+        service = PartitionService(ServiceConfig(num_workers=4, gpu_slots=1))
+        for i, method in enumerate(api.available_methods()):
+            options = (
+                {"gpu_threshold_min": 64} if method == "gp-metis" else {}
+            )
+            service.submit(
+                PartitionRequest(
+                    graph=graph, k=4, method=method, options=options,
+                    seed=1, priority=i % 3,
+                )
+            )
+        tickets = service.drain()
+        return service, tickets
+
+    def test_all_engines_served_with_trace_ids(self, drained):
+        service, tickets = drained
+        assert len(tickets) == len(api.available_methods())
+        assert all(t.ok for t in tickets)
+        ids = [t.trace_id for t in tickets]
+        assert all(ids) and len(set(ids)) == len(ids)
+
+    def test_attribution_sums_to_latency(self, drained):
+        service, tickets = drained
+        for entry in entries_for(service, tickets):
+            assert sum(entry["attribution"].values()) == pytest.approx(
+                entry["latency"], abs=1e-6
+            ), entry["engine"]
+            assert set(entry["attribution"]) == set(BUCKETS)
+
+    def test_critical_path_bounded_by_latency(self, drained):
+        service, tickets = drained
+        for entry in entries_for(service, tickets):
+            path = entry["critical_path"]
+            duration = sum(s["end"] - s["start"] for s in path)
+            assert duration <= entry["latency"] + 1e-9, entry["engine"]
+            assert path[0]["start"] == pytest.approx(entry["submitted_at"])
+
+    def test_request_subtrees_share_trace_id(self, drained):
+        service, tickets = drained
+        by_trace = {}
+        walk = [service.last_profiler.root]
+        request_spans = []
+        while walk:
+            node = walk.pop()
+            if node.category == "request":
+                request_spans.append(node)
+            else:
+                walk.extend(node.children)
+        for span in request_spans:
+            stack, spans = [span], []
+            while stack:
+                node = stack.pop()
+                spans.append(node)
+                stack.extend(node.children)
+            assert {s.trace_id for s in spans} == {span.trace_id}
+            by_trace[span.trace_id] = span
+        for ticket in tickets:
+            req = by_trace[ticket.trace_id]
+            assert req.span_id == f"{ticket.trace_id}:req"
+            child_ids = {c.span_id for c in req.children}
+            assert f"{ticket.trace_id}:dispatch" in child_ids
+            if ticket.result is not None and ticket.cache != "hit":
+                assert f"{ticket.trace_id}:run" in child_ids
+
+    def test_engine_profiler_adopts_request_trace(self, drained):
+        service, tickets = drained
+        misses = [
+            t for t in tickets if t.cache == "miss" and t.result is not None
+        ]
+        assert misses
+        for ticket in misses:
+            profiler = ticket.result.profiler
+            assert profiler is not None, ticket.engine
+            assert profiler.trace_id == ticket.trace_id
+            assert profiler.root.parent_id == f"{ticket.trace_id}:run"
+
+
+class TestPoolShapeInvariance:
+    def test_trace_ids_and_engine_buckets_invariant(self):
+        s2, t2 = drain_workload(workers=2)
+        s8, t8 = drain_workload(workers=8)
+        assert [t.trace_id for t in t2] == [t.trace_id for t in t8]
+        for a, b in zip(entries_for(s2, t2), entries_for(s8, t8)):
+            for bucket in ENGINE_BUCKETS:
+                assert a["attribution"][bucket] == pytest.approx(
+                    b["attribution"][bucket], abs=1e-12
+                )
+
+    def test_rerun_is_bit_identical(self):
+        s1, t1 = drain_workload()
+        s2, t2 = drain_workload()
+        assert entries_for(s1, t1) == entries_for(s2, t2)
+
+
+class TestLedgerAndExport:
+    def test_drain_record_carries_requests_and_attribution(self, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        service, tickets = drain_workload(
+            config=ServiceConfig(
+                num_workers=4, gpu_slots=1, ledger=str(ledger)
+            )
+        )
+        (record,) = [
+            r for r in read_ledger(ledger)
+            if r["config"]["engine"] == "service"
+        ]
+        entries = record["requests"]
+        assert len(entries) == len(tickets)
+        counters = record["metrics"]["counters"]
+        total_attr = sum(
+            counters[f"service.attribution.{b}_seconds"]
+            for b in BUCKETS
+            if f"service.attribution.{b}_seconds" in counters
+        )
+        total_latency = sum(e["latency"] for e in entries)
+        assert total_attr == pytest.approx(total_latency, abs=1e-6)
+
+    def test_chrome_roundtrip_preserves_flows(self, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        service, tickets = drain_workload(
+            requests=24,
+            config=ServiceConfig(
+                num_workers=4, gpu_slots=1, ledger=str(ledger)
+            ),
+        )
+        followers = [
+            t for t in tickets if t.batch_id is not None and not t.batch_leader
+        ]
+        assert followers, "workload must exercise batching"
+        (record,) = [
+            r for r in read_ledger(ledger)
+            if r["config"]["engine"] == "service"
+        ]
+        doc = requests_chrome_trace(record)
+        validate_chrome_trace(doc)
+        starts = [e for e in doc["traceEvents"] if e["ph"] == "s"]
+        finishes = [e for e in doc["traceEvents"] if e["ph"] == "f"]
+        assert len(starts) == len(finishes) == len(followers)
+        assert all(f["bp"] == "e" for f in finishes)
+        assert {s["id"] for s in starts} == {f["id"] for f in finishes}
+
+    def test_engine_chrome_export_carries_trace_context(self):
+        from repro.obs import chrome_trace
+
+        service, tickets = drain_workload(requests=6)
+        miss = next(
+            t for t in tickets if t.cache == "miss" and t.result is not None
+        )
+        doc = chrome_trace(miss.result.profiler)
+        validate_chrome_trace(doc)
+        run_events = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "X" and "trace_id" in e.get("args", {})
+        ]
+        assert run_events
+        assert {e["args"]["trace_id"] for e in run_events} == {miss.trace_id}
