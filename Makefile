@@ -1,12 +1,12 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check tier1 sanitize-smoke faults-smoke profile-smoke serve-smoke slo-smoke baseline gate report fuzz faults bench test
+.PHONY: check tier1 sanitize-smoke faults-smoke profile-smoke roofline-smoke serve-smoke slo-smoke baseline gate report fuzz faults bench test
 
 # The gate: tier-1 suite + the sanitizer, fault-injection, observability,
-# partition-service and SLO self-checks + the policy-driven
-# perf-regression gate on the committed ledger.
-check: tier1 sanitize-smoke faults-smoke profile-smoke serve-smoke slo-smoke gate
+# hardware-utilization, partition-service and SLO self-checks + the
+# policy-driven perf-regression gate on the committed ledger.
+check: tier1 sanitize-smoke faults-smoke profile-smoke roofline-smoke serve-smoke slo-smoke gate
 
 # Tier-1: the fast suite (fuzz/bench-marked tests excluded via pyproject).
 tier1:
@@ -25,6 +25,15 @@ faults-smoke:
 # schema-validate the JSON, require the per-engine metric set.
 profile-smoke:
 	$(PYTHON) benchmarks/profile_smoke.py
+
+# Hardware-utilization smoke: a fresh GP-metis run must produce a valid
+# hw section (utilizations in [0,1], phase slices summing to phase time,
+# classified kernel bounds) and render the roofline chart + table; the
+# committed baseline ledger's newest record must render too.
+roofline-smoke:
+	$(PYTHON) -m repro roofline -n 20000 -k 8 --json - > /dev/null
+	$(PYTHON) -m repro roofline --ledger benchmarks/BENCH_ledger.jsonl \
+		--no-chart > /dev/null
 
 # Partition-service acceptance: 100-request mixed workload over 4 workers,
 # every served vector differentially verified against a direct partition()

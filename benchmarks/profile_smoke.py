@@ -33,6 +33,16 @@ REQUIRED_METRICS = (
     ("gauges", "kernel.coalescing_efficiency"),
     ("counters", "transfer.h2d_bytes"),
     ("counters", "transfer.d2h_bytes"),
+    # Hardware-utilization family (repro.obs.hw): the hybrid run must be
+    # scored against the machine peaks on every substrate it touched.
+    ("gauges", "hw.cpu.util"),
+    ("gauges", "hw.gpu.dram_util"),
+    ("gauges", "hw.gpu.coalescing"),
+    ("gauges", "hw.pcie.util"),
+    ("gauges", "hw.transfer_avoidance"),
+    ("counters", "hw.cpu.edge_visits"),
+    ("counters", "hw.gpu.bytes_moved"),
+    ("counters", "hw.pcie.bytes"),
 )
 
 

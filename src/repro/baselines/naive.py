@@ -103,6 +103,7 @@ class _TrivialBase:
             profiler,
             trace=trace,
             injector=injector,
+            machine=self.machine,
             cut=edge_cut(graph, part),
             imbalance=imbalance(graph, part, k),
         )

@@ -207,6 +207,7 @@ class SpectralPartitioner:
             profiler,
             trace=trace,
             injector=injector,
+            machine=self.machine,
             cut=edge_cut(graph, part),
             imbalance=imbalance(graph, part, k),
         )

@@ -127,13 +127,28 @@ def results_json(results: ExperimentResults) -> dict:
     cfg = results.config
     runs: dict[str, dict] = {}
     for (dataset, method), run in sorted(results.runs.items()):
-        runs.setdefault(dataset, {})[method] = {
+        entry = {
             "modeled_seconds": run.modeled_seconds,
             "paper_scale_seconds": run.paper_scale_seconds,
             "cut": int(run.cut),
             "imbalance": float(run.quality.imbalance),
             "comm_volume": int(run.quality.comm_volume),
         }
+        # Hardware-utilization summary (repro.obs.hw): where each method
+        # sat against the machine's peaks on this dataset.
+        hw = getattr(getattr(run.result, "profiler", None), "hw", None)
+        if hw is not None:
+            gpu = hw.get("gpu")
+            entry["hw"] = {
+                "cpu_util": hw["cpu"]["utilization"],
+                "pcie_bytes": hw["pcie"]["bytes"],
+                "pcie_util": hw["pcie"]["utilization"],
+                "mpi_util": hw["mpi"]["utilization"],
+                "gpu_dram_util": gpu["dram_utilization"] if gpu else None,
+                "gpu_bound_seconds": dict(gpu["bound_seconds"]) if gpu else None,
+                "transfer_avoidance": hw.get("transfer_avoidance"),
+            }
+        runs.setdefault(dataset, {})[method] = entry
     # The Sec. IV shape claims compare all four methods; on a filtered
     # grid (bench --methods ...) they are unanswerable, not failed.
     checks = []

@@ -33,6 +33,9 @@ Commands mirror the classic ``gpmetis`` binary plus this repo's extras:
   throughput, latency percentiles and cache statistics; ``bench
   --service`` runs the same driver with differential verification and a
   machine-readable JSON report;
+* ``roofline`` — hardware-utilization report for one run (fresh or from
+  a ledger record): ASCII roofline chart, per-kernel bound-ness table,
+  and CPU/PCIe/MPI utilization against the machine model's peaks;
 * ``sanitize`` — self-check of the GPU data-race sanitizer: a clean
   GP-metis pipeline must come out race-free and a deliberately broken
   matching kernel (conflict resolution disabled) must be flagged;
@@ -307,6 +310,37 @@ def build_parser() -> argparse.ArgumentParser:
     pa.add_argument("graph")
     pa.add_argument("-k", type=int, default=64,
                     help="partition count for the cut lower bounds")
+
+    prf = sub.add_parser(
+        "roofline",
+        help="hardware-utilization report: per-kernel roofline and "
+             "bound-ness, plus CPU/PCIe/MPI utilization vs machine peaks",
+    )
+    prf.add_argument(
+        "graph", nargs="?",
+        help="input graph file (default: a built-in delaunay mesh of -n "
+             "vertices)",
+    )
+    prf.add_argument("-k", type=int, default=8, help="number of partitions")
+    prf.add_argument(
+        "--method", default="gp-metis", choices=api.available_methods(),
+    )
+    prf.add_argument("-n", type=int, default=20000,
+                     help="vertices of the built-in graph (default 20000, "
+                          "large enough that the hybrid keeps levels on "
+                          "the GPU)")
+    prf.add_argument("--seed", type=int, default=1)
+    prf.add_argument(
+        "--ledger", metavar="FILE[:INDEX]",
+        help="render a recorded run's hw block instead of running fresh "
+             "(default index -1, the newest record)",
+    )
+    prf.add_argument(
+        "--json", metavar="FILE", dest="json_out",
+        help="also write the hw section as JSON ('-' for stdout)",
+    )
+    prf.add_argument("--no-chart", action="store_true",
+                     help="skip the ASCII roofline chart")
 
     ps = sub.add_parser("sanitize", help="data-race sanitizer self-check")
     ps.add_argument("-n", type=int, default=9000,
@@ -1193,6 +1227,111 @@ def _faults_self_check(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_roofline(args) -> int:
+    import json as json_mod
+
+    from .obs import ledger as ledger_mod
+    from .obs.hw import (
+        render_kernel_table,
+        render_roofline_chart,
+        validate_hw_section,
+    )
+
+    if args.ledger:
+        path, _, idx = args.ledger.partition(":")
+        records = ledger_mod.read_ledger(path)
+        try:
+            record = records[int(idx) if idx else -1]
+        except IndexError:
+            print(f"{path}: no record at index {idx or -1} "
+                  f"({len(records)} record(s))", file=sys.stderr)
+            return 1
+        section = record.get("hw")
+        if section is None:
+            print(f"record {record['run_id']} carries no hw block "
+                  f"(schema {record['schema']}); re-run it under the "
+                  "current code", file=sys.stderr)
+            return 1
+        cfg = record["config"]
+        header = (f"run {record['run_id']}: {cfg['engine']} on "
+                  f"{cfg['graph']} k={cfg['k']}")
+    else:
+        graph = read_graph(args.graph) if args.graph else gen.delaunay(
+            args.n, seed=args.seed
+        )
+        result = api.partition(graph, args.k, method=args.method,
+                               seed=args.seed)
+        section = getattr(result.profiler, "hw", None)
+        if section is None:
+            print("engine produced no hw section", file=sys.stderr)
+            return 1
+        header = (f"{args.method} on {graph.name} k={args.k} "
+                  f"({result.modeled_seconds:.6f} modeled s)")
+    validate_hw_section(section)
+
+    mach = section["machine"]
+    print(header)
+    print(f"machine: cpu={mach['cpu']}  gpu={mach['gpu']}")
+    print()
+    gpu = section.get("gpu")
+    if gpu is not None and gpu.get("kernels"):
+        if not args.no_chart:
+            print(render_roofline_chart(gpu))
+            print()
+        print(render_kernel_table(gpu))
+        print()
+    elif gpu is not None:
+        print("gpu: aggregate only (no per-kernel data in this record)")
+        print(f"  bytes moved {gpu['bytes_moved']:.3e} B, dram util "
+              f"{gpu['dram_utilization']:.2f}, compute util "
+              f"{gpu['compute_utilization']:.2f}")
+        print()
+    else:
+        print("no GPU kernels in this run (CPU-only engine)")
+        print()
+
+    cpu, mpi, pcie = section["cpu"], section["mpi"], section["pcie"]
+    print(f"cpu : busy {cpu['busy_seconds']:.6f} s at util "
+          f"{cpu['utilization']:.2f}  "
+          f"({cpu['edge_visits']:.3g} edge visits, "
+          f"{cpu['vertex_ops']:.3g} vertex ops, "
+          f"{cpu['random_bytes'] / 1e6:.1f} MB random access)")
+    if pcie["transfers"]:
+        print(f"pcie: {pcie['transfers']} transfer(s), "
+              f"{pcie['bytes'] / 1e6:.2f} MB in {pcie['seconds']:.6f} s — "
+              f"util {pcie['utilization']:.2f}, "
+              f"alpha share {pcie['alpha_share']:.2f}")
+    if mpi["messages"]:
+        print(f"mpi : {mpi['messages']:.0f} message(s), "
+              f"{mpi['bytes'] / 1e6:.2f} MB — util {mpi['utilization']:.2f}")
+    avoid = section.get("transfer_avoidance")
+    if avoid is not None:
+        print(f"transfer avoidance: {avoid:.4f} "
+              "(device-resident bytes / all bytes touched)")
+    if section["phases"]:
+        print()
+        print(f"{'phase':<16s} {'seconds':>10s} {'gpu%':>6s} {'pcie%':>6s} "
+              f"{'cpu%':>6s} {'dram-util':>10s} {'pcie-util':>10s}")
+        for row in section["phases"]:
+            total = row["seconds"] or 1.0
+            print(f"{row['phase']:<16s} {row['seconds']:>10.6f} "
+                  f"{100 * row['gpu_seconds'] / total:>5.1f}% "
+                  f"{100 * row['pcie_seconds'] / total:>5.1f}% "
+                  f"{100 * row['cpu_seconds'] / total:>5.1f}% "
+                  f"{row['gpu_dram_utilization']:>10.3f} "
+                  f"{row['pcie_utilization']:>10.3f}")
+
+    if args.json_out:
+        text = json_mod.dumps(section, indent=2, sort_keys=True)
+        if args.json_out == "-":
+            print(text)
+        else:
+            with open(args.json_out, "w") as fh:
+                fh.write(text + "\n")
+            print(f"\nwrote {args.json_out}")
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -1209,6 +1348,7 @@ def main(argv=None) -> int:
         "analyze": _cmd_analyze,
         "sanitize": _cmd_sanitize,
         "faults": _cmd_faults,
+        "roofline": _cmd_roofline,
         "serve": _cmd_serve,
     }[args.command]
     return handler(args)

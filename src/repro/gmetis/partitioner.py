@@ -256,6 +256,7 @@ class Gmetis:
             profiler,
             trace=trace,
             injector=injector,
+            machine=self.machine,
             cut=edge_cut(graph, part),
             imbalance=imbalance(graph, part, k),
             aborts=total_aborts,

@@ -57,6 +57,7 @@ class GPMetis:
             trace=outcome.trace,
             device_stats=outcome.device.stats,
             injector=injector,
+            machine=self.machine,
             cut=edge_cut(graph, part),
             imbalance=imbalance(graph, part, k),
             gpu_levels=outcome.gpu_levels,

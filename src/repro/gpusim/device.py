@@ -340,14 +340,35 @@ class KernelContext:
         k.launches += 1
         k.threads_launched += self.n_threads
         k.memory_transactions += self._transactions
+        k.random_transactions += self._random_transactions
+        k.cached_transactions += self._cached_transactions
         k.bytes_requested += self._bytes_requested
         k.compute_ops += self._compute_ops
         k.atomic_ops += self._atomic_ops
+        k.atomic_conflicts += self._atomic_conflicts
         k.seconds += total
+        k.mem_seconds += mem_t
+        k.compute_seconds += cmp_t
+        k.atomic_seconds += atomic_t
+        k.launch_seconds += spec.kernel_launch_seconds
+        k.transaction_bytes = spec.transaction_bytes
+
+        if spec.kernel_launch_seconds >= body:
+            launch_bound = "latency"
+        elif atomic_t > max(mem_t, cmp_t):
+            launch_bound = "atomic"
+        elif mem_t >= cmp_t:
+            launch_bound = "dram-bandwidth"
+        else:
+            launch_bound = "compute"
 
         profiler = getattr(clock, "profiler", None)
         if profiler is not None:
-            moved = self._transactions * 128.0
+            moved = self._transactions * spec.transaction_bytes
+            coalescing = (
+                min(1.0, self._bytes_requested / moved) if moved
+                else (1.0 if self._bytes_requested <= 0.0 else 0.0)
+            )
             profiler.add_span(
                 self.name,
                 t_start,
@@ -356,8 +377,8 @@ class KernelContext:
                 threads=self.n_threads,
                 transactions=self._transactions,
                 bytes_requested=self._bytes_requested,
-                coalescing=self._bytes_requested / moved if moved else 1.0,
+                coalescing=coalescing,
                 compute_ops=self._compute_ops,
                 atomic_ops=self._atomic_ops,
-                bound="memory" if mem_t >= cmp_t else "compute",
+                bound=launch_bound,
             )

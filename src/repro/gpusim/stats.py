@@ -16,16 +16,59 @@ class KernelStats:
     launches: int = 0
     threads_launched: int = 0
     memory_transactions: float = 0.0
+    random_transactions: float = 0.0
+    cached_transactions: float = 0.0
     bytes_requested: float = 0.0
     compute_ops: float = 0.0
     atomic_ops: float = 0.0
+    atomic_conflicts: float = 0.0
     seconds: float = 0.0
+    # Modeled-time split of ``seconds`` (the same terms the device priced:
+    # memory and compute overlap, the larger one wins, atomics and launch
+    # serialize on top) — the raw material of roofline/bound attribution.
+    mem_seconds: float = 0.0
+    compute_seconds: float = 0.0
+    atomic_seconds: float = 0.0
+    launch_seconds: float = 0.0
+    #: DRAM transaction width the pricing device used (GpuSpec.transaction_bytes).
+    transaction_bytes: float = 128.0
+
+    @property
+    def bytes_moved(self) -> float:
+        """Bytes the DRAM actually transferred (whole transactions)."""
+        return self.memory_transactions * self.transaction_bytes
 
     @property
     def coalescing_efficiency(self) -> float:
-        """Requested bytes / bytes actually moved (1.0 = perfectly coalesced)."""
-        moved = self.memory_transactions * 128.0
-        return self.bytes_requested / moved if moved else 1.0
+        """Requested bytes / bytes actually moved (1.0 = perfectly coalesced).
+
+        With no transactions nothing moved: that is perfectly coalesced
+        only if nothing was *requested* either — a kernel that requested
+        bytes but recorded no transactions scores 0.0, not a spurious 1.0.
+        The ratio is clamped to 1.0 (a transaction can be shared by
+        requests, but DRAM never moves fewer bytes than were requested).
+        """
+        moved = self.bytes_moved
+        if moved <= 0.0:
+            return 1.0 if self.bytes_requested <= 0.0 else 0.0
+        return min(1.0, self.bytes_requested / moved)
+
+    @property
+    def bound(self) -> str:
+        """Which hardware limit this kernel ran into.
+
+        ``latency`` when launch overhead outweighs the useful body,
+        ``atomic`` when atomic serialization dominates the body, else the
+        classic roofline split between ``dram-bandwidth`` and ``compute``.
+        """
+        body = self.mem_seconds + self.compute_seconds + self.atomic_seconds
+        if self.launch_seconds >= body:
+            return "latency"
+        if self.atomic_seconds > max(self.mem_seconds, self.compute_seconds):
+            return "atomic"
+        if self.mem_seconds >= self.compute_seconds:
+            return "dram-bandwidth"
+        return "compute"
 
 
 @dataclass

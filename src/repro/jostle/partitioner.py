@@ -278,6 +278,7 @@ class Jostle:
             profiler,
             trace=trace,
             injector=injector,
+            machine=self.machine,
             cut=edge_cut(graph, part),
             imbalance=imbalance(graph, part, k),
             num_ranks=opts.num_ranks,

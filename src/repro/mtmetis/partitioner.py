@@ -251,6 +251,7 @@ class MtMetis:
             profiler,
             trace=trace,
             injector=injector,
+            machine=self.machine,
             cut=edge_cut(graph, part),
             imbalance=imbalance(graph, part, k),
         )

@@ -13,8 +13,10 @@ On top of the single-run layer sit the *cross-run* tools: the
 append-only JSONL run ledger (:mod:`repro.obs.ledger`), the comparative
 analyzer with exact per-phase delta attribution
 (:mod:`repro.obs.compare`), the policy-driven regression gate
-(:mod:`repro.obs.gate`), and the self-contained HTML report
-(:mod:`repro.obs.report`).
+(:mod:`repro.obs.gate`), the self-contained HTML report
+(:mod:`repro.obs.report`), and the hardware-utilization layer
+(:mod:`repro.obs.hw`): per-kernel rooflines, bound-ness attribution and
+achieved-vs-peak utilization for every counted second.
 
 See docs/OBSERVABILITY.md for the span model, exporter formats, and the
 ledger/compare/gate/report workflow.
@@ -56,6 +58,23 @@ from .gate import (
     render_gate,
 )
 from .hooks import finish_run, profile_run
+from .hw import (
+    BOUND_KINDS,
+    HW_SCHEMA,
+    KernelRoofline,
+    check_transfer_consistency,
+    gpu_section,
+    hw_metrics,
+    hw_section,
+    kernel_rooflines,
+    pcie_section,
+    phase_timeline,
+    render_kernel_table,
+    render_roofline_chart,
+    transfer_avoidance_ratio,
+    transfer_span_bytes,
+    validate_hw_section,
+)
 from .ledger import (
     append_record,
     config_fingerprint,
@@ -159,6 +178,22 @@ __all__ = [
     "attribution_totals",
     "render_waterfall",
     "requests_chrome_trace",
+    # hardware utilization / roofline
+    "HW_SCHEMA",
+    "BOUND_KINDS",
+    "KernelRoofline",
+    "kernel_rooflines",
+    "gpu_section",
+    "pcie_section",
+    "phase_timeline",
+    "transfer_avoidance_ratio",
+    "transfer_span_bytes",
+    "hw_section",
+    "hw_metrics",
+    "check_transfer_consistency",
+    "render_kernel_table",
+    "render_roofline_chart",
+    "validate_hw_section",
     # slo
     "SLO_POLICY_SCHEMA",
     "ObjectiveResult",

@@ -116,7 +116,10 @@ def ticket_attribution(ticket, *, dispatch_seconds: float,
             att[bucket] += seconds
             accounted += seconds
         # Engine time outside any labelled phase (setup between phases).
-        att["other"] += (engine_total - ticket.amortized_seconds) - accounted
+        # When the phases cover the whole run the subtraction can land an
+        # ulp below zero, which the monotone counters downstream reject.
+        residual = (engine_total - ticket.amortized_seconds) - accounted
+        att["other"] += residual if abs(residual) > 1e-15 else 0.0
     return att
 
 

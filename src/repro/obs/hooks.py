@@ -33,12 +33,33 @@ Standard metrics (labels in braces):
 ``run.degraded``                      gauge    1 when degradation changed the path
 ``partition.cut``                     gauge    final edge cut
 ``partition.imbalance``               gauge    final imbalance
+``hw.cpu.edge_visits``                counter  CSR arcs traversed on the CPU
+``hw.cpu.vertex_ops``                 counter  per-vertex CPU operations
+``hw.cpu.random_bytes``               counter  scattered host-memory bytes
+``hw.cpu.busy_seconds``               counter  modeled CPU-region seconds
+``hw.cpu.util``                       gauge    full-machine CPU utilization
+``hw.mpi.messages`` / ``.bytes``      counter  interconnect traffic (parmetis)
+``hw.mpi.util``                       gauge    comm balance vs straggler NIC
+``hw.pcie.bytes`` / ``.seconds``      counter  PCIe payload + modeled time
+``hw.pcie.util``                      gauge    beta share of transfer time
+``hw.pcie.alpha_share``               gauge    latency share of transfer time
+``hw.gpu.bytes_moved`` / ``.compute_ops``  counter  DRAM traffic / device ops
+``hw.gpu.dram_util`` / ``.compute_util``   gauge  achieved/peak while kernels ran
+``hw.gpu.coalescing``                 gauge    requested / moved DRAM bytes
+``hw.gpu.bound_seconds{bound}``       counter  kernel seconds per bound class
+``hw.transfer_avoidance``             gauge    device bytes / (device + PCIe)
 ====================================  =======  ==============================
+
+The ``hw.*`` family is derived in :mod:`repro.obs.hw` by dividing the
+recorded traffic by the run's :class:`~repro.runtime.machine.MachineSpec`
+peaks — pass the engine's ``machine`` to :func:`finish_run` so a scaled
+machine is scored against its own spec, not the paper testbed's.
 """
 
 from __future__ import annotations
 
 from ..runtime.clock import SimClock
+from .hw import check_transfer_consistency, hw_metrics, hw_section
 from .ledger import append_record, get_default_ledger, ledger_record, options_hash
 from .spans import Profiler
 
@@ -78,6 +99,7 @@ def finish_run(
     *,
     trace=None,
     device_stats=None,
+    machine=None,
     cut: int | None = None,
     imbalance: float | None = None,
     ledger=None,
@@ -90,7 +112,10 @@ def finish_run(
     by each record's ``engine``); ``device_stats`` feeds the kernel,
     transfer and device-memory metrics; ``injector`` (the run's
     :class:`repro.faults.FaultInjector`, when one was attached) feeds the
-    fault/recovery counters and the ``degraded`` attribute.  When a
+    fault/recovery counters and the ``degraded`` attribute; ``machine``
+    (the engine's :class:`~repro.runtime.machine.MachineSpec`, defaulting
+    to the paper testbed) sets the peaks the ``hw.*`` utilization family
+    is scored against.  When a
     ledger is configured — the ``ledger`` argument,
     :func:`repro.obs.ledger.set_default_ledger`, or ``$REPRO_LEDGER`` —
     the finished run is appended to it as one JSONL record.
@@ -113,6 +138,13 @@ def finish_run(
     if imbalance is not None:
         m.gauge("partition.imbalance").set(imbalance)
     profiler.finish(**attrs)
+    # Hardware-utilization layer: achieved vs. peak for every counted
+    # second, against the machine that priced the run.  Purely derived —
+    # nothing here charges the clock.
+    if device_stats is not None and __debug__:
+        check_transfer_consistency(profiler, device_stats)
+    profiler.hw = hw_section(profiler, machine, device_stats)
+    hw_metrics(m, profiler.hw)
     ledger_path = ledger or get_default_ledger()
     if ledger_path is not None:
         append_record(ledger_path, ledger_record(profiler))

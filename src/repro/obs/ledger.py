@@ -191,6 +191,11 @@ def ledger_record(profiler: Profiler, *, sections: dict | None = None,
         "spans": span_rollup(profiler.root),
         "metrics": doc["metrics"],
     }
+    # The hardware-utilization block computed by finish_run (or by the
+    # service scheduler for drain records); absent on bare profilers.
+    hw = getattr(profiler, "hw", None)
+    if hw is not None:
+        record["hw"] = hw
     if sections:
         overlap = set(sections) & set(record)
         if overlap:

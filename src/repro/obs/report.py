@@ -10,7 +10,11 @@ from a file:// URL — with the paper's comparative shape:
   configuration (Table II's phase split, as bars);
 * the ledger's trend over time: modeled seconds per configuration
   across successive records, so quality/speed trajectories are visible
-  the way longitudinal partitioner engineering needs them to be.
+  the way longitudinal partitioner engineering needs them to be;
+* the Hardware page (records with an ``hw`` block): a roofline scatter
+  of every kernel, per-phase GPU/PCIe/CPU utilization timelines, and a
+  bound-ness/utilization summary per configuration — with a graceful
+  note when the ledger predates the hw schema.
 
 Colors follow the entity: each phase name and each configuration keeps
 one palette slot for the whole page, assigned in first-appearance
@@ -290,6 +294,213 @@ def _trend_table(records: list[dict]) -> str:
 
 
 # ----------------------------------------------------------------------
+#: Fixed palette slots for the hardware page's resource slices.
+_HW_RESOURCE_VARS = {
+    "gpu": "var(--series-1)",
+    "pcie": "var(--series-2)",
+    "cpu": "var(--series-3)",
+}
+_HW_BOUND_VARS = {
+    "dram-bandwidth": "var(--series-1)",
+    "compute": "var(--series-3)",
+    "latency": "var(--series-4)",
+    "atomic": "var(--series-8)",
+}
+
+
+def _hw_records(records: list[dict]) -> list[dict]:
+    return [r for r in _latest_by_fingerprint(records) if r.get("hw")]
+
+
+def _hw_roofline_svg(hw_recs: list[dict], series_slots: _SlotMap) -> str:
+    """Log-log roofline scatter: every kernel of every configuration."""
+    import math
+
+    pts: list[tuple[float, float, str, str]] = []
+    peak_bw = peak_flops = None
+    for record in hw_recs:
+        gpu = record["hw"].get("gpu")
+        if not gpu or not gpu.get("kernels"):
+            continue
+        peak_bw, peak_flops = gpu["peak_bandwidth"], gpu["peak_flops"]
+        color = series_slots.var(_config_series(record))
+        for r in gpu["kernels"]:
+            if r["intensity"] is None or r["achieved_flops"] <= 0:
+                continue
+            tip = (
+                f"{r['name']} — {_config_series(record)}: "
+                f"{r['intensity']:.3f} ops/B, "
+                f"{r['achieved_flops'] / 1e9:,.2f} GF/s, "
+                f"dram {r['dram_utilization']:.1%}, bound: {r['bound']}"
+            )
+            pts.append((r["intensity"], r["achieved_flops"], tip, color))
+    if not pts or not peak_bw:
+        return (
+            "<p class='muted'>No per-kernel roofline data — only CPU "
+            "engines (or aggregate-only service drains) in this ledger.</p>"
+        )
+    width, height, pad = 720, 260, 28
+    ridge = peak_flops / peak_bw
+    xs = [p[0] for p in pts] + [ridge]
+    ys = [p[1] for p in pts] + [peak_flops]
+    lx_lo, lx_hi = math.log10(min(xs) / 4), math.log10(max(xs) * 4)
+    ly_lo, ly_hi = math.log10(min(ys) / 16), math.log10(peak_flops * 2)
+
+    def px(x):
+        return pad + (width - 2 * pad) * (math.log10(x) - lx_lo) / (lx_hi - lx_lo)
+
+    def py(y):
+        return (height - pad) - (height - 2 * pad) * (
+            (math.log10(y) - ly_lo) / (ly_hi - ly_lo)
+        )
+
+    roof = []
+    for i in range(65):
+        x = 10 ** (lx_lo + (lx_hi - lx_lo) * i / 64)
+        y = min(peak_flops, x * peak_bw)
+        if 10 ** ly_lo <= y:
+            roof.append(f"{px(x):.1f},{py(y):.1f}")
+    parts = [
+        f'<polyline points="{" ".join(roof)}" fill="none" '
+        'stroke="var(--baseline)" stroke-width="2"/>'
+    ]
+    for x, y, tip, color in pts:
+        parts.append(
+            f'<circle cx="{px(x):.1f}" cy="{py(y):.1f}" r="4" fill="{color}" '
+            f'stroke="var(--surface-1)" stroke-width="1.5" '
+            f'data-tip="{_esc(tip)}"/>'
+        )
+    parts.append(
+        f'<text x="{px(ridge):.1f}" y="{py(peak_flops) - 8:.1f}" '
+        f'class="svg-label" text-anchor="middle">'
+        f"peak {peak_flops / 1e9:,.0f} GF/s · ridge {ridge:.2f} ops/B</text>"
+    )
+    legend = "".join(
+        f'<span class="key"><span class="swatch" style="background:'
+        f'{series_slots.var(_config_series(r))}"></span>'
+        f"{_esc(_config_series(r))}</span>"
+        for r in hw_recs
+        if r["hw"].get("gpu", {}).get("kernels")
+    )
+    return (
+        f'<div class="legend">{legend}</div>'
+        f'<svg viewBox="0 0 {width} {height}" role="img" '
+        'aria-label="Roofline: arithmetic intensity vs achieved ops/s">'
+        f"{''.join(parts)}</svg>"
+        "<p class='muted'>x: arithmetic intensity (device ops per DRAM "
+        "byte moved, log); y: achieved ops/s (log). The line is the "
+        "machine's roofline; hover points for kernel and bound-ness.</p>"
+    )
+
+
+def _hw_utilization_bars(hw_recs: list[dict]) -> str:
+    """Per-configuration timeline bar: each phase's seconds split into
+    GPU / PCIe / CPU slices, in phase order, on one shared scale."""
+    rows = [r for r in hw_recs if r["hw"].get("phases")]
+    if not rows:
+        return ""
+    max_total = max(
+        sum(p["seconds"] for p in r["hw"]["phases"]) for r in rows
+    ) or 1.0
+    bars = []
+    for record in rows:
+        segments = []
+        total = 0.0
+        for phase in record["hw"]["phases"]:
+            total += phase["seconds"]
+            for res in ("gpu", "pcie", "cpu"):
+                seconds = phase[f"{res}_seconds"]
+                if seconds <= 0:
+                    continue
+                width = 100.0 * seconds / max_total
+                util = phase.get(
+                    "gpu_dram_utilization" if res == "gpu"
+                    else "pcie_utilization" if res == "pcie" else "", 0.0
+                )
+                tip = f"{phase['phase']} · {res}: {seconds * 1e3:,.3f} ms"
+                if res in ("gpu", "pcie"):
+                    tip += f" (util {util:.1%})"
+                segments.append(
+                    f'<div class="seg" data-tip="{_esc(tip)}" '
+                    f'style="width:{width:.3f}%;'
+                    f'background:{_HW_RESOURCE_VARS[res]}"></div>'
+                )
+        bars.append(
+            '<div class="bar-row">'
+            f'<div class="bar-label">{_esc(_config_series(record))}</div>'
+            f'<div class="bar">{"".join(segments)}</div>'
+            f'<div class="bar-total">{_fmt_ms(total)} ms</div>'
+            "</div>"
+        )
+    legend = "".join(
+        f'<span class="key"><span class="swatch" style="background:{var}">'
+        f"</span>{_esc(name)}</span>"
+        for name, var in _HW_RESOURCE_VARS.items()
+    )
+    return (
+        f'<div class="legend">{legend}</div><div class="bars">{"".join(bars)}'
+        "</div><p class='muted'>Each bar runs left-to-right in phase "
+        "order; slice widths are modeled seconds on one shared scale.</p>"
+    )
+
+
+def _hw_boundness_table(hw_recs: list[dict]) -> str:
+    """Bound-ness + utilization summary, one row per configuration."""
+    rows = []
+    for record in hw_recs:
+        hw = record["hw"]
+        gpu = hw.get("gpu")
+        if gpu and gpu["kernel_seconds"] > 0:
+            bound = gpu["bound_seconds"]
+            dominant = max(bound, key=bound.get)
+            badge = (
+                f'<span class="key"><span class="swatch" style="background:'
+                f'{_HW_BOUND_VARS[dominant]}"></span>{_esc(dominant)}</span>'
+            )
+            dram = f"{gpu['dram_utilization']:.1%}"
+        else:
+            badge, dram = "<span class='muted'>no GPU work</span>", "—"
+        pcie, cpu = hw["pcie"], hw["cpu"]
+        avoid = hw.get("transfer_avoidance")
+        avoid_cell = f"{avoid:.2%}" if avoid is not None else "—"
+        rows.append(
+            "<tr>"
+            f"<td>{_esc(_config_series(record))}</td>"
+            f"<td>{badge}</td>"
+            f"<td class='num'>{dram}</td>"
+            f"<td class='num'>{cpu['utilization']:.1%}</td>"
+            f"<td class='num'>{pcie['bytes'] / 1e6:,.2f}</td>"
+            f"<td class='num'>{pcie['utilization']:.1%}</td>"
+            f"<td class='num'>{avoid_cell}</td>"
+            "</tr>"
+        )
+    return (
+        "<table><thead><tr><th>configuration</th><th>dominant bound</th>"
+        "<th class='num'>GPU dram util</th><th class='num'>CPU util</th>"
+        "<th class='num'>PCIe MB</th><th class='num'>PCIe util</th>"
+        "<th class='num'>transfer avoidance</th></tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table>"
+    )
+
+
+def _hw_section(records: list[dict], series_slots: _SlotMap) -> str:
+    hw_recs = _hw_records(records)
+    if not hw_recs:
+        return (
+            "<p class='muted'>No hardware data — these records predate "
+            "the hw block (schema repro.obs.ledger/2). Re-profile under "
+            "the current code to populate this page.</p>"
+        )
+    return (
+        f"<h3>Roofline (all kernels, latest run per configuration)</h3>"
+        f"{_hw_roofline_svg(hw_recs, series_slots)}"
+        f"<h3>Utilization timeline</h3>{_hw_utilization_bars(hw_recs)}"
+        f"<h3>Bound-ness and utilization</h3>"
+        f"{_hw_boundness_table(hw_recs)}"
+    )
+
+
+# ----------------------------------------------------------------------
 def _slo_section(slo: dict) -> str:
     """The SLO page: objective verdicts plus per-lane budget burn-down."""
     results = slo.get("results", [])
@@ -484,6 +695,8 @@ def html_report(records: list[dict], title: str = "repro run ledger",
         f"{_comparison_tables(records)}</section>"
         "<section><h2>Phase breakdown</h2>"
         f"{_phase_bars(records, phase_slots)}</section>"
+        "<section><h2>Hardware</h2>"
+        f"{_hw_section(records, series_slots)}</section>"
         "<section><h2>Trend across the ledger</h2>"
         f"{_trend_svg(records, series_slots)}{_trend_table(records)}</section>"
     )

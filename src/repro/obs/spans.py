@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 from ..runtime.clock import SimClock
+from ..runtime.hwcount import HwCounters
 from .metrics import MetricsRegistry
 from .tracectx import TraceContext, current_trace_context, trace_digest
 
@@ -125,6 +126,12 @@ class Profiler:
         #: The run's :class:`~repro.runtime.trace.Trace`, once attached.
         self.trace = None
         clock.profiler = self
+        # Profiled runs also get hardware counters: substrates discover
+        # them via ``clock.hw`` exactly like they discover the profiler.
+        if getattr(clock, "hw", None) is None:
+            clock.hw = HwCounters()
+        #: The run's :class:`~repro.runtime.hwcount.HwCounters`.
+        self.hw_counters = clock.hw
 
     @property
     def trace_context(self) -> TraceContext:

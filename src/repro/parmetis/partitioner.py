@@ -98,6 +98,7 @@ class ParMetis:
             profiler,
             trace=trace,
             injector=injector,
+            machine=self.machine,
             cut=edge_cut(graph, part),
             imbalance=imbalance(graph, part, k),
             num_ranks=opts.num_ranks,

@@ -230,6 +230,7 @@ class PTScotch:
             profiler,
             trace=trace,
             injector=injector,
+            machine=self.machine,
             cut=edge_cut(graph, part),
             imbalance=imbalance(graph, part, k),
             num_ranks=opts.num_ranks,

@@ -68,6 +68,10 @@ class SimClock:
     #: here — the same pattern as ``profiler`` — so fault sites need no
     #: extra plumbing through the engine call chains.
     injector: object | None = None
+    #: Optional :class:`repro.runtime.hwcount.HwCounters`.  Attached by the
+    #: profiler (same discovery pattern again); CPU/MPI substrates record
+    #: hardware-utilization counters here alongside their cost charges.
+    hw: object | None = None
 
     # ------------------------------------------------------------------
     def set_phase(self, phase: str) -> None:

@@ -1,0 +1,142 @@
+"""Hardware-utilization counters for the simulated CPU and interconnect.
+
+The machine model (:mod:`repro.runtime.machine`) prices every operation;
+the cost events on a :class:`~repro.runtime.clock.SimClock` record what
+was *charged* but not what the hardware could have *sustained*.  This
+module closes that gap for the host side: substrates (thread pool, MPI
+layer, serial hot loops) record each charged region together with an
+*ideal* lower-bound duration — the time the same work would take with
+every core (or every NIC) perfectly busy at the spec's peak rate.  The
+ratio ``ideal / actual`` is then a utilization in ``[0, 1]`` by
+construction, because every substrate charges at least its critical path
+and the critical path can never beat perfect balance.
+
+An instance is attached to a clock as ``clock.hw`` (the same discovery
+pattern as ``clock.profiler`` and ``clock.injector``), created by the
+profiler so any profiled run gets counters with zero plumbing.  Substrates
+fetch it with ``getattr(clock, "hw", None)`` and skip recording when no
+profiler is watching.
+
+The GPU side needs no analogue here: :class:`repro.gpusim.stats.KernelStats`
+already counts transactions/ops per kernel and PCIe transfers carry their
+byte volume on ``transfer``-category spans; :mod:`repro.obs.hw` derives
+device and PCIe utilization from those directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["HwCounters"]
+
+
+@dataclass
+class HwCounters:
+    """Accumulated host-side hardware counters for one run.
+
+    ``cpu_busy_seconds`` is the modeled wall time of every recorded CPU
+    region (exactly what the clock was charged); ``cpu_ideal_seconds`` is
+    the perfect-machine lower bound for the same work.  Utilization is
+    their ratio.  The MPI fields mirror that for the interconnect: the
+    actual charged comm time is the max over ranks, the ideal spreads the
+    aggregate wire traffic evenly over all NICs.
+    """
+
+    cpu_edge_visits: float = 0.0
+    cpu_vertex_ops: float = 0.0
+    cpu_random_bytes: float = 0.0
+    cpu_busy_seconds: float = 0.0
+    cpu_ideal_seconds: float = 0.0
+    mpi_messages: float = 0.0
+    mpi_bytes: float = 0.0
+    mpi_wire_seconds: float = 0.0
+    mpi_ideal_seconds: float = 0.0
+    #: Per-region (kind, count) tallies for anything beyond the standard
+    #: edge/vertex split (e.g. "random_bytes" gather traffic).
+    kinds: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def record_cpu(
+        self, kind: str, count: float, actual_seconds: float,
+        ideal_seconds: float,
+    ) -> None:
+        """Record one charged CPU region.
+
+        ``ideal_seconds`` must be the full-machine lower bound for the
+        region's total work; it is clamped to ``actual_seconds`` so float
+        drift (or an oversubscribed caller) can never push utilization
+        above 1.
+        """
+        if kind == "edge":
+            self.cpu_edge_visits += float(count)
+        elif kind == "vertex":
+            self.cpu_vertex_ops += float(count)
+        else:
+            self.kinds[kind] = self.kinds.get(kind, 0.0) + float(count)
+        actual = max(0.0, float(actual_seconds))
+        self.cpu_busy_seconds += actual
+        self.cpu_ideal_seconds += min(actual, max(0.0, float(ideal_seconds)))
+
+    def record_random_bytes(self, nbytes: float) -> None:
+        """Count scattered (non-streaming) host memory traffic."""
+        self.cpu_random_bytes += max(0.0, float(nbytes))
+
+    def record_mpi(
+        self, messages: float, nbytes: float, actual_seconds: float,
+        ideal_seconds: float,
+    ) -> None:
+        """Record one message exchange / collective against the NIC model."""
+        self.mpi_messages += max(0.0, float(messages))
+        self.mpi_bytes += max(0.0, float(nbytes))
+        actual = max(0.0, float(actual_seconds))
+        self.mpi_wire_seconds += actual
+        self.mpi_ideal_seconds += min(actual, max(0.0, float(ideal_seconds)))
+
+    # ------------------------------------------------------------------
+    @property
+    def cpu_utilization(self) -> float:
+        """Fraction of the full CPU the recorded regions kept busy."""
+        if self.cpu_busy_seconds <= 0.0:
+            return 0.0
+        return min(1.0, self.cpu_ideal_seconds / self.cpu_busy_seconds)
+
+    @property
+    def mpi_utilization(self) -> float:
+        """Comm balance: aggregate NIC time over the charged critical path."""
+        if self.mpi_wire_seconds <= 0.0:
+            return 0.0
+        return min(1.0, self.mpi_ideal_seconds / self.mpi_wire_seconds)
+
+    def merge(self, other: "HwCounters") -> None:
+        """Absorb another run's counters (sub-engine folding)."""
+        self.cpu_edge_visits += other.cpu_edge_visits
+        self.cpu_vertex_ops += other.cpu_vertex_ops
+        self.cpu_random_bytes += other.cpu_random_bytes
+        self.cpu_busy_seconds += other.cpu_busy_seconds
+        self.cpu_ideal_seconds += other.cpu_ideal_seconds
+        self.mpi_messages += other.mpi_messages
+        self.mpi_bytes += other.mpi_bytes
+        self.mpi_wire_seconds += other.mpi_wire_seconds
+        self.mpi_ideal_seconds += other.mpi_ideal_seconds
+        for kind, count in other.kinds.items():
+            self.kinds[kind] = self.kinds.get(kind, 0.0) + count
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot (ledger ``hw.cpu`` / ``hw.mpi`` blocks)."""
+        return {
+            "cpu": {
+                "edge_visits": self.cpu_edge_visits,
+                "vertex_ops": self.cpu_vertex_ops,
+                "random_bytes": self.cpu_random_bytes,
+                "busy_seconds": self.cpu_busy_seconds,
+                "ideal_seconds": self.cpu_ideal_seconds,
+                "utilization": self.cpu_utilization,
+            },
+            "mpi": {
+                "messages": self.mpi_messages,
+                "bytes": self.mpi_bytes,
+                "wire_seconds": self.mpi_wire_seconds,
+                "ideal_seconds": self.mpi_ideal_seconds,
+                "utilization": self.mpi_utilization,
+            },
+        }

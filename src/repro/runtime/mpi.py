@@ -70,20 +70,30 @@ class MpiSim:
         if per_rank_edges.shape[0] != self.num_ranks:
             raise CommunicationError("per_rank_edges must have num_ranks entries")
         critical = float(per_rank_edges.max(initial=0.0))
-        self.clock.charge(
-            "compute", self.cpu.edge_seconds(critical, avg_degree),
-            count=float(per_rank_edges.sum()), detail=detail,
-        )
+        total = float(per_rank_edges.sum())
+        seconds = self.cpu.edge_seconds(critical, avg_degree)
+        self.clock.charge("compute", seconds, count=total, detail=detail)
+        hw = getattr(self.clock, "hw", None)
+        if hw is not None:
+            hw.record_cpu(
+                "edge", total, seconds,
+                self.cpu.edge_seconds(total, avg_degree) / self.cpu.num_cores,
+            )
 
     def compute_vertices(self, per_rank_ops: np.ndarray, detail: str = "") -> None:
         per_rank_ops = np.asarray(per_rank_ops, dtype=np.float64)
         if per_rank_ops.shape[0] != self.num_ranks:
             raise CommunicationError("per_rank_ops must have num_ranks entries")
         critical = float(per_rank_ops.max(initial=0.0))
-        self.clock.charge(
-            "compute", self.cpu.vertex_seconds(critical),
-            count=float(per_rank_ops.sum()), detail=detail,
-        )
+        total = float(per_rank_ops.sum())
+        seconds = self.cpu.vertex_seconds(critical)
+        self.clock.charge("compute", seconds, count=total, detail=detail)
+        hw = getattr(self.clock, "hw", None)
+        if hw is not None:
+            hw.record_cpu(
+                "vertex", total, seconds,
+                self.cpu.vertex_seconds(total) / self.cpu.num_cores,
+            )
 
     def exchange(self, src: np.ndarray, dst: np.ndarray, nbytes: np.ndarray,
                  detail: str = "") -> None:
@@ -130,6 +140,15 @@ class MpiSim:
         )
         self.messages_sent += int(uniq_pairs.shape[0])
         self.bytes_sent += int(pair_bytes.sum())
+        hw = getattr(self.clock, "hw", None)
+        if hw is not None:
+            # Actual comm time is the straggler NIC's; the ideal spreads
+            # the aggregate traffic evenly over every rank's NIC, so the
+            # ratio measures communication balance.
+            actual = float(per_rank_alpha.max() + per_rank_beta.max())
+            ideal = float(per_rank_alpha.sum() + per_rank_beta.sum()) / self.num_ranks
+            hw.record_mpi(float(uniq_pairs.shape[0]), float(pair_bytes.sum()),
+                          actual, ideal)
         self._inject_message_faults(float(pair_bytes.max()), detail)
 
     def _inject_message_faults(self, worst_msg_bytes: float, detail: str) -> None:
@@ -171,6 +190,26 @@ class MpiSim:
     # ------------------------------------------------------------------
     # Collectives
     # ------------------------------------------------------------------
+    def _record_collective(self, steps: int, payload_bytes: float) -> None:
+        """Fold one tree/ring collective into the hw counters.
+
+        Actual wire time is the charged ``steps`` serial message rounds;
+        the ideal lower bound is a single alpha-beta message carrying the
+        payload once — the collective cannot go faster than one hop.
+        """
+        hw = getattr(self.clock, "hw", None)
+        if hw is None:
+            return
+        actual = steps * (
+            self.net.mpi_latency_seconds
+            + payload_bytes / self.net.mpi_bytes_per_sec
+        )
+        ideal = (
+            self.net.mpi_latency_seconds
+            + payload_bytes / self.net.mpi_bytes_per_sec
+        )
+        hw.record_mpi(float(steps), float(steps) * payload_bytes, actual, ideal)
+
     def allreduce(self, nbytes: float = 8.0, detail: str = "allreduce") -> None:
         """Tree allreduce: 2 log2(P) message steps."""
         steps = max(1, int(np.ceil(np.log2(self.num_ranks)))) * 2
@@ -183,6 +222,7 @@ class MpiSim:
             "message_bytes", steps * nbytes / self.net.mpi_bytes_per_sec,
             count=float(steps * nbytes), detail=detail,
         )
+        self._record_collective(steps, float(nbytes))
 
     def broadcast(self, nbytes: float, detail: str = "bcast") -> None:
         """Binomial-tree broadcast of ``nbytes`` from one rank to all."""
@@ -196,6 +236,7 @@ class MpiSim:
             "message_bytes", steps * nbytes / self.net.mpi_bytes_per_sec,
             count=float(steps * nbytes), detail=detail,
         )
+        self._record_collective(steps, float(nbytes))
 
     def allgather(self, nbytes_per_rank: float, detail: str = "allgather") -> None:
         """Ring allgather: (P-1) steps of nbytes_per_rank each."""
@@ -211,3 +252,4 @@ class MpiSim:
             "message_bytes", steps * nbytes_per_rank / self.net.mpi_bytes_per_sec,
             count=float(steps * nbytes_per_rank), detail=detail,
         )
+        self._record_collective(steps, float(nbytes_per_rank))

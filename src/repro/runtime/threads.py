@@ -78,12 +78,15 @@ class ThreadPoolSim:
         ``per_item_edges[i]`` arcs, items distributed by ``ownership``."""
         per_thread = self._per_thread(per_item_edges, ownership)
         critical = float(per_thread.max(initial=0.0))
-        self.clock.charge(
-            "compute",
-            self.cpu.edge_seconds(critical, avg_degree) * self._slowdown(),
-            count=float(per_item_edges.sum()),
-            detail=detail,
-        )
+        total = float(per_item_edges.sum())
+        seconds = self.cpu.edge_seconds(critical, avg_degree) * self._slowdown()
+        self.clock.charge("compute", seconds, count=total, detail=detail)
+        hw = getattr(self.clock, "hw", None)
+        if hw is not None:
+            hw.record_cpu(
+                "edge", total, seconds,
+                self.cpu.edge_seconds(total, avg_degree) / self.cpu.num_cores,
+            )
         self.barrier()
 
     def parallel_vertex_work(
@@ -91,22 +94,27 @@ class ThreadPoolSim:
     ) -> None:
         per_thread = self._per_thread(per_item_ops, ownership)
         critical = float(per_thread.max(initial=0.0))
-        self.clock.charge(
-            "compute",
-            self.cpu.vertex_seconds(critical) * self._slowdown(),
-            count=float(per_item_ops.sum()),
-            detail=detail,
-        )
+        total = float(per_item_ops.sum())
+        seconds = self.cpu.vertex_seconds(critical) * self._slowdown()
+        self.clock.charge("compute", seconds, count=total, detail=detail)
+        hw = getattr(self.clock, "hw", None)
+        if hw is not None:
+            hw.record_cpu(
+                "vertex", total, seconds,
+                self.cpu.vertex_seconds(total) / self.cpu.num_cores,
+            )
         self.barrier()
 
     def serial_edge_work(
         self, n_edges: float, detail: str = "", avg_degree: float | None = None
     ) -> None:
         """A region executed by one thread while others wait."""
-        self.clock.charge(
-            "compute", self.cpu.edge_seconds(float(n_edges), avg_degree),
-            count=float(n_edges), detail=detail,
-        )
+        seconds = self.cpu.edge_seconds(float(n_edges), avg_degree)
+        self.clock.charge("compute", seconds, count=float(n_edges), detail=detail)
+        hw = getattr(self.clock, "hw", None)
+        if hw is not None:
+            hw.record_cpu("edge", float(n_edges), seconds,
+                          seconds / self.cpu.num_cores)
 
     def barrier(self) -> None:
         injector = getattr(self.clock, "injector", None)

@@ -51,16 +51,24 @@ def coarsen_graph(
         mres = sequential_match(current, opts.matching, rng)
         coarse, cmap = contract(current, mres.match)
         if clock is not None and cpu is not None:
+            edge_work = mres.edge_scans + current.num_directed_edges
+            avg_deg = 2 * current.num_edges / max(1, current.num_vertices)
+            edge_sec = cpu.edge_seconds(edge_work, avg_degree=avg_deg)
+            vert_sec = cpu.vertex_seconds(2 * current.num_vertices)
             clock.charge(
-                "compute",
-                cpu.edge_seconds(
-                    mres.edge_scans + current.num_directed_edges,
-                    avg_degree=2 * current.num_edges / max(1, current.num_vertices),
-                )
-                + cpu.vertex_seconds(2 * current.num_vertices),
-                count=float(mres.edge_scans + current.num_directed_edges),
+                "compute", edge_sec + vert_sec,
+                count=float(edge_work),
                 detail=f"coarsen level {level_idx}",
             )
+            hw = getattr(clock, "hw", None)
+            if hw is not None:
+                hw.record_cpu("edge", float(edge_work), edge_sec,
+                              edge_sec / cpu.num_cores)
+                hw.record_cpu("vertex", float(2 * current.num_vertices),
+                              vert_sec, vert_sec / cpu.num_cores)
+                # Matching chases adjacency lists in vertex order — one
+                # scattered 8 B read per scanned arc.
+                hw.record_random_bytes(8.0 * mres.edge_scans)
         if trace is not None:
             trace.levels.append(
                 LevelRecord(

@@ -75,27 +75,37 @@ class SerialMetis:
         # the whole coarsest graph a constant number of times (GGGP trials
         # + FM passes).
         sweeps = (opts.gggp_trials + opts.fm_passes) * max(1, int(np.ceil(np.log2(max(k, 2)))))
+        bisect_sec = self.machine.cpu.edge_seconds(
+            sweeps * coarsest.num_directed_edges,
+            avg_degree=2 * coarsest.num_edges / max(1, coarsest.num_vertices),
+        )
         clock.charge(
-            "compute",
-            self.machine.cpu.edge_seconds(
-                sweeps * coarsest.num_directed_edges,
-                avg_degree=2 * coarsest.num_edges / max(1, coarsest.num_vertices),
-            ),
+            "compute", bisect_sec,
             count=float(sweeps * coarsest.num_directed_edges),
             detail="recursive bisection",
         )
+        hw = getattr(clock, "hw", None)
+        if hw is not None:
+            hw.record_cpu("edge", float(sweeps * coarsest.num_directed_edges),
+                          bisect_sec, bisect_sec / self.machine.cpu.num_cores)
 
         # Phase 3: uncoarsening with greedy k-way refinement.
         clock.set_phase("uncoarsening")
         for level_idx in range(len(levels) - 1, -1, -1):
             level = levels[level_idx]
             part = project_partition(part, level.cmap)
+            project_sec = self.machine.cpu.vertex_seconds(level.graph.num_vertices)
             clock.charge(
-                "compute",
-                self.machine.cpu.vertex_seconds(level.graph.num_vertices),
+                "compute", project_sec,
                 count=float(level.graph.num_vertices),
                 detail=f"project level {level_idx}",
             )
+            if hw is not None:
+                hw.record_cpu("vertex", float(level.graph.num_vertices),
+                              project_sec,
+                              project_sec / self.machine.cpu.num_cores)
+                # part[cmap] gathers one 8 B label per fine vertex.
+                hw.record_random_bytes(8.0 * level.graph.num_vertices)
             cut_before = edge_cut(level.graph, part)
             part, passes = kway_refine(
                 level.graph, part, k, ubfactor=opts.ubfactor,
@@ -103,16 +113,19 @@ class SerialMetis:
             )
             cut_after = edge_cut(level.graph, part)
             for pi, pres in enumerate(passes):
+                pass_sec = self.machine.cpu.edge_seconds(
+                    pres.edge_scans,
+                    avg_degree=2 * level.graph.num_edges
+                    / max(1, level.graph.num_vertices),
+                )
                 clock.charge(
-                    "compute",
-                    self.machine.cpu.edge_seconds(
-                        pres.edge_scans,
-                        avg_degree=2 * level.graph.num_edges
-                        / max(1, level.graph.num_vertices),
-                    ),
+                    "compute", pass_sec,
                     count=float(pres.edge_scans),
                     detail=f"kway pass level {level_idx}",
                 )
+                if hw is not None:
+                    hw.record_cpu("edge", float(pres.edge_scans), pass_sec,
+                                  pass_sec / self.machine.cpu.num_cores)
                 trace.refinements.append(
                     RefinementRecord(
                         level=level_idx, pass_index=pi,
@@ -127,6 +140,7 @@ class SerialMetis:
             profiler,
             trace=trace,
             injector=injector,
+            machine=self.machine,
             cut=edge_cut(graph, part),
             imbalance=imbalance(graph, part, k),
         )

@@ -49,6 +49,12 @@ from ..exceptions import (
 )
 from ..faults.retry import RetryPolicy
 from ..obs.critical import attribution_totals, request_entry
+from ..obs.hw import (
+    BOUND_KINDS,
+    hw_metrics,
+    hw_section,
+    transfer_avoidance_ratio,
+)
 from ..obs.ledger import (
     append_record,
     get_default_ledger,
@@ -59,6 +65,8 @@ from ..obs.spans import Profiler
 from ..obs.tracectx import TraceContext, request_trace_id, use_trace_context
 from ..result import PartitionResult
 from ..runtime.clock import SimClock
+from ..runtime.hwcount import HwCounters
+from ..runtime.machine import PAPER_MACHINE
 from .cache import ResultCache
 from .request import PartitionRequest
 from .stats import ServiceStats
@@ -158,6 +166,21 @@ def _csr_setup_seconds(result: PartitionResult) -> float:
         if e.category in ("transfer_latency", "transfer_bytes")
         and e.detail.startswith("csr.")
     )
+
+
+def _csr_setup_bytes(result: PartitionResult) -> tuple[float, int]:
+    """(bytes, transfer count) of the CSR H2D charges in a result's clock
+    — the PCIe traffic a batch follower did not actually generate."""
+    nbytes = 0.0
+    transfers = 0
+    for e in result.clock.events:
+        if not e.detail.startswith("csr."):
+            continue
+        if e.category == "transfer_bytes":
+            nbytes += e.count
+        elif e.category == "transfer_latency":
+            transfers += int(e.count)
+    return nbytes, transfers
 
 
 class PartitionService:
@@ -413,6 +436,8 @@ class PartitionService:
             batches=batches,
         )
         self.stats.record_cache(self.cache.stats())
+        drain_hw = self._drain_hw_aggregate(tickets)
+        self.stats.record_hw(drain_hw)
         self._fold_drain_metrics(
             profiler, tickets, cache_before,
             makespan=makespan, served=served, utilization=utilization,
@@ -424,6 +449,7 @@ class PartitionService:
             cache_hits=sum(1 for t in tickets if t.cache == "hit"),
             batches=batches,
         )
+        self._attach_drain_hw(profiler, drain_hw)
         self.last_profiler = profiler
         ledger_path = self.config.ledger or get_default_ledger()
         if ledger_path is not None:
@@ -535,6 +561,133 @@ class PartitionService:
         # and per-lane) so the record's summaries cover this drain only.
         for key, hist in drain_stats.metrics.histograms.items():
             profiler.metrics.histograms[key] = hist
+
+    def _drain_hw_aggregate(self, tickets: list[Ticket]) -> dict:
+        """Hardware traffic this drain actually generated, summed over the
+        tickets that ran an engine (cache hits moved no new bytes).
+
+        Batch followers are credited for the CSR setup transfers the
+        leader's device-resident graph satisfied: :meth:`_serve_miss`
+        refunded the *seconds*, and the same ``csr.*`` charges identify
+        the *bytes* that never crossed PCIe — exactly the traffic the
+        transfer-avoidance ratio must not count against the bus.
+        """
+        counters = HwCounters()
+        pcie_bytes = pcie_seconds = 0.0
+        pcie_transfers = 0
+        gpu_bytes = gpu_ops = gpu_seconds = coal_weighted = 0.0
+        bound_seconds = {kind: 0.0 for kind in BOUND_KINDS}
+        saw_gpu = False
+        for t in tickets:
+            if t.result is None or t.cache == "hit":
+                continue
+            run_prof = getattr(t.result, "profiler", None)
+            if getattr(run_prof, "hw_counters", None) is not None:
+                counters.merge(run_prof.hw_counters)
+            run_hw = getattr(run_prof, "hw", None)
+            if not run_hw:
+                continue
+            p = run_hw["pcie"]
+            nbytes, transfers, seconds = p["bytes"], p["transfers"], p["seconds"]
+            if t.amortized_seconds > 0.0:
+                csr_bytes, csr_transfers = _csr_setup_bytes(t.result)
+                nbytes = max(0.0, nbytes - csr_bytes)
+                transfers = max(0, transfers - csr_transfers)
+                seconds = max(0.0, seconds - _csr_setup_seconds(t.result))
+            pcie_bytes += nbytes
+            pcie_transfers += transfers
+            pcie_seconds += seconds
+            g = run_hw.get("gpu")
+            if g is not None:
+                saw_gpu = True
+                gpu_bytes += g["bytes_moved"]
+                gpu_ops += g["compute_ops"]
+                gpu_seconds += g["kernel_seconds"]
+                coal_weighted += g["coalescing"] * g["bytes_moved"]
+                for kind, sec in g["bound_seconds"].items():
+                    bound_seconds[kind] = bound_seconds.get(kind, 0.0) + sec
+        return {
+            "requests": len(tickets),
+            "counters": counters,
+            "pcie": {
+                "bytes": pcie_bytes,
+                "transfers": pcie_transfers,
+                "seconds": pcie_seconds,
+            },
+            "gpu": {
+                "bytes_moved": gpu_bytes,
+                "compute_ops": gpu_ops,
+                "kernel_seconds": gpu_seconds,
+                "coalescing_weighted": coal_weighted,
+                "bound_seconds": bound_seconds,
+            } if saw_gpu else None,
+            "transfer_avoidance": transfer_avoidance_ratio(gpu_bytes, pcie_bytes),
+            "bytes_per_request": pcie_bytes / len(tickets) if tickets else 0.0,
+        }
+
+    def _attach_drain_hw(self, profiler: Profiler, agg: dict) -> None:
+        """Assemble the drain record's ``hw`` block and ``hw.*`` metrics.
+
+        The drain profiler itself only charges scheduling bookkeeping, so
+        its own counters are empty; the block carries the per-ticket
+        aggregate from :meth:`_drain_hw_aggregate` instead, scored against
+        the paper testbed's peaks (per-engine machine variants are scored
+        in their own run records).
+        """
+        machine = PAPER_MACHINE
+        section = hw_section(profiler, machine)
+        counters = agg["counters"].as_dict()
+        section["cpu"] = counters["cpu"]
+        section["mpi"] = counters["mpi"]
+        net = machine.interconnect
+        p = agg["pcie"]
+        seconds = p["seconds"]
+        section["pcie"] = {
+            "transfers": p["transfers"],
+            "bytes": p["bytes"],
+            "seconds": seconds,
+            "utilization": (
+                min(1.0, p["bytes"] / net.pcie_bytes_per_sec / seconds)
+                if seconds else 0.0
+            ),
+            "alpha_share": (
+                min(1.0, p["transfers"] * net.pcie_latency_seconds / seconds)
+                if seconds else 0.0
+            ),
+            "peak_bandwidth": net.pcie_bytes_per_sec,
+            "bytes_per_request": agg["bytes_per_request"],
+        }
+        g = agg["gpu"]
+        if g is not None:
+            gpu_spec = machine.gpu
+            ksec = g["kernel_seconds"]
+            section["gpu"] = {
+                "peak_bandwidth": gpu_spec.bandwidth_bytes_per_sec,
+                "peak_flops": gpu_spec.compute_ops_per_sec,
+                "kernel_seconds": ksec,
+                "bytes_moved": g["bytes_moved"],
+                "compute_ops": g["compute_ops"],
+                "dram_utilization": (
+                    min(1.0, g["bytes_moved"] / ksec / gpu_spec.bandwidth_bytes_per_sec)
+                    if ksec else 0.0
+                ),
+                "compute_utilization": (
+                    min(1.0, g["compute_ops"] / ksec / gpu_spec.compute_ops_per_sec)
+                    if ksec else 0.0
+                ),
+                "coalescing": (
+                    min(1.0, g["coalescing_weighted"] / g["bytes_moved"])
+                    if g["bytes_moved"] else 1.0
+                ),
+                "bound_seconds": g["bound_seconds"],
+                "kernels": [],
+            }
+            section["transfer_avoidance"] = agg["transfer_avoidance"]
+        profiler.hw = section
+        hw_metrics(profiler.metrics, section)
+        profiler.metrics.gauge("hw.pcie.bytes_per_request").set(
+            agg["bytes_per_request"]
+        )
 
     def serve(self, requests) -> list[Ticket]:
         """Submit a batch of requests and drain; rejected submissions

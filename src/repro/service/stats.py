@@ -32,6 +32,8 @@ class ServiceStats:
             "service.retries",
             "service.cache_hits",
             "service.cache_misses",
+            "service.hw.pcie_bytes",
+            "service.hw.gpu_bytes",
         ):
             self.metrics.counter(name)
 
@@ -94,6 +96,20 @@ class ServiceStats:
         m.gauge("service.latency_p99").set(latency.percentile(99.0) or 0.0)
         m.gauge("service.queue_wait_p95").set(queue_wait.percentile(95.0) or 0.0)
 
+    def record_hw(self, agg: dict) -> None:
+        """Fold one drain's hardware-traffic aggregate (built by the
+        scheduler from each executed ticket's ``hw`` block) into the
+        lifetime ``service.hw.*`` family."""
+        m = self.metrics
+        m.counter("service.hw.pcie_bytes").inc(agg["pcie"]["bytes"])
+        gpu = agg.get("gpu")
+        if gpu is not None:
+            m.counter("service.hw.gpu_bytes").inc(gpu["bytes_moved"])
+        m.gauge("service.hw.bytes_per_request").set(agg["bytes_per_request"])
+        avoid = agg.get("transfer_avoidance")
+        if avoid is not None:
+            m.gauge("service.hw.transfer_avoidance").set(avoid)
+
     def record_cache(self, cache_stats: dict) -> None:
         m = self.metrics
         m.gauge("service.cache_entries").set(cache_stats["entries"])
@@ -126,5 +142,9 @@ class ServiceStats:
             "latency_p99": latency["p99"],
             "queue_wait_p50": queue_wait["p50"],
             "queue_wait_p95": queue_wait["p95"],
+            "hw_pcie_bytes": self.value("service.hw.pcie_bytes"),
+            "hw_gpu_bytes": self.value("service.hw.gpu_bytes"),
+            "hw_bytes_per_request": self.value("service.hw.bytes_per_request"),
+            "hw_transfer_avoidance": self.value("service.hw.transfer_avoidance"),
             "metrics": m.as_dict(),
         }

@@ -26,6 +26,50 @@ class TestCoalescingEfficiency:
         k = KernelStats("k", memory_transactions=20, bytes_requested=1280.0)
         assert k.coalescing_efficiency == pytest.approx(0.5)
 
+    def test_requested_without_transactions_is_zero(self):
+        # Regression: bytes requested but zero transactions recorded used
+        # to report a perfect 1.0 — it must read as fully uncoalesced.
+        k = KernelStats("k", memory_transactions=0, bytes_requested=4096.0)
+        assert k.coalescing_efficiency == 0.0
+
+    def test_clamped_to_one(self):
+        # More bytes requested than moved (an accounting overshoot) must
+        # clamp rather than report a >1 efficiency.
+        k = KernelStats("k", memory_transactions=1, bytes_requested=1e9)
+        assert k.coalescing_efficiency == 1.0
+
+    def test_always_in_unit_interval(self):
+        for tx, req in [(0, 0.0), (0, 10.0), (5, 0.0), (5, 640.0), (1, 1e12)]:
+            k = KernelStats("k", memory_transactions=tx, bytes_requested=req)
+            assert 0.0 <= k.coalescing_efficiency <= 1.0
+
+
+class TestBoundClassification:
+    def test_dram_bound(self):
+        k = KernelStats("k", mem_seconds=1e-3, compute_seconds=1e-4,
+                        atomic_seconds=0.0, launch_seconds=1e-6)
+        assert k.bound == "dram-bandwidth"
+
+    def test_compute_bound(self):
+        k = KernelStats("k", mem_seconds=1e-4, compute_seconds=1e-3,
+                        atomic_seconds=0.0, launch_seconds=1e-6)
+        assert k.bound == "compute"
+
+    def test_atomic_bound(self):
+        k = KernelStats("k", mem_seconds=1e-4, compute_seconds=1e-4,
+                        atomic_seconds=1e-3, launch_seconds=1e-6)
+        assert k.bound == "atomic"
+
+    def test_latency_bound(self):
+        # Launch overhead at least as large as the whole kernel body.
+        k = KernelStats("k", mem_seconds=1e-6, compute_seconds=1e-6,
+                        atomic_seconds=0.0, launch_seconds=5e-6)
+        assert k.bound == "latency"
+
+    def test_bytes_moved(self):
+        k = KernelStats("k", memory_transactions=10, transaction_bytes=128.0)
+        assert k.bytes_moved == pytest.approx(1280.0)
+
     def test_sequential_beats_random_on_device(self, dev):
         a = dev.adopt(np.zeros(1 << 14, dtype=np.int64))
         with dev.kernel("seq", 1024) as k:

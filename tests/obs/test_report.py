@@ -82,6 +82,28 @@ class TestHtmlReport:
         assert len(html) > 2000
 
 
+class TestHardwareSection:
+    def test_fallback_when_records_predate_hw(self):
+        # build_record makes schema/1-style records without an hw block:
+        # the page must say so rather than render an empty chart.
+        html = html_report(sample_records())
+        assert "<h2>Hardware</h2>" in html
+        assert "No hardware data" in html
+
+    def test_renders_roofline_and_boundness_from_real_ledger(self):
+        from repro.obs import read_ledger
+
+        records = read_ledger("benchmarks/BENCH_ledger.jsonl")
+        html = html_report(records)
+        assert "<h2>Hardware</h2>" in html
+        assert "No hardware data" not in html
+        assert "ridge" in html  # roofline ridge-point label
+        assert "dram-bandwidth" in html or "compute" in html  # bound badges
+        assert "transfer avoidance" in html.lower()
+        # Utilization bars keep the fixed resource palette.
+        assert "var(--series-1)" in html
+
+
 class TestAgainstCommittedLedger:
     def test_renders_the_real_baseline(self):
         from repro.obs import read_ledger

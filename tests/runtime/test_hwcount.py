@@ -1,0 +1,79 @@
+"""Unit tests for the hardware counters (repro.runtime.hwcount)."""
+
+import pytest
+
+from repro.runtime.hwcount import HwCounters
+
+
+class TestCpuRecording:
+    def test_edge_and_vertex_kinds(self):
+        hw = HwCounters()
+        hw.record_cpu("edge", 1000.0, 2e-3, 1e-3)
+        hw.record_cpu("vertex", 500.0, 1e-3, 5e-4)
+        assert hw.cpu_edge_visits == 1000.0
+        assert hw.cpu_vertex_ops == 500.0
+        assert hw.cpu_busy_seconds == pytest.approx(3e-3)
+        assert hw.cpu_ideal_seconds == pytest.approx(1.5e-3)
+
+    def test_utilization_is_ideal_over_actual(self):
+        hw = HwCounters()
+        hw.record_cpu("edge", 1.0, 4e-3, 1e-3)
+        assert hw.cpu_utilization == pytest.approx(0.25)
+
+    def test_ideal_clamped_to_actual(self):
+        # A caller can never claim more than 100% utilization: the ideal
+        # lower bound is clamped to the charged seconds at record time.
+        hw = HwCounters()
+        hw.record_cpu("edge", 1.0, 1e-3, 5e-3)
+        assert hw.cpu_ideal_seconds == pytest.approx(1e-3)
+        assert hw.cpu_utilization == 1.0
+
+    def test_idle_utilization_is_zero(self):
+        assert HwCounters().cpu_utilization == 0.0
+        assert HwCounters().mpi_utilization == 0.0
+
+    def test_random_bytes(self):
+        hw = HwCounters()
+        hw.record_random_bytes(4096.0)
+        hw.record_random_bytes(4096.0)
+        assert hw.cpu_random_bytes == pytest.approx(8192.0)
+
+
+class TestMpiRecording:
+    def test_accumulates(self):
+        hw = HwCounters()
+        hw.record_mpi(4, 1 << 20, 2e-3, 1e-3)
+        hw.record_mpi(2, 1 << 10, 1e-3, 1e-3)
+        assert hw.mpi_messages == 6
+        assert hw.mpi_bytes == pytest.approx((1 << 20) + (1 << 10))
+        assert hw.mpi_wire_seconds == pytest.approx(3e-3)
+        assert hw.mpi_utilization == pytest.approx(2e-3 / 3e-3)
+
+    def test_mpi_ideal_clamped(self):
+        hw = HwCounters()
+        hw.record_mpi(1, 100, 1e-6, 9e-6)
+        assert hw.mpi_utilization == 1.0
+
+
+class TestMergeAndExport:
+    def test_merge_sums_everything(self):
+        a, b = HwCounters(), HwCounters()
+        a.record_cpu("edge", 10.0, 1e-3, 5e-4)
+        a.record_random_bytes(64.0)
+        b.record_cpu("vertex", 20.0, 2e-3, 1e-3)
+        b.record_mpi(3, 999, 1e-4, 5e-5)
+        a.merge(b)
+        assert a.cpu_edge_visits == 10.0
+        assert a.cpu_vertex_ops == 20.0
+        assert a.cpu_busy_seconds == pytest.approx(3e-3)
+        assert a.mpi_messages == 3
+        assert a.cpu_utilization == pytest.approx(1.5e-3 / 3e-3)
+
+    def test_as_dict_shape(self):
+        hw = HwCounters()
+        hw.record_cpu("edge", 5.0, 1e-3, 1e-3)
+        doc = hw.as_dict()
+        assert set(doc) == {"cpu", "mpi"}
+        assert doc["cpu"]["edge_visits"] == 5.0
+        assert 0.0 <= doc["cpu"]["utilization"] <= 1.0
+        assert doc["mpi"]["messages"] == 0

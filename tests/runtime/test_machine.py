@@ -56,6 +56,64 @@ class TestInterconnect:
         assert net.mpi_message_seconds(1000) == pytest.approx(1e-6 + 1e-6)
 
 
+    def test_locality_factor_monotone_in_degree(self):
+        cpu = CpuSpec()
+        degrees = [1.0, 2.4, 6.0, 10.0, 14.0, 48.0, 1e6]
+        factors = [cpu.locality_factor(d) for d in degrees]
+        assert all(a <= b for a, b in zip(factors, factors[1:]))
+        assert all(1.0 <= f <= cpu.locality_max_speedup for f in factors)
+
+    def test_edge_seconds_scales_linearly(self):
+        cpu = CpuSpec()
+        one = cpu.edge_seconds(1e5, avg_degree=6.0)
+        assert cpu.edge_seconds(3e5, avg_degree=6.0) == pytest.approx(3 * one)
+
+    def test_paper_nehalem_constants(self):
+        # Sec. IV: dual-socket Xeon E5540 host, 8 physical cores.
+        cpu = PAPER_MACHINE.cpu
+        assert cpu.num_cores == 8
+        assert cpu.edge_ops_per_sec == pytest.approx(30e6)
+        assert cpu.vertex_ops_per_sec == pytest.approx(150e6)
+        assert cpu.random_access_bytes_per_sec == pytest.approx(1.2e9)
+
+
+class TestGpuPeaks:
+    def test_paper_titan_peaks(self):
+        # The roofline denominators: Titan's DRAM bandwidth and peak ops.
+        gpu = PAPER_MACHINE.gpu
+        assert gpu.bandwidth_bytes_per_sec == pytest.approx(288e9)
+        assert gpu.compute_ops_per_sec == pytest.approx(8e11)
+
+    def test_ridge_point(self):
+        # ops/byte where the roofline's slanted and flat parts meet.
+        gpu = PAPER_MACHINE.gpu
+        ridge = gpu.compute_ops_per_sec / gpu.bandwidth_bytes_per_sec
+        assert ridge == pytest.approx(800 / 288)
+
+
+class TestAlphaBeta:
+    def test_pcie_alpha_beta_decomposition(self):
+        net = PAPER_MACHINE.interconnect
+        nbytes = 1 << 20
+        total = net.pcie_seconds(nbytes)
+        assert total == pytest.approx(
+            net.pcie_latency_seconds + nbytes / net.pcie_bytes_per_sec
+        )
+
+    def test_mpi_alpha_beta_decomposition(self):
+        net = PAPER_MACHINE.interconnect
+        nbytes = 4096
+        total = net.mpi_message_seconds(nbytes)
+        assert total == pytest.approx(
+            net.mpi_latency_seconds + nbytes / net.mpi_bytes_per_sec
+        )
+
+    def test_latency_dominates_small_messages(self):
+        net = PAPER_MACHINE.interconnect
+        alpha = net.pcie_latency_seconds
+        assert net.pcie_seconds(64) < 2 * alpha  # beta term negligible
+
+
 class TestMachineSpec:
     def test_scaled_gpu_memory(self):
         m = PAPER_MACHINE.scaled_gpu_memory(1024)

@@ -1,0 +1,113 @@
+"""Hardware-utilization accounting at the service level.
+
+A drain record must carry a valid ``hw`` section whose PCIe ledger
+counts only traffic the drain actually generated: cache hits move no
+bytes, and batch followers are refunded the CSR setup transfers the
+leader's device-resident graph satisfied.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import generators
+from repro.obs.hw import validate_hw_section
+from repro.service import PartitionRequest, PartitionService
+
+
+@pytest.fixture(scope="module")
+def gpu_graph():
+    # Small graph forced onto the GPU via the engine's threshold option,
+    # same trick as the profile smoke — keeps the suite fast.
+    return generators.delaunay(6000, seed=7)
+
+
+def gpu_request(graph, seed, **kw):
+    return PartitionRequest(
+        graph=graph, k=8, method="gp-metis", seed=seed,
+        options={"gpu_threshold_min": 2048}, **kw,
+    )
+
+
+class TestDrainSection:
+    def test_drain_record_carries_valid_hw_block(self, gpu_graph, grid):
+        svc = PartitionService(num_workers=2)
+        svc.serve([
+            gpu_request(gpu_graph, 1),
+            PartitionRequest(graph=grid, k=4, method="metis", seed=2),
+        ])
+        section = svc.last_profiler.hw
+        validate_hw_section(section)
+        assert section["gpu"] is not None
+        assert section["gpu"]["bytes_moved"] > 0
+        assert section["cpu"]["busy_seconds"] > 0  # metis leg counted too
+
+    def test_transfer_avoidance_and_bytes_per_request(self, gpu_graph):
+        svc = PartitionService(num_workers=1)
+        tickets = svc.serve([gpu_request(gpu_graph, 1)])
+        section = svc.last_profiler.hw
+        avoid = section["transfer_avoidance"]
+        assert 0.0 < avoid <= 1.0
+        gpu, pcie = section["gpu"], section["pcie"]
+        assert avoid == pytest.approx(
+            gpu["bytes_moved"] / (gpu["bytes_moved"] + pcie["bytes"])
+        )
+        assert pcie["bytes_per_request"] == pytest.approx(
+            pcie["bytes"] / len(tickets)
+        )
+        assert svc.last_profiler.metrics.gauge(
+            "hw.pcie.bytes_per_request"
+        ).value == pytest.approx(pcie["bytes_per_request"])
+
+    def test_cache_hits_move_no_bytes(self, gpu_graph):
+        ref = PartitionService(num_workers=1)
+        ref.serve([gpu_request(gpu_graph, 1)])
+        baseline = ref.last_profiler.hw["pcie"]["bytes"]
+
+        svc = PartitionService(num_workers=1)
+        tickets = svc.serve([gpu_request(gpu_graph, 1),
+                             gpu_request(gpu_graph, 1)])
+        assert [t.cache for t in tickets].count("hit") == 1
+        # The duplicate was served from cache: same bus traffic as one run.
+        assert svc.last_profiler.hw["pcie"]["bytes"] == pytest.approx(baseline)
+
+    def test_batch_followers_refunded_csr_traffic(self, gpu_graph):
+        ref = PartitionService(num_workers=1, batching=False)
+        ref.serve([gpu_request(gpu_graph, s) for s in (1, 2, 3)])
+        unbatched = ref.last_profiler.hw["pcie"]["bytes"]
+
+        svc = PartitionService(num_workers=1, batching=True)
+        tickets = svc.serve([gpu_request(gpu_graph, s) for s in (1, 2, 3)])
+        assert any(t.amortized_seconds > 0 for t in tickets)
+        batched = svc.last_profiler.hw["pcie"]["bytes"]
+        # Two followers never re-uploaded the CSR arrays.
+        assert batched < unbatched
+
+
+class TestStatsSurface:
+    def test_snapshot_exposes_hw_fields(self, gpu_graph, grid):
+        svc = PartitionService(num_workers=2)
+        svc.serve([
+            gpu_request(gpu_graph, 1),
+            PartitionRequest(graph=grid, k=4, method="random", seed=1),
+        ])
+        snap = svc.stats.snapshot()
+        assert snap["hw_pcie_bytes"] > 0
+        assert snap["hw_gpu_bytes"] > 0
+        assert snap["hw_bytes_per_request"] > 0
+        assert 0.0 < snap["hw_transfer_avoidance"] <= 1.0
+
+    def test_counters_accumulate_across_drains(self, gpu_graph):
+        svc = PartitionService(num_workers=1)
+        svc.serve([gpu_request(gpu_graph, 1)])
+        first = svc.stats.snapshot()["hw_pcie_bytes"]
+        svc.serve([gpu_request(gpu_graph, 2)])
+        assert svc.stats.snapshot()["hw_pcie_bytes"] > first
+
+    def test_cpu_only_drain_has_no_gpu_block(self, grid):
+        svc = PartitionService(num_workers=1)
+        svc.serve([PartitionRequest(graph=grid, k=4, method="metis", seed=1)])
+        section = svc.last_profiler.hw
+        validate_hw_section(section)
+        assert section.get("gpu") is None
+        assert section["cpu"]["busy_seconds"] > 0

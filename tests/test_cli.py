@@ -27,6 +27,7 @@ class TestParser:
             ["compare", "a.jsonl:0", "a.jsonl:1"],
             ["report", "--ledger", "a.jsonl"],
             ["gate", "--baseline", "a.jsonl"],
+            ["roofline", "--ledger", "a.jsonl"],
         ):
             args = parser.parse_args(argv)
             assert args.command == argv[0]
@@ -187,6 +188,30 @@ class TestLedgerWorkflow:
         ])
         assert rc == 0
         assert "PASS" in capsys.readouterr().out
+
+    def test_roofline_reads_ledger_record(self, ledger, capsys):
+        rc = main(["roofline", "--ledger", str(ledger), "--no-chart"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "machine" in text.lower()
+        assert "cpu" in text.lower() and "pcie" in text.lower()
+        assert "phase" in text.lower()
+
+    def test_roofline_json_output(self, ledger, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "hw.json"
+        rc = main([
+            "roofline", "--ledger", f"{ledger}:0", "--json", str(out),
+        ])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == "repro.obs.hw/1"
+        assert 0.0 <= doc["cpu"]["utilization"] <= 1.0
+
+    def test_roofline_missing_record_errors(self, ledger, capsys):
+        rc = main(["roofline", "--ledger", f"{ledger}:99"])
+        assert rc == 1
 
 
 class TestBenchJson:
