@@ -1,12 +1,13 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check tier1 sanitize-smoke faults-smoke profile-smoke roofline-smoke serve-smoke slo-smoke baseline gate report fuzz faults bench test
+.PHONY: check tier1 sanitize-smoke faults-smoke profile-smoke roofline-smoke overlap-smoke serve-smoke slo-smoke baseline gate report fuzz faults bench test
 
 # The gate: tier-1 suite + the sanitizer, fault-injection, observability,
-# hardware-utilization, partition-service and SLO self-checks + the
-# policy-driven perf-regression gate on the committed ledger.
-check: tier1 sanitize-smoke faults-smoke profile-smoke roofline-smoke serve-smoke slo-smoke gate
+# hardware-utilization, async-overlap, partition-service and SLO
+# self-checks + the policy-driven perf-regression gate on the committed
+# ledger.
+check: tier1 sanitize-smoke faults-smoke profile-smoke roofline-smoke overlap-smoke serve-smoke slo-smoke gate
 
 # Tier-1: the fast suite (fuzz/bench-marked tests excluded via pyproject).
 tier1:
@@ -34,6 +35,12 @@ roofline-smoke:
 	$(PYTHON) -m repro roofline -n 20000 -k 8 --json - > /dev/null
 	$(PYTHON) -m repro roofline --ledger benchmarks/BENCH_ledger.jsonl \
 		--no-chart > /dev/null
+
+# Async-streams overlap smoke: GP-metis on every paper dataset with
+# streams on vs off must produce byte-identical partition vectors while
+# strictly reducing end-to-end simulated seconds and exposed PCIe time.
+overlap-smoke:
+	$(PYTHON) benchmarks/overlap_smoke.py
 
 # Partition-service acceptance: 100-request mixed workload over 4 workers,
 # every served vector differentially verified against a direct partition()

@@ -139,10 +139,15 @@ def results_json(results: ExperimentResults) -> dict:
         hw = getattr(getattr(run.result, "profiler", None), "hw", None)
         if hw is not None:
             gpu = hw.get("gpu")
+            pcie = hw["pcie"]
             entry["hw"] = {
                 "cpu_util": hw["cpu"]["utilization"],
-                "pcie_bytes": hw["pcie"]["bytes"],
-                "pcie_util": hw["pcie"]["utilization"],
+                "pcie_bytes": pcie["bytes"],
+                "pcie_util": pcie["utilization"],
+                "transfer_exposed_seconds": pcie.get(
+                    "exposed_seconds", pcie["seconds"]
+                ),
+                "transfer_overlap_ratio": pcie.get("overlap_ratio", 0.0),
                 "mpi_util": hw["mpi"]["utilization"],
                 "gpu_dram_util": gpu["dram_utilization"] if gpu else None,
                 "gpu_bound_seconds": dict(gpu["bound_seconds"]) if gpu else None,

@@ -55,6 +55,7 @@ def with_retry(
     policy = policy or RetryPolicy()
     attempt = 0
     while True:
+        t0 = clock.total_seconds
         try:
             return fn()
         except retryable as exc:
@@ -63,6 +64,16 @@ def with_retry(
             attempt += 1
             if attempt > policy.max_retries:
                 raise
+            # The failed attempt's own charges (e.g. the PCIe latency a
+            # failed copy burned) are retry cost, not useful transfer
+            # time: cover them with a retry-category span so latency
+            # attribution can move them into the ``retry`` bucket.
+            prof = getattr(clock, "profiler", None)
+            if prof is not None and clock.total_seconds > t0:
+                prof.add_span(
+                    f"retry {site} attempt", t0, clock.total_seconds,
+                    category="retry", attempt=attempt,
+                )
             # The backoff charge as a span, so retries show up in the
             # run's trace (and in request critical paths) with the same
             # trace context as the work being retried.

@@ -54,6 +54,7 @@ from ..graphs.metrics import edge_cut, imbalance
 from ..gpusim.device import Device
 from ..gpusim.memory import DeviceArray
 from ..gpusim.simt import threads_for_items
+from ..gpusim.streams import d2h_async, h2d_async
 from ..gpusim.transfer import d2h, h2d, transfer_graph_to_device
 from ..mtmetis.initpart import parallel_recursive_bisection
 from ..mtmetis.partitioner import MtMetis
@@ -69,6 +70,7 @@ from .kernels.contraction import gpu_contract
 from .kernels.matching import gpu_match
 from .kernels.projection import gpu_project
 from .kernels.refinement import gpu_refine_level
+from .memory_planning import plan_device_memory
 from .options import GPMetisOptions
 from .thresholds import gpu_stop_size
 
@@ -132,14 +134,60 @@ def run_hybrid(
         )
 
     # ------------------------------------------------------------------
+    # 0. Schedule selection: double-buffered async streams, unless the
+    #    staging residency would blow the device budget (then single-
+    #    buffer — the old serial transfer schedule — not OOM-evacuate).
+    # ------------------------------------------------------------------
+    use_async = opts.async_streams
+    if use_async:
+        plan = plan_device_memory(graph, k, opts, machine.gpu, double_buffer=True)
+        if not plan.fits:
+            use_async = False
+            trace.note(
+                "double-buffer staging "
+                f"({plan.staging_bytes} B on top of {plan.total_bytes} B) "
+                f"exceeds device memory ({plan.device_bytes} B); "
+                "falling back to the single-buffer serial schedule"
+            )
+    copy_s = dev.stream("copy") if use_async else None
+    compute_s = dev.stream("compute") if use_async else None
+    if use_async:
+        # CUDA default-stream idiom: every kernel launched below lands on
+        # the compute stream without threading a parameter through the
+        # kernel helpers.
+        dev.default_stream = compute_s
+
+    # ------------------------------------------------------------------
     # 1. Host -> device.
     # ------------------------------------------------------------------
     clock.set_phase("transfer")
+    ev_vwgt = None
     try:
-        d_csr = transfer_graph_to_device(dev, graph, machine.interconnect)
+        if use_async:
+            # Upload on the copy stream.  Matching only needs the three
+            # structure arrays; vwgt's first consumer is the contraction,
+            # so its copy stays in flight behind the level-0 match/cmap
+            # kernels — the upload half of the double buffer.
+            d_csr = {}
+            events = {}
+            for name, arr in (
+                ("adjp", graph.adjp), ("adjncy", graph.adjncy),
+                ("adjwgt", graph.adjwgt), ("vwgt", graph.vwgt),
+            ):
+                d_csr[name], events[name] = h2d_async(
+                    copy_s, arr, machine.interconnect, label=f"csr.{name}"
+                )
+            for name in ("adjp", "adjncy", "adjwgt"):
+                compute_s.wait(events[name])
+            ev_vwgt = events["vwgt"]
+        else:
+            d_csr = transfer_graph_to_device(dev, graph, machine.interconnect)
     except RECOVERABLE as exc:
         if unrecoverable(exc):
             raise
+        # Any copies that did land before the failure stop mattering; fold
+        # their in-flight time into the wall clock before the CPU takes over.
+        clock.sync_tracks()
         trace.note(f"input transfer failed ({exc}); falling back to mt-metis")
         if injector is not None:
             injector.record_recovery(
@@ -172,6 +220,32 @@ def run_hybrid(
     level_idx = 0
     merge_fallbacks = 0
     fell_back = False
+    downloaded: set[str] = set()
+
+    def make_copy_out():
+        """Handoff downloads enqueued on the copy stream as the final
+        contraction's kernels finalize each array — the download half of
+        the double buffer.  A dead D2H link degrades exactly like the
+        serial schedule's: note + ``evacuate`` recovery, host mirror."""
+
+        def copy_out(name, darr):
+            try:
+                copy_s.wait(compute_s.record())
+                d2h_async(
+                    copy_s, darr, machine.interconnect, label=f"coarse.{name}"
+                )
+            except TransferError as exc:
+                if unrecoverable(exc):
+                    raise
+                trace.note(f"coarse.{name} D2H failed ({exc}); using host mirror")
+                if injector is not None:
+                    injector.record_recovery(
+                        "transfer.d2h", "evacuate", f"coarse.{name}: host mirror"
+                    )
+            downloaded.add(name)
+
+        return copy_out
+
     while current.graph.num_vertices > stop_at:
         nv = current.graph.num_vertices
         n_threads = threads_for_items(nv, opts.max_gpu_threads)
@@ -181,13 +255,35 @@ def run_hybrid(
                 engine="gpu", num_vertices=nv, num_edges=current.graph.num_edges,
             ):
                 d_match, mstats = gpu_match(
-                    dev, current.d_csr, current.graph, n_threads, opts.matching, rng
+                    dev, current.d_csr, current.graph, n_threads, opts.matching,
+                    rng, fuse_resolve=use_async,
                 )
                 d_cmap, n_coarse = gpu_build_cmap(dev, d_match, n_threads)
+                copy_out = None
+                if use_async:
+                    # The contraction is vwgt's first consumer: release the
+                    # compute stream only once the in-flight upload landed.
+                    if ev_vwgt is not None:
+                        compute_s.wait(ev_vwgt)
+                        ev_vwgt = None
+                    # The loop-exit test is decidable before contracting, so
+                    # the last level's coarse mirror downloads while its own
+                    # contraction kernels still run.
+                    will_stop = (
+                        n_coarse <= stop_at
+                        or (1.0 - n_coarse / nv) < opts.min_shrink
+                    )
+                    if will_stop:
+                        copy_out = make_copy_out()
                 outcome = gpu_contract(
                     dev, current.d_csr, current.graph, d_match, d_cmap, n_coarse,
                     n_threads, opts.merge_strategy, opts.merge_impl,
+                    copy_out=copy_out,
                 )
+                if use_async:
+                    # The host paces the compute stream level by level (it
+                    # polls for the shrink factor); the copy stream floats.
+                    compute_s.synchronize()
         except RECOVERABLE as exc:
             if unrecoverable(exc):
                 raise
@@ -230,6 +326,10 @@ def run_hybrid(
     # ------------------------------------------------------------------
     clock.set_phase("transfer")
     for name in ("adjp", "adjncy", "adjwgt", "vwgt"):
+        if use_async and not fell_back and name in downloaded:
+            # Already shipped by the copy stream, hidden behind the final
+            # contraction (set_phase synchronized the streams above).
+            continue
         try:
             d2h(current.d_csr[name], machine.interconnect, label=f"coarse.{name}")
         except TransferError as exc:
@@ -274,7 +374,19 @@ def run_hybrid(
     if gpu_levels and not fell_back:
         clock.set_phase("transfer")
         try:
-            d_part = h2d(dev, part.astype(np.int64), machine.interconnect, label="part")
+            if use_async:
+                # Prefetch: the partition vector rides the copy stream and
+                # the first projection kernel waits on its event instead of
+                # the host blocking on the copy.
+                d_part, ev_part = h2d_async(
+                    copy_s, part.astype(np.int64), machine.interconnect,
+                    label="part",
+                )
+                compute_s.wait(ev_part)
+            else:
+                d_part = h2d(
+                    dev, part.astype(np.int64), machine.interconnect, label="part"
+                )
         except RECOVERABLE as exc:
             if unrecoverable(exc):
                 raise
@@ -316,6 +428,10 @@ def run_hybrid(
                             opts.ubfactor, opts.refine_passes, n_threads,
                         )
                         cut_after = edge_cut(level.graph, d_part.data)
+                        if use_async:
+                            # Host reads the cut between levels: pace the
+                            # compute stream here too.
+                            compute_s.synchronize()
                 except RECOVERABLE as exc:
                     if unrecoverable(exc):
                         raise
@@ -353,7 +469,15 @@ def run_hybrid(
             if not abandoned:
                 clock.set_phase("transfer")
                 try:
-                    part = d2h(d_part, machine.interconnect, label="part.final")
+                    if use_async:
+                        copy_s.wait(compute_s.record())
+                        part, ev_final = d2h_async(
+                            copy_s, d_part, machine.interconnect,
+                            label="part.final",
+                        )
+                        ev_final.synchronize()
+                    else:
+                        part = d2h(d_part, machine.interconnect, label="part.final")
                 except TransferError as exc:
                     if unrecoverable(exc):
                         raise
@@ -389,6 +513,10 @@ def run_hybrid(
             count=float(graph.num_directed_edges),
             detail=f"final rebalance ({moves} moves)",
         )
+
+    # Safety net: no async track may outlive the run (every schedule path
+    # above synchronizes, but the wall clock must never undercount).
+    clock.sync_tracks()
 
     if dev.sanitizer is not None:
         trace.race_reports = list(dev.sanitizer.reports)

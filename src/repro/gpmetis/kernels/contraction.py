@@ -105,8 +105,17 @@ def gpu_contract(
     n_threads: int,
     merge_strategy: str = "hash",
     merge_impl: str = "vectorized",
+    copy_out=None,
 ) -> ContractionOutcome:
-    """Run the five-step contraction pipeline on the device."""
+    """Run the five-step contraction pipeline on the device.
+
+    ``copy_out(name, darr)``, when given, is invoked for each coarse
+    array right after the kernel that finalizes it (``adjp`` after the
+    second scan, ``adjncy``/``adjwgt`` after the compaction, ``vwgt``
+    after the weight kernel).  The async-streams schedule uses it to
+    enqueue the handoff D2H copies on a copy stream while the remaining
+    contraction kernels are still running on the compute stream.
+    """
     match = d_match.data
     cmap = d_cmap.data
     n = graph.num_vertices
@@ -214,6 +223,10 @@ def gpu_contract(
         "adjwgt": dev.adopt(coarse.adjwgt.copy(), label="c.adjwgt"),
         "vwgt": dev.adopt(coarse.vwgt.copy(), label="c.vwgt"),
     }
+    # The offsets are final once the second scan committed; a handoff
+    # download of adjp can overlap the compaction kernels below.
+    if copy_out is not None:
+        copy_out("adjp", d_coarse["adjp"])
 
     # Kernel 5: compact staging into the final arrays.
     with dev.kernel("coarsen.contract_compact", n_threads=n_threads) as k:
@@ -222,6 +235,9 @@ def gpu_contract(
         k.stream_write(d_coarse["adjncy"], coarse.adjncy)
         k.stream_write(d_coarse["adjwgt"], coarse.adjwgt)
         k.compute(coarse.num_directed_edges)
+    if copy_out is not None:
+        copy_out("adjncy", d_coarse["adjncy"])
+        copy_out("adjwgt", d_coarse["adjwgt"])
 
     # Coarse vertex weights: one read per pair endpoint, one write per
     # coarse vertex.
@@ -231,6 +247,8 @@ def gpu_contract(
         k.gather(d_csr["vwgt"], p)
         k.stream_write(d_coarse["vwgt"], coarse.vwgt)
         k.compute(reps.shape[0])
+    if copy_out is not None:
+        copy_out("vwgt", d_coarse["vwgt"])
 
     # "At the end of the contraction step, we can free the temp arrays."
     d_temp.free()

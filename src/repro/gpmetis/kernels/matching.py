@@ -45,6 +45,7 @@ def gpu_match(
     scheme: str,
     rng: np.random.Generator,
     resolve_conflicts: bool = True,
+    fuse_resolve: bool = False,
 ) -> tuple[DeviceArray, LockfreeMatchStats]:
     """Run the matching + conflict-resolution kernels; returns (d_match, stats).
 
@@ -55,6 +56,12 @@ def gpu_match(
     commits round 1's raw claims — the sanitizer's mutation self-check:
     the asymmetric ``M[u]`` writes it leaves behind must be detected as a
     write-write race.  Production callers never disable it.
+
+    ``fuse_resolve=True`` (the async-streams schedule) folds both stages
+    into one ``coarsen.match_resolve`` launch separated by an in-kernel
+    ``grid_sync()`` barrier, saving one kernel-launch latency per level;
+    the memory/compute volumes, the committed matching and the sanitizer
+    semantics (per-epoch analysis) are identical to the two-kernel form.
     """
     n = graph.num_vertices
     if scheme == "hem" and graph.adjwgt.size and graph.adjwgt.min() == graph.adjwgt.max():
@@ -71,11 +78,14 @@ def gpu_match(
 
     d_match = dev.alloc(n, np.int64, label="match")
 
+    fused = fuse_resolve and resolve_conflicts
+    kernel_name = "coarsen.match_resolve" if fused else "coarsen.match"
+
     # Account the matching kernel: one launch covering all lockstep
     # iterations (each thread loops over ceil(n/T) vertices).  Thread
     # ownership follows Fig. 2: vertex v belongs to thread v % T, and v's
     # thread issues both of the pair writes (M[v]=u and M[u]=v).
-    with dev.kernel("coarsen.match", n_threads=n_threads) as k:
+    with dev.kernel(kernel_name, n_threads=n_threads) as k:
         verts = np.arange(n, dtype=np.int64)
         vthreads = verts % n_threads
         k.gather(d_csr["adjp"], verts, threads=vthreads)      # row starts
@@ -95,8 +105,16 @@ def gpu_match(
         pthreads = ids[paired] % n_threads
         k.scatter(d_match, ids[paired], match[paired], threads=pthreads)
         k.scatter(d_match, match[paired], ids[paired], threads=pthreads)
+        if fused:
+            # Conflict resolution fused into the same launch behind a
+            # device-wide barrier: M[M[v]] check + self-match writes.
+            k.grid_sync()
+            vals = k.stream_read(d_match)
+            k.gather(d_match, np.maximum(vals, 0))
+            k.compute(2 * n)
+            k.stream_write(d_match, match)
 
-    if resolve_conflicts:
+    if resolve_conflicts and not fused:
         # Conflict-resolution kernel: M[M[v]] check + self-match writes.
         with dev.kernel("coarsen.resolve", n_threads=n_threads) as k:
             vals = k.stream_read(d_match)

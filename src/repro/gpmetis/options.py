@@ -57,6 +57,17 @@ class GPMetisOptions:
     #: Respond to injected faults with retry/degradation (True) or let
     #: them crash the run (False — the faults self-check's mutation).
     fault_recovery: bool = True
+    #: Overlap PCIe transfers with kernel execution on asynchronous
+    #: streams (double-buffered pipelining + fused match/resolve launch).
+    #: ``False`` keeps the old fully serial schedule — the differential
+    #: oracle: partition vectors are byte-identical either way, only the
+    #: modeled wall time changes.
+    async_streams: bool = True
+
+    #: Fields that change scheduling/accounting but never the computed
+    #: partition; the ledger's config fingerprint ignores them so on/off
+    #: runs of the same workload stay comparable (and gateable).
+    __fingerprint_exclude__ = frozenset({"async_streams"})
 
     def __post_init__(self) -> None:
         if self.ubfactor < 1.0:

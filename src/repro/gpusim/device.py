@@ -45,6 +45,18 @@ class Device:
     #: Opt-in data-race sanitizer (see :mod:`repro.gpusim.sanitizer`).
     #: ``None`` disables all access recording — the default fast path.
     sanitizer: object | None = None
+    #: When set (a :class:`~repro.gpusim.streams.Stream`), kernels
+    #: launched without an explicit ``stream=`` argument enqueue on it —
+    #: the CUDA default-stream idiom, so engine code can route every
+    #: kernel of a region onto a compute stream without threading a
+    #: parameter through each kernel helper.
+    default_stream: object | None = None
+
+    def stream(self, name: str):
+        """Create a named asynchronous stream on this device."""
+        from .streams import Stream
+
+        return Stream(self, name)
 
     def enable_sanitizer(self, fuzz_schedules: int = 3, seed: int = 0, **kwargs):
         """Attach a :class:`~repro.gpusim.sanitizer.RaceSanitizer`.
@@ -109,19 +121,23 @@ class Device:
     # ------------------------------------------------------------------
     # Kernel launching
     # ------------------------------------------------------------------
-    def kernel(self, name: str, n_threads: int) -> "KernelContext":
+    def kernel(self, name: str, n_threads: int, stream=None) -> "KernelContext":
         if n_threads < 1:
             raise KernelLaunchError(f"kernel {name!r} launched with {n_threads} threads")
-        return KernelContext(self, name, int(n_threads))
+        return KernelContext(self, name, int(n_threads), stream=stream)
 
 
 class KernelContext:
     """Accumulates one kernel launch's memory/compute/atomic work."""
 
-    def __init__(self, device: Device, name: str, n_threads: int) -> None:
+    def __init__(self, device: Device, name: str, n_threads: int, stream=None) -> None:
         self.device = device
         self.name = name
         self.n_threads = n_threads
+        #: The stream this launch enqueues on: the explicit argument, the
+        #: device's default stream, or ``None`` for the legacy synchronous
+        #: timeline (charges land on the host cursor).
+        self.stream = stream if stream is not None else device.default_stream
         self._transactions = 0.0
         #: Transactions beyond the perfectly-coalesced minimum: these are
         #: random DRAM accesses and pay the (lower) gather bandwidth.
@@ -137,6 +153,15 @@ class KernelContext:
         self._san = device.sanitizer
         self._accesses: list | None = [] if self._san is not None else None
         self._seq = 0
+        self._epoch = 0
+
+    def grid_sync(self) -> None:
+        """A device-wide barrier *inside* the kernel (cooperative-groups
+        ``grid.sync()``), used by fused kernels: accesses after the
+        barrier cannot race with accesses before it, so the sanitizer
+        analyzes each epoch independently.  The barrier itself is free in
+        the cost model — fusing trades it against a whole kernel launch."""
+        self._epoch += 1
 
     # -- context protocol ------------------------------------------------
     def __enter__(self) -> "KernelContext":
@@ -189,7 +214,9 @@ class KernelContext:
                 np.asarray(values, dtype=darr.dtype), elems.shape
             ).ravel()
         self._accesses.append(
-            AccessRecord(darr.uid, darr.label, elems, thr, kind, vals, self._seq)
+            AccessRecord(
+                darr.uid, darr.label, elems, thr, kind, vals, self._seq, self._epoch
+            )
         )
         self._seq += 1
 
@@ -303,7 +330,21 @@ class KernelContext:
     # -- commit ------------------------------------------------------------
     def _commit(self) -> None:
         spec = self.device.spec
-        t_start = self.device.clock.total_seconds
+        stream = self.stream
+        clock = self.device.clock
+        if stream is None:
+            t_start = clock.total_seconds
+            charge = clock.charge
+        else:
+            # Async launch: the kernel occupies the stream's track from its
+            # enqueue point; the host cursor does not advance.
+            t_start = stream.cursor
+
+            def charge(category, seconds, count=0.0, detail=""):
+                clock.charge_at(
+                    stream.track, category, seconds, count=count, detail=detail
+                )
+
         streamed = (
             self._transactions - self._random_transactions - self._cached_transactions
         )
@@ -321,17 +362,16 @@ class KernelContext:
         body = max(mem_t, cmp_t) + atomic_t
         total = spec.kernel_launch_seconds + body
 
-        clock = self.device.clock
-        clock.charge("launch", spec.kernel_launch_seconds, count=1.0, detail=self.name)
+        charge("launch", spec.kernel_launch_seconds, count=1.0, detail=self.name)
         if body > 0:
             if mem_t >= cmp_t:
-                clock.charge("memory", mem_t, count=self._transactions, detail=self.name)
+                charge("memory", mem_t, count=self._transactions, detail=self.name)
                 if atomic_t:
-                    clock.charge("atomic", atomic_t, count=self._atomic_ops, detail=self.name)
+                    charge("atomic", atomic_t, count=self._atomic_ops, detail=self.name)
             else:
-                clock.charge("compute", cmp_t, count=self._compute_ops, detail=self.name)
+                charge("compute", cmp_t, count=self._compute_ops, detail=self.name)
                 if atomic_t:
-                    clock.charge("atomic", atomic_t, count=self._atomic_ops, detail=self.name)
+                    charge("atomic", atomic_t, count=self._atomic_ops, detail=self.name)
 
         if self._san is not None:
             self._san.analyze_launch(self.name, self.n_threads, self._accesses)
@@ -369,10 +409,11 @@ class KernelContext:
                 min(1.0, self._bytes_requested / moved) if moved
                 else (1.0 if self._bytes_requested <= 0.0 else 0.0)
             )
+            extra = {} if stream is None else {"stream": stream.name}
             profiler.add_span(
                 self.name,
                 t_start,
-                clock.total_seconds,
+                clock.total_seconds if stream is None else stream.cursor,
                 category="kernel",
                 threads=self.n_threads,
                 transactions=self._transactions,
@@ -381,4 +422,5 @@ class KernelContext:
                 compute_ops=self._compute_ops,
                 atomic_ops=self._atomic_ops,
                 bound=launch_bound,
+                **extra,
             )

@@ -81,6 +81,10 @@ class AccessRecord:
     kind: str  # "read" | "write" | "atomic"
     values: np.ndarray | None
     seq: int  # program-order sequence number within the launch
+    #: Barrier epoch within the launch: a fused kernel's ``grid_sync()``
+    #: increments it, and accesses in different epochs are ordered by the
+    #: barrier — they cannot race, so each epoch is analyzed on its own.
+    epoch: int = 0
 
 
 @dataclass(frozen=True)
@@ -291,11 +295,13 @@ class RaceSanitizer:
             n_threads=n_threads,
             schedules_checked=self.fuzz_schedules,
         )
-        by_array: dict[int, list[AccessRecord]] = {}
+        # Group by (array, barrier epoch): accesses separated by an
+        # in-kernel grid_sync() are ordered and analyzed independently.
+        by_array: dict[tuple[int, int], list[AccessRecord]] = {}
         for rec in accesses:
             if rec.elements.size:
-                by_array.setdefault(rec.array_uid, []).append(rec)
-        report.arrays_checked = len(by_array)
+                by_array.setdefault((rec.array_uid, rec.epoch), []).append(rec)
+        report.arrays_checked = len({uid for uid, _ in by_array})
         report.accesses_checked = int(
             sum(r.elements.size for recs in by_array.values() for r in recs)
         )

@@ -86,18 +86,44 @@ def engine_phases(result) -> list[tuple[str, float]]:
     return list(result.clock.seconds_by_phase().items())
 
 
-def _amortized_phases(ticket) -> list[tuple[str, str, float]]:
-    """(phase, bucket, seconds) with the batch refund taken out of the
-    transfer slices — the engine time this ticket actually paid."""
+def _phase_rows(result) -> list[tuple[str, float, float]]:
+    """Ordered (phase, seconds, retry_seconds) rows of an engine run.
+
+    ``retry_seconds`` is the slice of the phase spent inside
+    fault-injected retry loops — failed attempts plus backoff, read off
+    the ``retry``-category spans the fault layer emits — so attribution
+    can charge it to the ``retry`` bucket instead of the phase's own.
+    """
+    profiler = getattr(result, "profiler", None)
+    if profiler is None:
+        return [
+            (name, seconds, 0.0)
+            for name, seconds in result.clock.seconds_by_phase().items()
+        ]
+    rows = []
+    for span in profiler.root.children:
+        if span.category != "phase" or not span.closed:
+            continue
+        retry_s = float(
+            sum(s.duration for s in span.find_category("retry"))
+        )
+        rows.append((span.name, span.duration, min(retry_s, span.duration)))
+    return rows
+
+
+def _amortized_phases(ticket) -> list[tuple[str, str, float, float]]:
+    """(phase, bucket, seconds, retry_seconds) with the batch refund
+    taken out of the transfer slices — the engine time this ticket
+    actually paid."""
     refund = ticket.amortized_seconds
     out = []
-    for name, seconds in engine_phases(ticket.result):
+    for name, seconds, retry_s in _phase_rows(ticket.result):
         bucket = phase_bucket(name)
         if bucket == "transfer" and refund > 0:
             taken = min(refund, seconds)
             seconds -= taken
             refund -= taken
-        out.append((name, bucket, seconds))
+        out.append((name, bucket, seconds, min(retry_s, seconds)))
     return out
 
 
@@ -112,8 +138,9 @@ def ticket_attribution(ticket, *, dispatch_seconds: float,
     if ticket.result is not None and ticket.cache != "hit":
         engine_total = ticket.result.modeled_seconds
         accounted = 0.0
-        for _name, bucket, seconds in _amortized_phases(ticket):
-            att[bucket] += seconds
+        for _name, bucket, seconds, retry_s in _amortized_phases(ticket):
+            att[bucket] += seconds - retry_s
+            att["retry"] += retry_s
             accounted += seconds
         # Engine time outside any labelled phase (setup between phases).
         # When the phases cover the whole run the subtraction can land an
@@ -149,10 +176,15 @@ def ticket_critical_path(ticket, *, dispatch_seconds: float) -> list[dict]:
     if ticket.result is not None and ticket.cache != "hit":
         engine_total = ticket.result.modeled_seconds
         accounted = 0.0
-        for name, bucket, seconds in _amortized_phases(ticket):
+        for name, bucket, seconds, retry_s in _amortized_phases(ticket):
             if seconds <= 0:
                 continue
-            cursor = seg(name, bucket, cursor, cursor + seconds)
+            # Injected-retry time leads its phase as its own segment so
+            # the waterfall shows the fault cost where attribution puts it.
+            if retry_s > 0:
+                cursor = seg(f"{name} retry", "retry", cursor, cursor + retry_s)
+            if seconds - retry_s > 0:
+                cursor = seg(name, bucket, cursor, cursor + (seconds - retry_s))
             accounted += seconds
         tail = (engine_total - ticket.amortized_seconds) - accounted
         if tail > 0:

@@ -59,9 +59,12 @@ def chrome_trace(profiler: Profiler, pid: int = 0, tid: int = 0) -> dict:
     trace/span/parent ids in ``args``; span *links* (batching followers
     referencing the leader's engine run) become flow event pairs
     ("s" at the linked span, "f" at the linking span) so Perfetto draws
-    the cross-request arrows.  Trace notes become instant ("i") events
-    at the run's end.  Timestamps are simulated microseconds, so the
-    timeline is the *modeled* run.
+    the cross-request arrows.  Spans carrying a ``stream`` attribute (the
+    async-streams schedule tags every kernel/transfer with the stream it
+    ran on) render in their own named lane — one tid per stream — so the
+    copy/compute overlap is visible as parallel tracks.  Trace notes
+    become instant ("i") events at the run's end.  Timestamps are
+    simulated microseconds, so the timeline is the *modeled* run.
     """
     engine = profiler.root.attrs.get("engine", "repro")
     events: list[dict] = [
@@ -80,6 +83,27 @@ def chrome_trace(profiler: Profiler, pid: int = 0, tid: int = 0) -> dict:
             "args": {"name": profiler.root.attrs.get("graph", "run")},
         },
     ]
+    # Per-stream lanes: stream name -> tid, allocated past the host lane
+    # in first-seen order (deterministic: the walk order is).
+    stream_tids: dict[str, int] = {}
+
+    def _tid_for(span: Span) -> int:
+        stream = span.attrs.get("stream")
+        if not isinstance(stream, str) or not stream:
+            return tid
+        lane = stream_tids.get(stream)
+        if lane is None:
+            lane = tid + 1 + len(stream_tids)
+            stream_tids[stream] = lane
+            events.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": lane,
+                "args": {"name": f"stream:{stream}"},
+            })
+        return lane
+
     by_span_id: dict[str, Span] = {}
     linked: list[Span] = []
     for span, _depth in profiler.root.walk():
@@ -96,7 +120,7 @@ def chrome_trace(profiler: Profiler, pid: int = 0, tid: int = 0) -> dict:
                 "ts": _us(span.start),
                 "dur": _us(end - span.start),
                 "pid": pid,
-                "tid": tid,
+                "tid": _tid_for(span),
                 "args": _span_args(span),
             }
         )

@@ -35,6 +35,11 @@ sides is a silent non-match (service rules against engine records).
 needs both the relative ``tolerance`` and the absolute ``floor``
 exceeded, so microscopic quantities cannot fail the build.
 
+A rule may carry ``"match": {"engine": "gp-metis"}`` (any config keys):
+it then applies only to record pairs whose baseline ``config`` carries
+those exact values, so per-engine expectations (the async-streams
+overlap win, say) don't leak onto the CPU engines.
+
 Baseline and current records are matched on (engine, graph, k, seed);
 the config fingerprint additionally detects silent option drift.
 """
@@ -56,6 +61,7 @@ __all__ = [
     "evaluate_gate",
     "render_gate",
     "collect_workload_records",
+    "GATE_PAPER_SCALES",
 ]
 
 #: The policy the gate falls back to when none is given: the PR-2
@@ -141,6 +147,12 @@ def _numeric(value) -> bool:
     return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
+def _rule_matches(rule: dict, record: dict) -> bool:
+    """Whether a rule's ``match`` filter accepts this record's config."""
+    cfg = record.get("config", {})
+    return all(cfg.get(k) == v for k, v in rule.get("match", {}).items())
+
+
 def _expand_rule(rule: dict, baseline: dict) -> list[dict]:
     if rule["quantity"] == "phase:*":
         return [
@@ -197,6 +209,8 @@ def evaluate_gate(
                 f"{cur_record.get('fingerprint')}); options drifted?"
             )
         for rule in policy["rules"]:
+            if not _rule_matches(rule, base_record):
+                continue
             for concrete in _expand_rule(rule, base_record):
                 base_value = resolve_quantity(base_record, concrete["quantity"])
                 cur_value = resolve_quantity(cur_record, concrete["quantity"])
@@ -258,14 +272,29 @@ def render_gate(
 
 
 # ----------------------------------------------------------------------
+#: The gate's paper-dataset sweep: gp-metis on all four Table I analogue
+#: graphs at CI-sized scales.  These are the records the async-streams
+#: rules (scoped ``metric:hw.pcie.exposed_seconds`` / ``total``) gate —
+#: regressing the overlap win on any of them fails the build.
+GATE_PAPER_SCALES: dict[str, float] = {
+    "ldoor": 0.008,
+    "delaunay": 0.012,
+    "hugebubble": 0.0006,
+    "usa_roads": 0.0005,
+}
+
+
 def collect_workload_records(config=None) -> list[dict]:
     """Freshly profile the standard gate workload into ledger records.
 
     Reuses the PR-2 :class:`~repro.bench.baseline.BaselineConfig`
     workload (the same graphs/methods the old gate snapshotted), but
     records full ledger records so every policy quantity is gateable.
-    One additional ``engine="service"`` record covers the concurrent
-    partition service (a fixed mixed workload on a 4-worker pool), so
+    On top of that come one gp-metis run per Table I analogue dataset
+    (``GATE_PAPER_SCALES``) — the workload the paper's end-to-end claim
+    and the async-streams overlap win are asserted on — and one
+    ``engine="service"`` record covering the concurrent partition
+    service (a fixed mixed workload on a 4-worker pool), so
     ``metric:service.*`` rules gate throughput, latency percentiles and
     cache behaviour alongside the engine runs.
     """
@@ -273,6 +302,7 @@ def collect_workload_records(config=None) -> list[dict]:
     # engine), which itself imports repro.obs.
     from ..api import partition
     from ..bench.baseline import BaselineConfig
+    from ..graphs.datasets import PAPER_DATASETS
     from .ledger import ledger_record
 
     config = config or BaselineConfig()
@@ -285,6 +315,15 @@ def collect_workload_records(config=None) -> list[dict]:
         if profiler is None:
             raise RuntimeError(f"method {method!r} did not attach a profiler")
         records.append(ledger_record(profiler))
+    for name, scale in GATE_PAPER_SCALES.items():
+        ds_graph = PAPER_DATASETS[name].build(scale=scale, seed=config.seed)
+        result = partition(
+            ds_graph, config.k, method="gp-metis", seed=config.seed,
+            gpu_threshold_min=2048,
+        )
+        if result.profiler is None:
+            raise RuntimeError("gp-metis did not attach a profiler")
+        records.append(ledger_record(result.profiler))
     records.append(_service_workload_record())
     return records
 

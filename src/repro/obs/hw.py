@@ -15,8 +15,10 @@ Three views come out of one run:
   ``bound`` classification (``dram-bandwidth`` / ``compute`` /
   ``latency`` / ``atomic``) read off the kernel's own modeled time split;
 * **utilization timeline** — per-phase seconds attributed to GPU kernels,
-  PCIe transfers and the CPU residual (the three sum exactly to the
-  profiled phase time), each with its utilization of the relevant peak;
+  PCIe transfers and the CPU residual, plus the ``overlapped`` slice
+  where a transfer was hidden behind a kernel (the async-streams
+  schedule); the four satisfy ``gpu + pcie + cpu - overlapped == phase
+  seconds`` exactly, each with its utilization of the relevant peak;
 * **totals** — run-level ``hw.*`` metrics and the ledger ``hw`` block,
   including the transfer-avoidance ratio (device-resident DRAM traffic
   vs. bytes that crossed PCIe) that quantifies the paper's core claim.
@@ -45,6 +47,7 @@ __all__ = [
     "hw_section",
     "hw_metrics",
     "transfer_span_bytes",
+    "exposed_span_seconds",
     "check_transfer_consistency",
     "render_roofline_chart",
     "render_kernel_table",
@@ -60,6 +63,70 @@ BOUND_KINDS = ("dram-bandwidth", "compute", "latency", "atomic")
 
 def _clamp01(x: float) -> float:
     return 0.0 if x < 0.0 else (1.0 if x > 1.0 else x)
+
+
+# ----------------------------------------------------------------------
+# Interval arithmetic over span windows
+# ----------------------------------------------------------------------
+def _union_intervals(spans) -> list[tuple[float, float]]:
+    """Merged, sorted ``[start, end)`` windows of the given spans.
+
+    Spans on the serial schedule tile disjointly, so the union equals the
+    duration sum; under async streams a copy-stream span can sit inside a
+    compute-stream span and the union is what actually elapsed.
+    """
+    ivs = sorted(
+        (s.start, s.end) for s in spans
+        if s.end is not None and s.end > s.start
+    )
+    merged: list[tuple[float, float]] = []
+    for lo, hi in ivs:
+        if merged and lo <= merged[-1][1]:
+            if hi > merged[-1][1]:
+                merged[-1] = (merged[-1][0], hi)
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+def _measure(intervals: list[tuple[float, float]]) -> float:
+    return float(sum(hi - lo for lo, hi in intervals))
+
+
+def _clip(intervals, lo: float, hi: float) -> list[tuple[float, float]]:
+    return [
+        (max(a, lo), min(b, hi)) for a, b in intervals
+        if min(b, hi) > max(a, lo)
+    ]
+
+
+def _intersect(a, b) -> list[tuple[float, float]]:
+    """Intersection of two merged interval lists (two-pointer sweep)."""
+    out: list[tuple[float, float]] = []
+    i = j = 0
+    while i < len(a) and j < len(b):
+        lo = max(a[i][0], b[j][0])
+        hi = min(a[i][1], b[j][1])
+        if hi > lo:
+            out.append((lo, hi))
+        if a[i][1] <= b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
+def exposed_span_seconds(spans, cover) -> float:
+    """Wall measure of ``spans``' union not covered by ``cover``'s union.
+
+    ``exposed_span_seconds(transfers, kernels)`` is the PCIe time that
+    actually extended the run: transfer seconds the async-streams
+    schedule failed (or never tried) to hide behind compute.  On a serial
+    schedule nothing overlaps, so this equals the plain duration sum.
+    """
+    u = _union_intervals(spans)
+    c = _union_intervals(cover)
+    return max(0.0, _measure(u) - _measure(_intersect(u, c)))
 
 
 # ----------------------------------------------------------------------
@@ -142,6 +209,7 @@ def gpu_section(device_stats, gpu: GpuSpec) -> dict:
     return {
         "peak_bandwidth": gpu.bandwidth_bytes_per_sec,
         "peak_flops": gpu.compute_ops_per_sec,
+        "peak_bytes": int(getattr(device_stats, "peak_memory_bytes", 0)),
         "kernel_seconds": total_seconds,
         "bytes_moved": total_bytes,
         "compute_ops": total_ops,
@@ -177,10 +245,18 @@ def pcie_section(root, net: InterconnectSpec) -> dict:
     transfers = len(spans)
     util = _clamp01(nbytes / net.pcie_bytes_per_sec / seconds) if seconds else 0.0
     alpha = transfers * net.pcie_latency_seconds
+    # Exposed seconds: transfer wall time NOT hidden behind a concurrent
+    # kernel.  On the serial schedule every transfer is exposed; the
+    # async-streams schedule's whole win is shrinking this number.
+    exposed = min(
+        exposed_span_seconds(spans, root.find_category("kernel")), seconds
+    )
     return {
         "transfers": transfers,
         "bytes": nbytes,
         "seconds": seconds,
+        "exposed_seconds": exposed,
+        "overlap_ratio": _clamp01(1.0 - exposed / seconds) if seconds else 0.0,
         "utilization": util,
         "alpha_share": _clamp01(alpha / seconds) if seconds else 0.0,
         "peak_bandwidth": net.pcie_bytes_per_sec,
@@ -191,13 +267,17 @@ def pcie_section(root, net: InterconnectSpec) -> dict:
 # Timeline: per-phase attribution of profiled seconds
 # ----------------------------------------------------------------------
 def phase_timeline(root, machine: MachineSpec | None = None) -> list[dict]:
-    """Attribute each phase's seconds to GPU kernels, PCIe transfers and
-    the CPU residual.
+    """Attribute each phase's seconds to GPU kernels, PCIe transfers,
+    the CPU residual, and the kernel/transfer overlap.
 
-    Kernel and transfer spans tile disjoint windows of charged time, so
-    ``gpu_seconds + pcie_seconds + cpu_seconds == phase seconds`` exactly
-    (the residual is computed, not measured).  Utilizations divide each
-    slice's traffic by the relevant peak.
+    ``gpu_seconds`` and ``pcie_seconds`` are interval *unions* of the
+    phase's kernel and transfer spans (clipped to the phase window), and
+    ``overlapped_seconds`` is the measure of their intersection — the
+    transfer time the async-streams schedule hid behind compute.  The CPU
+    residual is computed, not measured, so the invariant
+    ``gpu + pcie + cpu - overlapped == phase seconds`` holds exactly on
+    both the serial schedule (overlap 0) and the overlapped one.
+    Utilizations divide each slice's traffic by the relevant peak.
     """
     machine = machine or PAPER_MACHINE
     gpu, net = machine.gpu, machine.interconnect
@@ -205,10 +285,17 @@ def phase_timeline(root, machine: MachineSpec | None = None) -> list[dict]:
     for phase in (c for c in root.children if c.category == "phase"):
         kernels = phase.find_category("kernel")
         transfers = phase.find_category("transfer")
-        gpu_s = float(sum(s.duration for s in kernels))
-        pcie_s = float(sum(s.duration for s in transfers))
         total = phase.duration
-        cpu_s = max(0.0, total - gpu_s - pcie_s)
+        # SimClock.set_phase syncs every stream track before a phase
+        # closes, so async spans are contained in their phase window; the
+        # clip is a guard, not a correction.
+        p_end = phase.end if phase.end is not None else phase.start
+        gpu_u = _clip(_union_intervals(kernels), phase.start, p_end)
+        pcie_u = _clip(_union_intervals(transfers), phase.start, p_end)
+        gpu_s = _measure(gpu_u)
+        pcie_s = _measure(pcie_u)
+        overlap_s = _measure(_intersect(gpu_u, pcie_u))
+        cpu_s = max(0.0, total - gpu_s - pcie_s + overlap_s)
         kernel_bytes = (
             float(sum(s.attrs.get("transactions", 0.0) for s in kernels))
             * gpu.transaction_bytes
@@ -220,6 +307,7 @@ def phase_timeline(root, machine: MachineSpec | None = None) -> list[dict]:
             "gpu_seconds": gpu_s,
             "pcie_seconds": pcie_s,
             "cpu_seconds": cpu_s,
+            "overlapped_seconds": overlap_s,
             "gpu_dram_utilization": (
                 _clamp01(kernel_bytes / gpu.bandwidth_bytes_per_sec / gpu_s)
                 if gpu_s else 0.0
@@ -293,6 +381,10 @@ def hw_metrics(m, section: dict) -> None:
         m.counter("hw.pcie.transfers").inc(pcie["transfers"])
         m.counter("hw.pcie.bytes").inc(pcie["bytes"])
         m.counter("hw.pcie.seconds").inc(pcie["seconds"])
+        m.counter("hw.pcie.exposed_seconds").inc(
+            pcie.get("exposed_seconds", pcie["seconds"])
+        )
+        m.gauge("hw.pcie.overlap_ratio").set(pcie.get("overlap_ratio", 0.0))
         m.gauge("hw.pcie.util").set(pcie["utilization"])
         m.gauge("hw.pcie.alpha_share").set(pcie["alpha_share"])
     gpu = section.get("gpu")
@@ -300,6 +392,7 @@ def hw_metrics(m, section: dict) -> None:
         m.counter("hw.gpu.bytes_moved").inc(gpu["bytes_moved"])
         m.counter("hw.gpu.compute_ops").inc(gpu["compute_ops"])
         m.counter("hw.gpu.kernel_seconds").inc(gpu["kernel_seconds"])
+        m.gauge("hw.gpu.peak_bytes").set(gpu.get("peak_bytes", 0))
         m.gauge("hw.gpu.dram_util").set(gpu["dram_utilization"])
         m.gauge("hw.gpu.compute_util").set(gpu["compute_utilization"])
         m.gauge("hw.gpu.coalescing").set(gpu["coalescing"])
@@ -445,11 +538,30 @@ def validate_hw_section(section: dict) -> None:
         util = section[name].get(util_key)
         _require(isinstance(util, (int, float)) and 0.0 <= util <= 1.0,
                  f"{name}.{util_key} must be in [0, 1], got {util!r}")
+    pcie = section["pcie"]
+    if "exposed_seconds" in pcie:
+        exp = pcie["exposed_seconds"]
+        _require(
+            0.0 <= exp <= pcie["seconds"] + 1e-9,
+            f"pcie.exposed_seconds {exp} outside [0, {pcie['seconds']}]",
+        )
+        ratio = pcie.get("overlap_ratio", 0.0)
+        _require(0.0 <= ratio <= 1.0,
+                 f"pcie.overlap_ratio must be in [0, 1], got {ratio!r}")
     for row in section["phases"]:
         for key in ("phase", "seconds", "gpu_seconds", "pcie_seconds",
                     "cpu_seconds"):
             _require(key in row, f"phase row missing {key!r}")
-        parts = row["gpu_seconds"] + row["pcie_seconds"] + row["cpu_seconds"]
+        # Older records predate the overlapped slice; they were built from
+        # serial schedules where it is identically zero.
+        overlap = row.get("overlapped_seconds", 0.0)
+        _require(
+            0.0 <= overlap <= min(row["gpu_seconds"], row["pcie_seconds"]) + 1e-9,
+            f"phase {row['phase']!r} overlapped_seconds {overlap} exceeds "
+            f"its gpu/pcie slices",
+        )
+        parts = (row["gpu_seconds"] + row["pcie_seconds"]
+                 + row["cpu_seconds"] - overlap)
         _require(
             math.isclose(parts, row["seconds"], rel_tol=1e-6, abs_tol=1e-9),
             f"phase {row['phase']!r} slices sum to {parts}, not {row['seconds']}",

@@ -74,8 +74,12 @@ def _canonical(value):
     same configuration.
     """
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        # A dataclass may name fields that alter scheduling/accounting but
+        # never the computed result (e.g. GPMetisOptions.async_streams);
+        # those are excluded so the fingerprint identifies the *workload*.
+        exclude = getattr(value, "__fingerprint_exclude__", frozenset())
         return {f.name: _canonical(getattr(value, f.name))
-                for f in dataclasses.fields(value)}
+                for f in dataclasses.fields(value) if f.name not in exclude}
     if isinstance(value, dict):
         items = [(str(k), _canonical(v)) for k, v in value.items()]
         items.sort(key=lambda kv: kv[0])

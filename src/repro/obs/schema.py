@@ -230,7 +230,19 @@ def validate_gate_policy(doc: dict) -> None:
             direction in _GATE_DIRECTIONS,
             f"rule {i} ({quantity}) direction must be one of {_GATE_DIRECTIONS}",
         )
-        unknown = set(rule) - {"quantity", "tolerance", "floor", "direction", "note"}
+        match = rule.get("match", {})
+        _require(
+            isinstance(match, dict)
+            and all(isinstance(k, str) for k in match)
+            and all(
+                isinstance(v, (str, int, float, bool)) or v is None
+                for v in match.values()
+            ),
+            f"rule {i} ({quantity}) match must map config keys to scalars",
+        )
+        unknown = set(rule) - {
+            "quantity", "tolerance", "floor", "direction", "note", "match"
+        }
         _require(not unknown, f"rule {i} ({quantity}) has unknown keys {sorted(unknown)}")
 
 

@@ -13,12 +13,23 @@ Categories are tagged as either *volume* (grow linearly with graph size:
 memory traffic, per-edge compute) or *overhead* (grow with the number of
 levels/passes: kernel launches, barriers, message latencies).  The
 extrapolation scales the two groups by different factors.
+
+Overlap-aware tracks (PR 10): the clock keeps a *host cursor* plus one
+cursor per named asynchronous track (a simulated CUDA stream).  A plain
+:meth:`~SimClock.charge` advances the host cursor — serial semantics,
+identical to the original sum-of-events clock.  :meth:`~SimClock.charge_at`
+places an event on a track at an explicit start time *without* advancing
+the host, so concurrent streams advance on parallel timelines and
+:attr:`~SimClock.total_seconds` (the wall clock) becomes the busy-union of
+the tracks — the max of overlapping spans, mirroring how ``ThreadPoolSim``
+folds CPU threads — never the serial sum.  :attr:`~SimClock.busy_seconds`
+keeps the serial sum for utilization math.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable
 
 __all__ = [
@@ -44,13 +55,21 @@ KNOWN_CATEGORIES = VOLUME_CATEGORIES | OVERHEAD_CATEGORIES
 
 @dataclass(frozen=True)
 class CostEvent:
-    """One charge against the simulated clock."""
+    """One charge against the simulated clock.
+
+    ``track`` is empty for ordinary host-timeline charges; asynchronous
+    charges (:meth:`SimClock.charge_at`) carry the stream's track name and
+    an explicit ``start`` on the shared timeline (host events keep the
+    ``-1.0`` sentinel — their position is implied by accumulation order).
+    """
 
     phase: str
     category: str
     seconds: float
     count: float = 0.0
     detail: str = ""
+    track: str = ""
+    start: float = -1.0
 
 
 @dataclass
@@ -72,10 +91,21 @@ class SimClock:
     #: profiler (same discovery pattern again); CPU/MPI substrates record
     #: hardware-utilization counters here alongside their cost charges.
     hw: object | None = None
+    #: Host-timeline cursor.  Equals the sum of host-event seconds for a
+    #: purely serial run; async tracks can run ahead of it until synced.
+    _now: float = 0.0
+    #: End cursor of each named async track (simulated stream).
+    _tracks: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     def set_phase(self, phase: str) -> None:
-        """Set the phase label charged by subsequent events."""
+        """Set the phase label charged by subsequent events.
+
+        A phase boundary is a synchronization point: any async track still
+        running is folded into the wall clock first, so phase spans always
+        contain the async work charged within them.
+        """
+        self.sync_tracks()
         self._phase = phase
         if self.profiler is not None:
             self.profiler.on_phase(phase)
@@ -101,10 +131,94 @@ class SimClock:
                 f"{', '.join(sorted(KNOWN_CATEGORIES))}"
             )
         self.events.append(CostEvent(self._phase, category, seconds, count, detail))
+        self._now += seconds
+
+    def charge_at(
+        self,
+        track: str,
+        category: str,
+        seconds: float,
+        start: float | None = None,
+        count: float = 0.0,
+        detail: str = "",
+    ) -> tuple[float, float]:
+        """Record an asynchronous cost event on a named track.
+
+        The event occupies ``[start, start + seconds]`` on the shared
+        timeline; ``start`` defaults to the track's enqueue point,
+        ``max(track end, host now)`` — a stream command cannot begin
+        before the commands already queued on its stream, nor before the
+        host issued it.  The host cursor does *not* advance; the track's
+        end cursor does.  Returns the ``(start, end)`` interval so callers
+        can emit matching profiler spans.
+        """
+        if not track:
+            raise ValueError("charge_at requires a non-empty track name")
+        if seconds < 0:
+            raise ValueError(f"negative cost: {seconds}")
+        if category not in KNOWN_CATEGORIES:
+            raise ValueError(
+                f"unknown cost category {category!r}; known categories: "
+                f"{', '.join(sorted(KNOWN_CATEGORIES))}"
+            )
+        if start is None:
+            start = self.track_end(track)
+        elif start < 0:
+            raise ValueError(f"negative track start: {start}")
+        end = start + seconds
+        self.events.append(
+            CostEvent(self._phase, category, seconds, count, detail, track, start)
+        )
+        self._tracks[track] = max(self._tracks.get(track, 0.0), end)
+        return start, end
 
     # ------------------------------------------------------------------
     @property
+    def now(self) -> float:
+        """The host-timeline cursor (excludes unsynced async tracks)."""
+        return self._now
+
+    def track_end(self, track: str) -> float:
+        """Where the next command enqueued on ``track`` would start."""
+        return max(self._tracks.get(track, 0.0), self._now)
+
+    def advance_track(self, track: str, timestamp: float) -> None:
+        """Insert an idle gap on ``track`` up to ``timestamp`` (a stream
+        waiting on another stream's event; nothing is charged)."""
+        self._tracks[track] = max(self._tracks.get(track, 0.0), timestamp)
+
+    def wait_until(self, timestamp: float) -> None:
+        """Advance the host cursor to ``timestamp`` (host-side wait on an
+        async event; a no-op when the host is already past it)."""
+        self._now = max(self._now, timestamp)
+
+    def sync_tracks(self, tracks: Iterable[str] | None = None) -> None:
+        """Fold async track time into the wall clock (device synchronize).
+
+        Advances the host cursor to the end of the named tracks (all
+        tracks by default) without charging any event: the waiting time is
+        already covered by the tracks' own events, so wall time becomes
+        the busy-union, never the serial sum.
+        """
+        names = list(self._tracks) if tracks is None else list(tracks)
+        for name in names:
+            self._now = max(self._now, self._tracks.get(name, 0.0))
+
+    @property
     def total_seconds(self) -> float:
+        """Wall-clock seconds: the host cursor.
+
+        Identical to :attr:`busy_seconds` for serial runs; under async
+        overlap it is the busy-union of the host and stream tracks (after
+        the owning engine synchronizes), which is what phase spans,
+        ledger totals and the benchmark tables report.
+        """
+        return self._now
+
+    @property
+    def busy_seconds(self) -> float:
+        """Serial sum of every charge — the pre-overlap measure, used for
+        utilization ratios and extrapolation."""
         return sum(e.seconds for e in self.events)
 
     def seconds_by_phase(self) -> dict[str, float]:
@@ -161,12 +275,38 @@ class SimClock:
                 total += e.seconds * overhead_factor
             else:
                 total += e.seconds * volume_factor  # conservative default
+        # Busy time extrapolates per category; the overlap already won at
+        # bench scale carries over as a constant wall/busy ratio (streams
+        # hide the same *fraction* of the transfer stream at any scale).
+        busy = self.busy_seconds
+        wall = self.total_seconds
+        if busy > 0.0 and wall < busy:
+            total *= wall / busy
         return total
 
     def merge(self, others: Iterable["SimClock"]) -> None:
-        """Absorb events from other clocks (used when sub-engines finish)."""
+        """Absorb events from other clocks (used when sub-engines finish).
+
+        The absorbed run executes after everything already on this clock:
+        its async events are rebased by the current wall time and its wall
+        seconds extend this clock's cursor.
+        """
         for other in others:
-            self.events.extend(other.events)
+            offset = self._now
+            for e in other.events:
+                if e.track and e.start >= 0.0:
+                    self.events.append(replace(e, start=e.start + offset))
+                else:
+                    self.events.append(e)
+            other_tracks = getattr(other, "_tracks", {})
+            other_wall = max(
+                other.total_seconds, max(other_tracks.values(), default=0.0)
+            )
+            self._now += other_wall
+            for track, end in other_tracks.items():
+                self._tracks[track] = max(
+                    self._tracks.get(track, 0.0), end + offset
+                )
 
     def breakdown(self, by: str | None = None) -> str | dict[str, float]:
         """Phase/category shares of the total modeled time.

@@ -51,6 +51,7 @@ from ..faults.retry import RetryPolicy
 from ..obs.critical import attribution_totals, request_entry
 from ..obs.hw import (
     BOUND_KINDS,
+    exposed_span_seconds,
     hw_metrics,
     hw_section,
     transfer_avoidance_ratio,
@@ -158,8 +159,25 @@ class Ticket:
 
 
 def _csr_setup_seconds(result: PartitionResult) -> float:
-    """The one-time CSR H2D transfer cost inside a result's clock — the
-    seconds a same-graph batch follower does not pay again."""
+    """The one-time CSR H2D transfer cost inside a result's run — the
+    seconds a same-graph batch follower does not pay again.
+
+    Only *exposed* seconds are refundable: under the async-streams
+    schedule part of the CSR upload hides behind kernels and never
+    reaches the critical path, so skipping it saves nothing.  Falls back
+    to the clock's event sum when no profiler observed the run (the
+    serial path, where nothing overlaps and the two agree).
+    """
+    profiler = getattr(result, "profiler", None)
+    if profiler is not None:
+        csr_spans = [
+            s for s in profiler.root.find_category("transfer")
+            if s.name.startswith("h2d.csr.")
+        ]
+        if csr_spans:
+            return exposed_span_seconds(
+                csr_spans, profiler.root.find_category("kernel")
+            )
     return sum(
         e.seconds
         for e in result.clock.events
@@ -573,7 +591,7 @@ class PartitionService:
         transfer-avoidance ratio must not count against the bus.
         """
         counters = HwCounters()
-        pcie_bytes = pcie_seconds = 0.0
+        pcie_bytes = pcie_seconds = pcie_exposed = 0.0
         pcie_transfers = 0
         gpu_bytes = gpu_ops = gpu_seconds = coal_weighted = 0.0
         bound_seconds = {kind: 0.0 for kind in BOUND_KINDS}
@@ -589,14 +607,20 @@ class PartitionService:
                 continue
             p = run_hw["pcie"]
             nbytes, transfers, seconds = p["bytes"], p["transfers"], p["seconds"]
+            exposed = p.get("exposed_seconds", seconds)
             if t.amortized_seconds > 0.0:
                 csr_bytes, csr_transfers = _csr_setup_bytes(t.result)
                 nbytes = max(0.0, nbytes - csr_bytes)
                 transfers = max(0, transfers - csr_transfers)
-                seconds = max(0.0, seconds - _csr_setup_seconds(t.result))
+                # The refund is the exposed CSR cost; total seconds drop
+                # by the same amount the latency refund gave back.
+                refund = _csr_setup_seconds(t.result)
+                seconds = max(0.0, seconds - refund)
+                exposed = max(0.0, exposed - refund)
             pcie_bytes += nbytes
             pcie_transfers += transfers
             pcie_seconds += seconds
+            pcie_exposed += min(exposed, seconds)
             g = run_hw.get("gpu")
             if g is not None:
                 saw_gpu = True
@@ -613,6 +637,7 @@ class PartitionService:
                 "bytes": pcie_bytes,
                 "transfers": pcie_transfers,
                 "seconds": pcie_seconds,
+                "exposed_seconds": pcie_exposed,
             },
             "gpu": {
                 "bytes_moved": gpu_bytes,
@@ -646,6 +671,11 @@ class PartitionService:
             "transfers": p["transfers"],
             "bytes": p["bytes"],
             "seconds": seconds,
+            "exposed_seconds": p["exposed_seconds"],
+            "overlap_ratio": (
+                min(1.0, max(0.0, 1.0 - p["exposed_seconds"] / seconds))
+                if seconds else 0.0
+            ),
             "utilization": (
                 min(1.0, p["bytes"] / net.pcie_bytes_per_sec / seconds)
                 if seconds else 0.0

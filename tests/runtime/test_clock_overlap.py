@@ -1,0 +1,178 @@
+"""Busy-union properties of the SimClock's asynchronous tracks.
+
+The async-streams schedule charges stream work via ``charge_at`` on
+named tracks; wall time is the busy-union of the host timeline and every
+track, never the serial sum.  These tests pin the algebra the overlap
+win rests on:
+
+* ``wall <= serial sum`` — overlap can only hide time, never create it;
+* ``wall >= max component`` — no track's work can finish before itself;
+* the host cursor never moves on ``charge_at``, only on ``sync_tracks``
+  (or a ``set_phase``, which syncs first so phase spans contain their
+  async work).
+"""
+
+import random
+
+import pytest
+
+from repro.runtime.clock import SimClock
+
+
+def _clock():
+    c = SimClock()
+    c.set_phase("test")
+    return c
+
+
+class TestChargeAt:
+    def test_does_not_advance_host(self):
+        c = _clock()
+        c.charge_at("stream:copy", "transfer_bytes", 0.5)
+        assert c.total_seconds == 0.0
+        assert c.track_end("stream:copy") == pytest.approx(0.5)
+
+    def test_returns_interval(self):
+        c = _clock()
+        start, end = c.charge_at("stream:copy", "transfer_bytes", 0.25)
+        assert (start, end) == (0.0, pytest.approx(0.25))
+        start, end = c.charge_at("stream:copy", "transfer_bytes", 0.25)
+        assert start == pytest.approx(0.25)  # in-order queue
+
+    def test_enqueue_point_is_max_of_track_and_host(self):
+        c = _clock()
+        c.charge("compute", 1.0)  # host at 1.0
+        start, _ = c.charge_at("stream:copy", "transfer_bytes", 0.1)
+        assert start == pytest.approx(1.0)  # cannot start before issued
+
+    def test_explicit_start_respected(self):
+        c = _clock()
+        start, end = c.charge_at("stream:k", "compute", 0.2, start=3.0)
+        assert (start, end) == (3.0, pytest.approx(3.2))
+        assert c.track_end("stream:k") == pytest.approx(3.2)
+
+    def test_requires_track_name(self):
+        with pytest.raises(ValueError, match="track"):
+            _clock().charge_at("", "compute", 0.1)
+
+    def test_rejects_unknown_category(self):
+        with pytest.raises(ValueError, match="unknown cost category"):
+            _clock().charge_at("stream:k", "warp_shuffle", 0.1)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            _clock().charge_at("stream:k", "compute", -0.1)
+
+
+class TestSyncAndWait:
+    def test_sync_tracks_advances_host_to_max_end(self):
+        c = _clock()
+        c.charge_at("stream:a", "compute", 0.5)
+        c.charge_at("stream:b", "transfer_bytes", 0.3)
+        c.sync_tracks()
+        assert c.total_seconds == pytest.approx(0.5)
+
+    def test_sync_subset_only(self):
+        c = _clock()
+        c.charge_at("stream:a", "compute", 0.5)
+        c.charge_at("stream:b", "transfer_bytes", 0.3)
+        c.sync_tracks(["stream:b"])
+        assert c.total_seconds == pytest.approx(0.3)
+
+    def test_wait_until_is_monotone(self):
+        c = _clock()
+        c.charge("compute", 1.0)
+        c.wait_until(0.5)  # in the past: a no-op
+        assert c.total_seconds == pytest.approx(1.0)
+        c.wait_until(2.0)
+        assert c.total_seconds == pytest.approx(2.0)
+
+    def test_advance_track_leaves_idle_gap(self):
+        # cudaStreamWaitEvent: nothing is charged for the gap.
+        c = _clock()
+        c.advance_track("stream:k", 0.4)
+        start, _ = c.charge_at("stream:k", "compute", 0.1)
+        assert start == pytest.approx(0.4)
+        assert c.busy_seconds == pytest.approx(0.1)
+
+    def test_set_phase_syncs_tracks(self):
+        # Phase spans must contain their async work, so a phase change
+        # folds every outstanding track into the wall clock first.
+        c = _clock()
+        c.charge_at("stream:a", "compute", 0.7)
+        c.set_phase("next")
+        assert c.total_seconds == pytest.approx(0.7)
+
+
+class TestBusyUnionProperties:
+    def test_overlap_never_exceeds_serial_sum(self):
+        c = _clock()
+        c.charge("compute", 0.2)
+        c.charge_at("stream:copy", "transfer_bytes", 0.4)
+        c.charge_at("stream:kern", "compute", 0.3)
+        c.sync_tracks()
+        assert c.total_seconds <= c.busy_seconds + 1e-12
+        assert c.total_seconds == pytest.approx(0.2 + 0.4)  # union, not sum
+
+    def test_wall_at_least_max_component(self):
+        c = _clock()
+        c.charge("compute", 0.1)
+        c.charge_at("stream:copy", "transfer_bytes", 0.8)
+        c.sync_tracks()
+        assert c.total_seconds >= 0.8
+
+    def test_disjoint_tracks_still_bounded(self):
+        # Back-to-back same-track work serializes on its own queue.
+        c = _clock()
+        for _ in range(5):
+            c.charge_at("stream:k", "compute", 0.1)
+        c.sync_tracks()
+        assert c.total_seconds == pytest.approx(0.5)
+        assert c.busy_seconds == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_schedules_hold_both_bounds(self, seed):
+        rng = random.Random(seed)
+        c = _clock()
+        per_track: dict[str, float] = {"host": 0.0}
+        for _ in range(60):
+            roll = rng.random()
+            if roll < 0.3:
+                s = rng.uniform(0.0, 0.1)
+                c.charge("compute", s)
+                per_track["host"] += s
+            elif roll < 0.9:
+                track = f"stream:{rng.randrange(3)}"
+                s = rng.uniform(0.0, 0.1)
+                c.charge_at(track, "transfer_bytes", s)
+                per_track[track] = per_track.get(track, 0.0) + s
+            else:
+                c.sync_tracks()
+        c.sync_tracks()
+        serial_sum = sum(per_track.values())
+        assert c.total_seconds <= serial_sum + 1e-9
+        assert c.total_seconds >= max(per_track.values()) - 1e-9
+        assert c.busy_seconds == pytest.approx(serial_sum)
+
+
+class TestMergeWithTracks:
+    def test_merge_rebases_track_events(self):
+        outer = _clock()
+        outer.charge("compute", 1.0)
+        inner = SimClock()
+        inner.set_phase("inner")
+        inner.charge_at("stream:k", "compute", 0.5)
+        inner.sync_tracks()
+        outer.merge([inner])
+        # The absorbed stream work lands after the outer cursor, not at 0.
+        assert outer.total_seconds == pytest.approx(1.5)
+        track_events = [e for e in outer.events if e.track]
+        assert track_events and min(e.start for e in track_events) >= 1.0
+
+    def test_merge_counts_unsynced_track_tail(self):
+        outer = _clock()
+        inner = SimClock()
+        inner.set_phase("inner")
+        inner.charge_at("stream:k", "compute", 0.5)  # never synced
+        outer.merge([inner])
+        assert outer.total_seconds == pytest.approx(0.5)
